@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks of the flow's hot kernels: STA,
+// routing estimation, FM partitioning, global placement and CTS. These
+// quantify the engine itself (not the paper's results) and guard against
+// performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "cts/cts.hpp"
+#include "gen/designs.hpp"
+#include "netlist/design.hpp"
+#include "part/fm.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "sta/sta.hpp"
+#include "tech/library_factory.hpp"
+#include "util/log.hpp"
+
+using namespace m3d;
+
+namespace {
+
+netlist::Design placed_design(double scale, bool hetero) {
+  util::set_log_level(util::LogLevel::Error);
+  gen::GenOptions g;
+  g.scale = scale;
+  netlist::Design d(gen::make_netcard(g), tech::make_12track(),
+                    hetero ? tech::make_9track() : nullptr);
+  d.set_clock_period_ns(1.0);
+  place::place_design(d, {});
+  return d;
+}
+
+void BM_RouteDesign(benchmark::State& state) {
+  const auto d = placed_design(state.range(0) / 100.0, false);
+  for (auto _ : state) {
+    auto routes = route::route_design(d);
+    benchmark::DoNotOptimize(routes.total_wirelength_um);
+  }
+  state.SetItemsProcessed(state.iterations() * d.nl().net_count());
+}
+BENCHMARK(BM_RouteDesign)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_StaFull(benchmark::State& state) {
+  const auto d = placed_design(state.range(0) / 100.0, false);
+  const auto routes = route::route_design(d);
+  for (auto _ : state) {
+    auto r = sta::run_sta(d, &routes);
+    benchmark::DoNotOptimize(r.wns());
+  }
+  state.SetItemsProcessed(state.iterations() * d.nl().pin_count());
+}
+BENCHMARK(BM_StaFull)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_FmMincut(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto d = placed_design(state.range(0) / 100.0, true);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(part::fm_mincut(d));
+  }
+}
+BENCHMARK(BM_FmMincut)->Arg(10)->Arg(25);
+
+void BM_BinFm(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto d = placed_design(state.range(0) / 100.0, true);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(part::bin_fm_partition(d));
+  }
+}
+BENCHMARK(BM_BinFm)->Arg(10)->Arg(25);
+
+void BM_GlobalPlace(benchmark::State& state) {
+  util::set_log_level(util::LogLevel::Error);
+  gen::GenOptions g;
+  g.scale = state.range(0) / 100.0;
+  const auto nl = gen::make_netcard(g);
+  for (auto _ : state) {
+    netlist::Design d(nl, tech::make_12track());
+    place::init_floorplan(d, {});
+    place::global_place(d, {});
+    benchmark::DoNotOptimize(d.pos(0).x);
+  }
+}
+BENCHMARK(BM_GlobalPlace)->Arg(10)->Arg(25);
+
+void BM_ClockTree(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto d = placed_design(state.range(0) / 100.0, false);
+    state.ResumeTiming();
+    auto rep = cts::build_clock_tree(d);
+    benchmark::DoNotOptimize(rep.buffer_count);
+  }
+}
+BENCHMARK(BM_ClockTree)->Arg(10)->Arg(25);
+
+void BM_NldmLookup(benchmark::State& state) {
+  const auto lib = tech::make_12track();
+  const auto* inv = lib->find(tech::CellFunc::Inv, 2);
+  const auto& table =
+      inv->arc(0).delay[static_cast<int>(tech::Transition::Rise)];
+  double slew = 0.011, load = 3.7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(slew, load));
+    slew = slew < 0.15 ? slew * 1.13 : 0.011;
+    load = load < 90.0 ? load * 1.21 : 3.7;
+  }
+}
+BENCHMARK(BM_NldmLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared machinery for the paper-reproduction benches: netlist
+///        construction at a bench scale, the iso-performance frequency
+///        targeting methodology of §IV-A2, and flow-run helpers.
+///
+/// Environment knobs:
+///   M3D_BENCH_SCALE — netlist width multiplier (default 0.5; the paper's
+///                     netlists are 150k–250k cells, the default keeps a
+///                     full 4×5 sweep in tens of seconds).
+///   M3D_BENCH_OUT   — directory for SVG/CSV artifacts (default
+///                     "bench_artifacts").
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "gen/designs.hpp"
+#include "netlist/netlist.hpp"
+
+namespace m3d::bench {
+
+/// Netlist width multiplier from M3D_BENCH_SCALE.
+double bench_scale();
+
+/// Artifact directory from M3D_BENCH_OUT (created if missing).
+std::string artifact_dir();
+
+/// The paper's four evaluation netlists, in its column order.
+const std::vector<std::string>& netlist_names();
+
+/// Build one evaluation netlist at the bench scale.
+netlist::Netlist build(const std::string& name);
+
+/// Flow options tuned for bench runs.
+core::FlowOptions flow_options(double period_ns);
+
+/// Per-netlist flow options (LDPC runs at lower utilization — the paper's
+/// wire-dominance observation).
+core::FlowOptions flow_options_for(const std::string& netlist_name,
+                                   double period_ns);
+
+/// The paper's frequency methodology: sweep the 12-track 2-D
+/// implementation to its maximum achievable frequency (WNS within ~7 % of
+/// the period) and use that as the iso-performance target for every other
+/// configuration of the same netlist. Returns the target period (ns).
+double target_period_ns(const netlist::Netlist& nl);
+
+/// Run one configuration at the given period.
+core::FlowResult run_config(const netlist::Netlist& nl, core::Config cfg,
+                            double period_ns);
+
+/// Silence the flow logs (benches print tables, not logs).
+void quiet_logs();
+
+}  // namespace m3d::bench

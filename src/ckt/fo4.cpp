@@ -1,0 +1,133 @@
+#include "ckt/fo4.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace m3d::ckt {
+
+namespace {
+
+/// Trapezoid source: low → high at t_rise, high → low at t_fall, with a
+/// 10–90 % slew converted to a full-swing ramp (×1.25).
+double source(double t, double amp, double slew_ps, double t_rise,
+              double t_fall) {
+  const double ramp = slew_ps / 0.8;
+  if (t < t_rise) return 0.0;
+  if (t < t_rise + ramp) return amp * (t - t_rise) / ramp;
+  if (t < t_fall) return amp;
+  if (t < t_fall + ramp) return amp * (1.0 - (t - t_fall) / ramp);
+  return 0.0;
+}
+
+/// Linear-interpolated threshold-crossing time between samples.
+struct CrossFinder {
+  double threshold;
+  bool rising;
+  double prev_t = 0.0, prev_v = 0.0;
+  bool armed = false;
+  double crossing = -1.0;
+
+  void sample(double t, double v) {
+    if (armed && crossing < 0.0) {
+      const bool crossed = rising ? (prev_v < threshold && v >= threshold)
+                                  : (prev_v > threshold && v <= threshold);
+      if (crossed) {
+        const double frac = (threshold - prev_v) / (v - prev_v);
+        crossing = prev_t + frac * (t - prev_t);
+      }
+    }
+    prev_t = t;
+    prev_v = v;
+    armed = true;
+  }
+};
+
+}  // namespace
+
+Fo4Result simulate_fo4(const Fo4Config& cfg) {
+  M3D_CHECK(cfg.dt_ps > 0.0 && cfg.period_ps > 10.0 * cfg.input_slew_ps);
+  Fo4Result res;
+
+  const double settle = 200.0;
+  const double t_rise = settle;
+  const double t_fall = settle + cfg.period_ps / 2.0;
+  const double t_end = settle + cfg.period_ps;
+
+  // Node capacitances: driver output sees the four load gates; each load
+  // output continues into an FO-4-equivalent fixed cap.
+  const double c_out = cfg.driver.cout_ff + 4.0 * cfg.load.cin_ff;
+  const double c_load = cfg.load.cout_ff + 4.0 * cfg.load.cin_ff;
+
+  double vout = cfg.driver.vdd;  // input low → output high
+  std::vector<double> vl(4, 0.0);
+
+  // Crossing detectors for the driver's output edges.
+  // Input rising edge → output FALL; input falling edge → output RISE.
+  CrossFinder in_rise_50{0.5 * cfg.input_vdd, true};
+  CrossFinder in_fall_50{0.5 * cfg.input_vdd, false};
+  CrossFinder out_fall_50{0.5 * cfg.driver.vdd, false};
+  CrossFinder out_rise_50{0.5 * cfg.driver.vdd, true};
+  CrossFinder out_fall_90{0.9 * cfg.driver.vdd, false};
+  CrossFinder out_fall_10{0.1 * cfg.driver.vdd, false};
+  CrossFinder out_rise_10{0.1 * cfg.driver.vdd, true};
+  CrossFinder out_rise_90{0.9 * cfg.driver.vdd, true};
+
+  double supply_energy_fj = 0.0;  // mA × V × ps = fJ? (1e-3 · 1e-12 = 1e-15 J)
+
+  for (double t = 0.0; t < t_end; t += cfg.dt_ps) {
+    const double vin = source(t, cfg.input_vdd, cfg.input_slew_ps, t_rise,
+                              t_fall);
+
+    // Driver-stage supply current (the tables report the driver's power:
+    // the loads belong to the neighbouring stage's accounting).
+    const double i_up_drv =
+        pmos_current(cfg.driver.pmos, cfg.driver.vdd - vin,
+                     cfg.driver.vdd - vout);
+    supply_energy_fj += i_up_drv * cfg.driver.vdd * cfg.dt_ps;
+
+    // Node updates (forward Euler; dt is far below the smallest RC).
+    const double dvout =
+        inverter_out_current(cfg.driver, vin, vout) / c_out * cfg.dt_ps;
+    for (double& v : vl) {
+      const double dv =
+          inverter_out_current(cfg.load, vout, v) / c_load * cfg.dt_ps;
+      v = std::clamp(v + dv, -0.05, cfg.load.vdd + 0.05);
+    }
+    vout = std::clamp(vout + dvout, -0.05, cfg.driver.vdd + 0.05);
+
+    in_rise_50.sample(t, vin);
+    in_fall_50.sample(t, vin);
+    out_fall_50.sample(t, vout);
+    out_rise_50.sample(t, vout);
+    out_fall_90.sample(t, vout);
+    out_fall_10.sample(t, vout);
+    out_rise_10.sample(t, vout);
+    out_rise_90.sample(t, vout);
+  }
+
+  M3D_CHECK_MSG(out_fall_50.crossing > 0 && out_rise_50.crossing > 0,
+                "FO4 output never switched — check device calibration");
+
+  res.fall_delay_ps = out_fall_50.crossing - in_rise_50.crossing;
+  res.rise_delay_ps = out_rise_50.crossing - in_fall_50.crossing;
+  res.fall_slew_ps = out_fall_10.crossing - out_fall_90.crossing;
+  res.rise_slew_ps = out_rise_90.crossing - out_rise_10.crossing;
+
+  // DC leakage of the driver stage, averaged over the two static phases.
+  // The driver's static "high" input rests at the *source* rail, which is
+  // what makes Table III's leakage explode when the input is overdriven.
+  const double leak_low = inverter_leakage_uw(cfg.driver, 0.0);
+  const double leak_high = inverter_leakage_uw(cfg.driver, cfg.input_vdd);
+  res.leakage_uw = 0.5 * (leak_low + leak_high);
+
+  // Total power: dynamic supply energy per period plus leakage.
+  const double dynamic_uw =
+      supply_energy_fj / cfg.period_ps * 1000.0;  // fJ/ps = mW → ×1000 µW
+  res.total_power_uw = dynamic_uw + res.leakage_uw;
+  return res;
+}
+
+}  // namespace m3d::ckt

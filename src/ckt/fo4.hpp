@@ -1,0 +1,48 @@
+#pragma once
+/// \file fo4.hpp
+/// \brief Transient FO-4 inverter experiment (paper Fig. 2, Tables II/III).
+///
+/// The circuit: an ideal trapezoid source (the "previous tier's" signal,
+/// with its own rail amplitude) drives one inverter (the driver), whose
+/// output fans out to four load inverters; each load output carries a
+/// further FO-4-equivalent capacitance. Driver and loads may come from
+/// different technology corners, and the source amplitude may differ from
+/// the driver's rail — the two heterogeneity boundary conditions:
+///
+///   * Fig. 2(a) "heterogeneity at the driver output": driver tech ≠ load
+///     tech (Table II);
+///   * Fig. 2(b) "heterogeneity at the driver input": source amplitude ≠
+///     driver rail (Table III).
+///
+/// Measurements mirror the tables: 10–90 % output slews, 50–50 % delays,
+/// DC leakage of the whole arrangement, and average total power over one
+/// full switching period.
+
+#include "ckt/mosfet.hpp"
+
+namespace m3d::ckt {
+
+/// FO-4 experiment configuration.
+struct Fo4Config {
+  InverterTech driver = fast_inverter();
+  InverterTech load = fast_inverter();
+  double input_vdd = 0.90;       ///< source amplitude (foreign rail allowed)
+  double input_slew_ps = 15.0;   ///< 10–90 % edge of the source
+  double period_ps = 5000.0;     ///< switching period for avg-power
+  double dt_ps = 0.02;           ///< integration step
+};
+
+/// Measured FO-4 figures (ps and µW, matching the tables' columns).
+struct Fo4Result {
+  double rise_slew_ps = 0.0;   ///< driver-output rising edge, 10–90 %
+  double fall_slew_ps = 0.0;
+  double rise_delay_ps = 0.0;  ///< 50 % input → 50 % rising output
+  double fall_delay_ps = 0.0;
+  double leakage_uw = 0.0;     ///< DC leakage, both static input phases avg
+  double total_power_uw = 0.0; ///< supply energy per period / period
+};
+
+/// Run the transient experiment.
+Fo4Result simulate_fo4(const Fo4Config& cfg);
+
+}  // namespace m3d::ckt

@@ -1,0 +1,59 @@
+#pragma once
+/// \file mosfet.hpp
+/// \brief Compact MOSFET model for the boundary-cell circuit experiments.
+///
+/// Square-law strong-inversion model with channel-length modulation plus an
+/// exponential sub-threshold region. Deliberately simple — the paper's
+/// Tables II/III conclusions depend only on (a) drive current scaling with
+/// gate overdrive (alpha-power behaviour) and (b) sub-threshold leakage
+/// being exponential in V_GS, both of which this model captures.
+///
+/// Units: V, mA, fF, ps (so dV = I/C·dt works without conversion factors).
+
+namespace m3d::ckt {
+
+/// Per-transistor parameters (symmetric NMOS/PMOS usage; widths folded
+/// into the k factors).
+struct DeviceParams {
+  double vth = 0.32;          ///< threshold voltage (positive for both types)
+  double k_ma_v2 = 0.90;      ///< transconductance k·W (mA/V²)
+  double lambda = 0.08;       ///< channel-length modulation (1/V)
+  double i_leak0_ma = 1.3e-4; ///< off-current at V_GS = 0 (mA)
+  double n_vt = 0.055;        ///< sub-threshold slope n·v_T (V)
+};
+
+/// NMOS drain current (mA) for terminal voltages relative to source.
+/// vgs/vds in volts; returns >= 0 for vds >= 0.
+double nmos_current(const DeviceParams& p, double vgs, double vds);
+
+/// PMOS drain current magnitude (mA): pass source-referenced |vgs|, |vds|.
+/// By symmetry this is the same curve as the NMOS.
+inline double pmos_current(const DeviceParams& p, double vsg, double vsd) {
+  return nmos_current(p, vsg, vsd);
+}
+
+/// One CMOS inverter instance: its own supply and devices.
+struct InverterTech {
+  double vdd = 0.90;
+  DeviceParams nmos;
+  DeviceParams pmos;
+  double cin_ff = 1.2;   ///< gate input capacitance
+  double cout_ff = 0.8;  ///< drain/self output capacitance
+};
+
+/// The fast 12-track-like corner at 0.90 V.
+InverterTech fast_inverter();
+
+/// The slow low-power 9-track-like corner at 0.81 V.
+InverterTech slow_inverter();
+
+/// Inverter output current (mA) into the output node for given input and
+/// output voltages (both referenced to ground): pull-up minus pull-down.
+double inverter_out_current(const InverterTech& t, double vin, double vout);
+
+/// DC leakage power (µW) of an inverter held at a static input voltage.
+/// Captures the boundary effect: vin above/below the rail modulates the
+/// off-device's sub-threshold current exponentially.
+double inverter_leakage_uw(const InverterTech& t, double vin_static);
+
+}  // namespace m3d::ckt

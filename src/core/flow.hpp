@@ -1,0 +1,90 @@
+#pragma once
+/// \file flow.hpp
+/// \brief The five implementation flows of the paper (Fig. 1) and the
+///        Hetero-Pin-3D methodology of §III/§IV-A2.
+///
+/// Configurations:
+///  * TwoD9T / TwoD12T   — classic 2-D RTL-to-GDS in one library;
+///  * ThreeD9T / ThreeD12T — homogeneous M3D via the pseudo-3-D recipe:
+///    place at the folded (half) footprint, bin-based FM min-cut
+///    tier partitioning, per-tier legalization, 3-D CTS;
+///  * Hetero3D — 12-track bottom + 9-track top. The pseudo-3-D stage runs
+///    entirely in the 12-track technology (only it exists pre-partition),
+///    then timing-based partitioning pins the critical 20–30 % of cell
+///    area to the fast bottom tier and bin-FM splits the rest; mapping
+///    half the cell area onto 25 %-smaller 9-track rows shrinks total cell
+///    area ~12.5 %, and the footprint is rescaled to hold utilization;
+///    a COVER-cell unified 3-D clock tree and the Algorithm-1
+///    repartitioning ECO close timing.
+///
+/// The three heterogeneous enhancements can be disabled individually to
+/// reproduce the Pin-3D baseline of Table V and the ablation benches.
+
+#include <string>
+
+#include "core/metrics.hpp"
+#include "cts/cts.hpp"
+#include "netlist/netlist.hpp"
+#include "opt/opt.hpp"
+#include "part/repartition.hpp"
+#include "part/timing_partition.hpp"
+#include "place/place.hpp"
+
+namespace m3d::core {
+
+/// The five technology/design configurations of Fig. 1.
+enum class Config { TwoD9T, TwoD12T, ThreeD9T, ThreeD12T, Hetero3D };
+
+/// Short label, e.g. "2D-12T", "Hetero-3D".
+const char* config_name(Config c);
+
+/// Is this a two-tier configuration?
+bool config_is_3d(Config c);
+
+/// Flow knobs. The defaults implement the full heterogeneous methodology.
+struct FlowOptions {
+  double clock_period_ns = 0.8;
+  double utilization = 0.65;
+  place::PlaceOptions place;
+  opt::OptOptions opt;
+  part::TimingPartitionOptions timing_part;
+  part::FmOptions fm;
+  part::RepartitionOptions repart;
+  cts::CtsOptions cts;
+
+  // Heterogeneous-flow enhancements (Table V / ablations). Only consulted
+  // by the Hetero3D configuration.
+  bool enable_timing_partition = true;
+  bool enable_repartition = true;
+  bool enable_cover_cts = true;
+
+  /// Use the path-based criticality baseline of [14] instead of the
+  /// cell-based sweep (criticality ablation).
+  bool path_based_criticality = false;
+  int path_based_paths = 100;
+};
+
+/// Everything a flow run produces.
+struct FlowResult {
+  netlist::Design design;
+  DesignMetrics metrics;
+  part::TimingPartitionResult timing_part;
+  part::RepartitionResult repart;
+  opt::OptResult opt;
+
+  FlowResult(netlist::Design d) : design(std::move(d)) {}
+};
+
+/// Run the complete RTL-to-"GDS" flow for one configuration.
+FlowResult run_flow(const netlist::Netlist& nl, Config cfg,
+                    const FlowOptions& opt = {});
+
+/// Binary-search the maximum achievable frequency for a configuration:
+/// highest frequency whose flow lands with |WNS| below `wns_budget_frac`
+/// of the period (the paper's "timing met" rule: WNS ≲ 5–7 % of period).
+/// Returns GHz.
+double find_max_frequency(const netlist::Netlist& nl, Config cfg,
+                          FlowOptions opt, double lo_ghz, double hi_ghz,
+                          int iters = 5, double wns_budget_frac = 0.05);
+
+}  // namespace m3d::core

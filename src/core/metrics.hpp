@@ -1,0 +1,96 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Full-chip PPAC metrics (the rows of Tables VI/VII) and the
+///        deep-dive analyses of Table VIII.
+
+#include <string>
+#include <vector>
+
+#include "cts/cts.hpp"
+#include "netlist/design.hpp"
+#include "power/power.hpp"
+#include "route/route.hpp"
+#include "sta/sta.hpp"
+
+namespace m3d::core {
+
+/// Memory-interconnect analysis (Table VIII top block): RMS latency and
+/// switching power of the nets entering / leaving SRAM macros.
+struct MemoryNetReport {
+  double input_latency_ps = 0.0;   ///< RMS wire latency into macro inputs
+  double output_latency_ps = 0.0;  ///< RMS wire latency out of macro outputs
+  double switching_uw = 0.0;       ///< RMS per-net switching power
+  int input_nets = 0;
+  int output_nets = 0;
+};
+
+/// Everything the paper reports per implementation.
+struct DesignMetrics {
+  std::string netlist_name;
+  std::string config_name;
+
+  // Performance.
+  double frequency_ghz = 0.0;
+  double clock_period_ns = 0.0;
+  double wns_ns = 0.0;
+  double tns_ns = 0.0;
+  double effective_delay_ns = 0.0;
+
+  // Area.
+  double footprint_mm2 = 0.0;     ///< one tier's plan-view area
+  double silicon_area_mm2 = 0.0;  ///< footprint × tiers
+  double chip_width_um = 0.0;
+  double density_pct = 0.0;
+
+  // Wiring.
+  double wirelength_m = 0.0;
+  long long mivs = 0;
+  double cut_fraction = 0.0;      ///< share of signal nets crossing tiers
+
+  // Power.
+  double total_power_mw = 0.0;
+  double switching_mw = 0.0;
+  double internal_mw = 0.0;
+  double leakage_mw = 0.0;
+  double clock_power_mw = 0.0;
+
+  // Cost.
+  double die_cost_e6 = 0.0;     ///< die cost in 10⁻⁶ C′
+  double cost_per_cm2 = 0.0;    ///< 10⁻⁶ C′ per cm² of silicon
+  double pdp_pj = 0.0;
+  double ppc = 0.0;
+
+  // Size.
+  int std_cells = 0;
+  int macros = 0;
+
+  // Deep-dive (Table VIII).
+  cts::ClockTreeReport clock;
+  sta::CriticalPath critical_path;
+  MemoryNetReport memory_nets;
+  /// Average per-stage cell delay on each tier over the 100 worst paths
+  /// (the paper's ~19 ps (12T) vs ~45 ps (9T) contrast).
+  double avg_stage_delay_tier_ns[2] = {0.0, 0.0};
+  /// Mean clock skew between launch/capture over the 100 worst paths
+  /// (Table VIII "100 Path Avg. Skew").
+  double avg_path_skew_ns = 0.0;
+};
+
+/// Percent delta as Table VII defines it: (hetero − config)/config × 100.
+double pct_delta(double hetero, double config);
+
+/// Compute the memory-interconnect analysis for a routed, timed design.
+MemoryNetReport analyze_memory_nets(const netlist::Design& d,
+                                    const route::RoutingEstimate& routes,
+                                    const power::PowerReport& power);
+
+/// Assemble metrics from the final analyses of a flow run.
+DesignMetrics collect_metrics(const netlist::Design& d,
+                              const route::RoutingEstimate& routes,
+                              const sta::StaResult& timing,
+                              const power::PowerReport& power,
+                              const cts::ClockTreeReport& clock,
+                              const std::string& netlist_name,
+                              const std::string& config_name);
+
+}  // namespace m3d::core

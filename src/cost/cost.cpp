@@ -1,0 +1,72 @@
+#include "cost/cost.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace m3d::cost {
+
+double CostModel::wafer_area_mm2() const {
+  const double r = wafer_diameter_mm / 2.0;
+  return M_PI * r * r;
+}
+
+double CostModel::dies_per_wafer(double die_area_mm2) const {
+  M3D_CHECK(die_area_mm2 > 0.0);
+  const double aw = wafer_area_mm2();
+  // Equation (1): A_w/A_d − sqrt(2π·A_w/A_d) — the subtraction models
+  // partial dies lost at the wafer edge.
+  return aw / die_area_mm2 - std::sqrt(2.0 * M_PI * aw / die_area_mm2);
+}
+
+double CostModel::die_yield_2d(double die_area_mm2) const {
+  const double t = 1.0 + die_area_mm2 * defect_density_mm2 / 2.0;
+  return wafer_yield / (t * t);
+}
+
+double CostModel::die_yield_3d(double die_area_mm2) const {
+  return yield_degradation_3d * die_yield_2d(die_area_mm2);
+}
+
+double CostModel::good_dies(double die_area_mm2, bool three_d) const {
+  const double y =
+      three_d ? die_yield_3d(die_area_mm2) : die_yield_2d(die_area_mm2);
+  return dies_per_wafer(die_area_mm2) * y;
+}
+
+double CostModel::die_cost(double die_area_mm2, bool three_d) const {
+  const double wafer = three_d ? wafer_cost_3d() : wafer_cost_2d();
+  return wafer / good_dies(die_area_mm2, three_d);
+}
+
+double CostModel::die_cost_as_published(double die_area_mm2,
+                                        bool three_d) const {
+  const double y =
+      three_d ? die_yield_3d(die_area_mm2) : die_yield_2d(die_area_mm2);
+  return die_cost(die_area_mm2, three_d) / y;
+}
+
+double pdp_pj(double power_mw, double effective_delay_ns) {
+  // mW × ns = pJ.
+  return power_mw * effective_delay_ns;
+}
+
+double effective_delay_ns(double period_ns, double wns_ns) {
+  return period_ns - wns_ns;
+}
+
+double ppc(double freq_ghz, double power_mw, double die_cost_cprime) {
+  M3D_CHECK(power_mw > 0.0 && die_cost_cprime > 0.0);
+  // Table VI evaluates PPC with power in watts and die cost in 10⁻⁶ C′
+  // (e.g. CPU: 1.2 / (0.188 × 6.26) = 1.02).
+  const double power_w = power_mw / 1000.0;
+  const double cost_e6 = die_cost_cprime * 1e6;
+  return freq_ghz / (power_w * cost_e6);
+}
+
+double cost_per_cm2(double die_cost_cprime, double silicon_area_mm2) {
+  M3D_CHECK(silicon_area_mm2 > 0.0);
+  return die_cost_cprime * 1e6 / (silicon_area_mm2 / 100.0);
+}
+
+}  // namespace m3d::cost

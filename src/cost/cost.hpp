@@ -1,0 +1,73 @@
+#pragma once
+/// \file cost.hpp
+/// \brief The paper's cost model (Table IV, after Ku et al. ICCAD'16) and
+///        the derived PPAC metrics (PDP, PPC, cost/cm²).
+///
+/// All die costs are expressed in units of C′, the baseline wafer cost
+/// (FEOL + 8 metals); the paper reports die costs in 10⁻⁶·C′.
+///
+/// Note on equation (5): the published formula reads
+///   Die Cost = C / (N_GD × Y)
+/// but reproducing Table VI's numbers requires Die Cost = C / N_GD
+/// (the standard cost-per-good-die), which is also what Ku et al. use.
+/// We implement the standard form and flag the typo in EXPERIMENTS.md;
+/// `die_cost_as_published()` evaluates the literal formula for comparison.
+
+namespace m3d::cost {
+
+/// Table IV assumptions. Defaults are the paper's values.
+struct CostModel {
+  double feol_fraction = 0.30;       ///< FEOL share of C′
+  double beol_fraction_6m = 0.66;    ///< six-metal BEOL share of C′
+  double integration_3d = 0.05;      ///< α: 3-D integration wafer penalty
+  double wafer_diameter_mm = 300.0;
+  double defect_density_mm2 = 0.2;   ///< D_w
+  double wafer_yield = 0.95;         ///< κ
+  double yield_degradation_3d = 0.95;  ///< β
+
+  /// 2-D wafer cost: FEOL + 6 metals = 0.96 C′.
+  double wafer_cost_2d() const { return feol_fraction + beol_fraction_6m; }
+
+  /// 3-D wafer cost: two FEOLs + two 6-metal stacks + α = 1.97 C′.
+  double wafer_cost_3d() const {
+    return 2.0 * (feol_fraction + beol_fraction_6m) + integration_3d;
+  }
+
+  /// Usable wafer area in mm².
+  double wafer_area_mm2() const;
+
+  /// Equation (1): dies per wafer with the edge-loss correction term.
+  double dies_per_wafer(double die_area_mm2) const;
+
+  /// Equation (2): 2-D die yield.
+  double die_yield_2d(double die_area_mm2) const;
+
+  /// Equation (3): 3-D die yield (extra β degradation).
+  double die_yield_3d(double die_area_mm2) const;
+
+  /// Equation (4): good dies per wafer.
+  double good_dies(double die_area_mm2, bool three_d) const;
+
+  /// Cost per good die in units of C′ (standard form; see file comment).
+  double die_cost(double die_area_mm2, bool three_d) const;
+
+  /// Equation (5) exactly as printed (divides by yield twice).
+  double die_cost_as_published(double die_area_mm2, bool three_d) const;
+};
+
+/// Power-delay product in pJ: total power (mW) × effective delay (ns).
+/// Effective delay = clock period − worst slack, per the paper.
+double pdp_pj(double power_mw, double effective_delay_ns);
+
+/// Effective delay (ns) from period and WNS.
+double effective_delay_ns(double period_ns, double wns_ns);
+
+/// Performance per cost, in the paper's units GHz / (mW · 10⁻⁶C′):
+/// matches Table VI when power is converted to watts internally.
+double ppc(double freq_ghz, double power_mw, double die_cost_cprime);
+
+/// Die cost divided by total silicon area, normalized to cost per cm².
+/// Units: 10⁻⁶C′ per cm² when die_cost is in C′ and area in mm².
+double cost_per_cm2(double die_cost_cprime, double silicon_area_mm2);
+
+}  // namespace m3d::cost

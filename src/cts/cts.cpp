@@ -1,0 +1,316 @@
+#include "cts/cts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "route/route.hpp"
+#include "util/geom.hpp"
+#include "util/log.hpp"
+
+namespace m3d::cts {
+
+using netlist::kBottomTier;
+using netlist::kInvalidId;
+using netlist::kTopTier;
+using netlist::Netlist;
+using netlist::PinId;
+using tech::Transition;
+using util::Point;
+
+namespace {
+
+constexpr double kClockSlew = 0.030;  // assumed edge rate inside the tree
+
+struct Sink {
+  PinId pin;
+  Point pos;
+  int tier;
+};
+
+/// Recursive geometric bisection builder.
+class TreeBuilder {
+ public:
+  TreeBuilder(Design& d, const CtsOptions& opt, int counter_start)
+      : d_(d), opt_(opt), counter_(counter_start) {}
+
+  /// Build a subtree over `sinks`; returns the top buffer cell. The caller
+  /// connects that buffer's input.
+  CellId build(std::vector<Sink> sinks) {
+    M3D_CHECK(!sinks.empty());
+    if (static_cast<int>(sinks.size()) <=
+        opt_.max_sinks_per_buffer) {
+      return make_buffer(sinks, opt_.leaf_drive, /*leaf=*/true);
+    }
+    // Split at the median of the longer bounding-box dimension.
+    util::BBox bb;
+    for (const auto& s : sinks) bb.add(s.pos);
+    const bool split_x = bb.rect().width() >= bb.rect().height();
+    std::sort(sinks.begin(), sinks.end(), [&](const Sink& a, const Sink& b) {
+      return split_x ? a.pos.x < b.pos.x : a.pos.y < b.pos.y;
+    });
+    const std::size_t mid = sinks.size() / 2;
+    std::vector<Sink> left(sinks.begin(),
+                           sinks.begin() + static_cast<long>(mid));
+    std::vector<Sink> right(sinks.begin() + static_cast<long>(mid),
+                            sinks.end());
+    const CellId lb = build(std::move(left));
+    const CellId rb = build(std::move(right));
+    std::vector<Sink> children = {
+        {d_.nl().input_pin(lb, 0), d_.pos(lb), d_.tier(lb)},
+        {d_.nl().input_pin(rb, 0), d_.pos(rb), d_.tier(rb)}};
+    return make_buffer(children, opt_.trunk_drive, /*leaf=*/false);
+  }
+
+ private:
+  CellId make_buffer(const std::vector<Sink>& sinks, int drive, bool leaf) {
+    Netlist& nl = d_.nl();
+    const CellId buf = nl.add_comb("ctsbuf_" + std::to_string(counter_++),
+                                   tech::CellFunc::ClkBuf, drive);
+    const NetId net =
+        nl.add_net("ctsnet_" + std::to_string(counter_), /*is_clock=*/true);
+    nl.connect(net, nl.output_pin(buf));
+    Point centroid{0.0, 0.0};
+    int top_votes = 0;
+    for (const auto& s : sinks) {
+      nl.connect(net, s.pin);
+      centroid = centroid + s.pos;
+      if (s.tier == kTopTier) ++top_votes;
+    }
+    centroid = centroid * (1.0 / static_cast<double>(sinks.size()));
+
+    int tier = kBottomTier;
+    if (d_.num_tiers() == 2) {
+      if (leaf) {
+        // Leaf buffers follow their sinks.
+        tier = 2 * top_votes >= static_cast<int>(sinks.size()) ? kTopTier
+                                                               : kBottomTier;
+      } else if (opt_.prefer_low_power_trunk) {
+        // Heterogeneous trunk preference: the slow/low-power top tier
+        // carries the distribution (paper: >75 % of the clock on top).
+        tier = kTopTier;
+      } else {
+        tier = 2 * top_votes >= static_cast<int>(sinks.size()) ? kTopTier
+                                                               : kBottomTier;
+      }
+    }
+    d_.sync(tier);
+    d_.set_tier(buf, tier);
+    d_.set_pos(buf, d_.floorplan().clamp(centroid));
+    return buf;
+  }
+
+  Design& d_;
+  const CtsOptions& opt_;
+  int counter_;
+};
+
+NetId find_clock_root(const Design& d) {
+  if (d.clock_net() != kInvalidId) return d.clock_net();
+  const auto& nl = d.nl();
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (!net.is_clock || net.driver == kInvalidId) continue;
+    if (nl.cell(nl.pin(net.driver).cell).is_port()) return n;
+  }
+  return kInvalidId;
+}
+
+bool is_clock_buffer_cell(const Design& d, CellId c) {
+  const auto& cc = d.nl().cell(c);
+  if (!cc.is_comb() || cc.func != tech::CellFunc::ClkBuf) return false;
+  const auto out = d.nl().output_pins(c);
+  return !out.empty() && d.nl().pin(out[0]).net != kInvalidId &&
+         d.nl().net(d.nl().pin(out[0]).net).is_clock;
+}
+
+}  // namespace
+
+ClockTreeReport build_clock_tree(Design& d, const CtsOptions& opt) {
+  Netlist& nl = d.nl();
+  const NetId root = find_clock_root(d);
+  M3D_CHECK_MSG(root != kInvalidId, "design has no driven clock net");
+  d.set_clock_net(root);
+
+  // Collect and detach every flop/macro clock pin.
+  std::vector<Sink> sinks;
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const auto& cc = nl.cell(c);
+    if (!cc.is_sequential() && !cc.is_macro()) continue;
+    const PinId ck = nl.clock_pin(c);
+    if (ck == kInvalidId) continue;
+    if (nl.pin(ck).net != kInvalidId) nl.disconnect(ck);
+    sinks.push_back({ck, d.pos(c), d.tier(c)});
+  }
+  M3D_CHECK_MSG(!sinks.empty(), "no clock sinks");
+
+  TreeBuilder builder(d, opt, 0);
+  if (d.num_tiers() == 2 && opt.mode == Mode3D::PerDie) {
+    // Baseline: independent tree per die, both roots fed from the source.
+    for (int tier : {kBottomTier, kTopTier}) {
+      std::vector<Sink> tier_sinks;
+      for (const auto& s : sinks)
+        if (s.tier == tier) tier_sinks.push_back(s);
+      if (tier_sinks.empty()) continue;
+      const CellId top = builder.build(std::move(tier_sinks));
+      nl.connect(root, nl.input_pin(top, 0));
+      d.set_tier(top, tier);
+    }
+  } else {
+    const CellId top = builder.build(std::move(sinks));
+    nl.connect(root, nl.input_pin(top, 0));
+  }
+  if (opt.balance_skew) balance_clock_tree(d, opt);
+  return annotate_clock_latencies(d);
+}
+
+int balance_clock_tree(Design& d, const CtsOptions& opt) {
+  Netlist& nl = d.nl();
+  annotate_clock_latencies(d);
+
+  // Leaf buffers and the mean latency of their sequential sinks.
+  struct Leaf {
+    CellId buf;
+    double latency;
+  };
+  std::vector<Leaf> leaves;
+  double max_latency = 0.0;
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    if (!is_clock_buffer_cell(d, c)) continue;
+    const NetId onet = nl.pin(nl.output_pins(c)[0]).net;
+    double sum = 0.0;
+    int count = 0;
+    for (PinId s : nl.sinks(onet)) {
+      const auto& sc = nl.cell(nl.pin(s).cell);
+      if (sc.is_sequential() || sc.is_macro()) {
+        sum += d.clock_latency(nl.pin(s).cell);
+        ++count;
+      }
+    }
+    if (count == 0) continue;  // internal buffer
+    const double lat = sum / count;
+    leaves.push_back({c, lat});
+    max_latency = std::max(max_latency, lat);
+  }
+  if (leaves.size() < 2) return 0;
+
+  int added = 0;
+  int counter = 0;
+  for (const auto& leaf : leaves) {
+    const int tier = d.tier(leaf.buf);
+    const tech::TechLib& lib = d.lib(tier);
+    const tech::LibCell* pad = lib.find(tech::CellFunc::ClkBuf, 1);
+    M3D_CHECK(pad != nullptr);
+    const auto& arc = pad->arc(0);
+    const double pad_delay =
+        0.5 *
+        (arc.delay[static_cast<int>(Transition::Rise)].lookup(
+             kClockSlew, pad->input_cap_ff) +
+         arc.delay[static_cast<int>(Transition::Fall)].lookup(
+             kClockSlew, pad->input_cap_ff));
+    const double deficit = max_latency - leaf.latency;
+    int k = static_cast<int>(deficit / pad_delay);
+    k = std::min(k, opt.max_pad_buffers);
+    if (k <= 0) continue;
+
+    // Splice a pad chain between the parent net and the leaf's input.
+    const PinId in = nl.input_pin(leaf.buf, 0);
+    const NetId parent = nl.pin(in).net;
+    if (parent == kInvalidId) continue;
+    nl.disconnect(in);
+    NetId cur = parent;
+    for (int i = 0; i < k; ++i) {
+      const CellId pb = nl.add_comb(
+          "ctspad_" + std::to_string(leaf.buf) + "_" +
+              std::to_string(counter++),
+          tech::CellFunc::ClkBuf, 1);
+      nl.connect(cur, nl.input_pin(pb, 0));
+      const NetId next = nl.add_net(
+          "ctspadnet_" + std::to_string(leaf.buf) + "_" +
+              std::to_string(i),
+          /*is_clock=*/true);
+      nl.connect(next, nl.output_pin(pb));
+      d.sync(tier);
+      d.set_tier(pb, tier);
+      d.set_pos(pb, d.pos(leaf.buf));
+      cur = next;
+      ++added;
+    }
+    nl.connect(cur, in);
+  }
+  util::log_info("CTS balance: ", added, " pad buffers inserted");
+  return added;
+}
+
+ClockTreeReport annotate_clock_latencies(Design& d) {
+  const Netlist& nl = d.nl();
+  ClockTreeReport rep;
+  const NetId root = find_clock_root(d);
+  M3D_CHECK(root != kInvalidId);
+
+  // Pre-compute per-clock-net routed load.
+  const auto& wire = d.lib(kBottomTier).wire();
+  const auto& miv = d.lib(kBottomTier).miv();
+
+  // Iterative DFS over (net, arrival-at-driver-output).
+  std::vector<std::pair<NetId, double>> stack{{root, 0.0}};
+  bool any_sink = false;
+  rep.min_latency_ns = std::numeric_limits<double>::max();
+  while (!stack.empty()) {
+    const auto [net_id, arr] = stack.back();
+    stack.pop_back();
+    const auto& net = nl.net(net_id);
+    if (net.driver == kInvalidId) continue;
+    const auto nr = route::route_net(d, net_id);
+    rep.wirelength_um += nr.length_um;
+    const auto sinks = nl.sinks(net_id);
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const PinId s = sinks[i];
+      const double len =
+          i < nr.sink_path_um.size() ? nr.sink_path_um[i] : 0.0;
+      double wire_delay = wire.elmore_ns(len, d.pin_cap_ff(s));
+      if (i < nr.sink_crosses_tier.size() && nr.sink_crosses_tier[i])
+        wire_delay += miv.res_kohm * d.pin_cap_ff(s) * tech::kRCtoNs;
+      const double at_sink = arr + wire_delay;
+      const CellId sc = nl.pin(s).cell;
+      const auto& scc = nl.cell(sc);
+      if (scc.is_sequential() || scc.is_macro()) {
+        d.set_clock_latency(sc, at_sink);
+        rep.max_latency_ns = std::max(rep.max_latency_ns, at_sink);
+        rep.min_latency_ns = std::min(rep.min_latency_ns, at_sink);
+        ++rep.sink_count;
+        any_sink = true;
+      } else if (scc.is_comb()) {
+        // A clock buffer: add its insertion delay and recurse.
+        const tech::LibCell* lc = d.lib_cell(sc);
+        const auto outs = nl.output_pins(sc);
+        if (outs.empty() || nl.pin(outs[0]).net == kInvalidId) continue;
+        const NetId onet = nl.pin(outs[0]).net;
+        double load = route::route_net(d, onet).wire_cap_ff;
+        for (PinId q : nl.sinks(onet)) load += d.pin_cap_ff(q);
+        const auto& arc = lc->arc(0);
+        const double dly =
+            0.5 * (arc.delay[static_cast<int>(Transition::Rise)].lookup(
+                       kClockSlew, load) +
+                   arc.delay[static_cast<int>(Transition::Fall)].lookup(
+                       kClockSlew, load));
+        stack.push_back({onet, at_sink + dly});
+      }
+    }
+  }
+  if (!any_sink) rep.min_latency_ns = 0.0;
+  rep.max_skew_ns = rep.max_latency_ns - rep.min_latency_ns;
+
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    if (!is_clock_buffer_cell(d, c)) continue;
+    ++rep.buffer_count;
+    ++rep.buffer_count_tier[d.tier(c) == kTopTier ? 1 : 0];
+    rep.buffer_area_um2 += d.cell_area(c);
+  }
+  util::log_info("CTS: ", rep.buffer_count, " buffers (",
+                 rep.buffer_count_tier[0], " bottom / ",
+                 rep.buffer_count_tier[1], " top), latency ",
+                 rep.max_latency_ns, " ns, skew ", rep.max_skew_ns, " ns");
+  return rep;
+}
+
+}  // namespace m3d::cts

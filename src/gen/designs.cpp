@@ -1,0 +1,300 @@
+#include "gen/designs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/fabric.hpp"
+#include "util/check.hpp"
+
+namespace m3d::gen {
+
+using netlist::Netlist;
+using tech::CellFunc;
+
+namespace {
+
+int scaled(double base, double scale, int min_val = 1) {
+  return std::max(min_val, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+Netlist make_aes(const GenOptions& opt) {
+  LogicFabric f("aes", opt.seed);
+  // 16 byte-lanes of 8 bits; every lane has the *same* S-box-like structure
+  // so path delays are closely matched across bits — the symmetry that, per
+  // the paper, denies the timing partitioner useful criticality separation.
+  const int bytes = 16;
+  const int bits = 8;
+  const int rounds = scaled(5, opt.scale, 1);
+  const int sbox_width = scaled(22, std::sqrt(opt.scale), 6);
+
+  // Input state registers fed by ports.
+  std::vector<std::vector<NetId>> state(static_cast<std::size_t>(bytes));
+  const BlockId b_io = f.nl().add_block("io");
+  for (int by = 0; by < bytes; ++by) {
+    for (int bi = 0; bi < bits; ++bi) {
+      const NetId in =
+          f.input("pt_" + std::to_string(by) + "_" + std::to_string(bi));
+      state[static_cast<std::size_t>(by)].push_back(f.dff(in, b_io));
+    }
+  }
+  // Round keys as registered inputs.
+  std::vector<NetId> key;
+  for (int i = 0; i < bits * 2; ++i)
+    key.push_back(f.dff(f.input("key_" + std::to_string(i)), b_io));
+
+  for (int r = 0; r < rounds; ++r) {
+    const BlockId blk = f.nl().add_block("round" + std::to_string(r));
+    std::vector<std::vector<NetId>> next(static_cast<std::size_t>(bytes));
+    for (int by = 0; by < bytes; ++by) {
+      auto& lane = state[static_cast<std::size_t>(by)];
+      // SubBytes: a local nonlinear cloud over the byte. The cloud reads
+      // from an accumulating pool (skip connections), so *within* a lane
+      // the gate depths are distributed — as in a real S-box, where path
+      // depths span 4–25 gates — while every lane keeps the identical
+      // structure that makes AES symmetric *across* lanes.
+      std::vector<NetId> pool = lane;
+      std::vector<NetId> s = f.random_layer(pool, sbox_width, 0.2, blk);
+      pool.insert(pool.end(), s.begin(), s.end());
+      s = f.random_layer(pool, sbox_width, 0.2, blk);
+      pool.insert(pool.end(), s.begin(), s.end());
+      s = f.random_layer(pool, bits, 0.2, blk);
+      // AddRoundKey: XOR with the key bits.
+      for (int bi = 0; bi < bits; ++bi)
+        s[static_cast<std::size_t>(bi)] = f.gate(
+            CellFunc::Xor2,
+            {s[static_cast<std::size_t>(bi)],
+             key[static_cast<std::size_t>((by + bi) % (bits * 2))]},
+            blk);
+      next[static_cast<std::size_t>(by)] = std::move(s);
+    }
+    // MixColumns: XOR across the 4 bytes of each column.
+    for (int col = 0; col < 4; ++col) {
+      for (int row = 0; row < 4; ++row) {
+        const int by = col * 4 + row;
+        const int other = col * 4 + (row + 1) % 4;
+        for (int bi = 0; bi < bits; ++bi) {
+          auto& a = next[static_cast<std::size_t>(by)]
+                        [static_cast<std::size_t>(bi)];
+          const NetId b = next[static_cast<std::size_t>(other)]
+                              [static_cast<std::size_t>(bi)];
+          a = f.gate(CellFunc::Xor2, {a, b}, blk);
+        }
+      }
+    }
+    // Round register.
+    for (int by = 0; by < bytes; ++by)
+      state[static_cast<std::size_t>(by)] =
+          f.dff_bank(next[static_cast<std::size_t>(by)], blk);
+  }
+
+  for (int by = 0; by < bytes; ++by)
+    for (int bi = 0; bi < bits; ++bi)
+      f.output("ct_" + std::to_string(by) + "_" + std::to_string(bi),
+               state[static_cast<std::size_t>(by)][static_cast<std::size_t>(
+                   bi)]);
+
+  f.randomize_activities(0.10, 0.35);  // crypto state toggles a lot
+  Netlist nl = std::move(f).take();
+  terminate_dangling(nl);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_ldpc(const GenOptions& opt) {
+  LogicFabric f("ldpc", opt.seed);
+  // Bipartite decoder iteration: variable nodes hold state; check nodes
+  // XOR random subsets (the parity-check matrix's global permutation is
+  // what makes LDPC wiring global and the design wire-dominant).
+  const int vars = scaled(768, opt.scale, 32);
+  const int checks = vars / 2;
+  const int check_degree = 6;
+  const int var_degree = 3;
+  const BlockId b_var = f.nl().add_block("var");
+  const BlockId b_chk = f.nl().add_block("check");
+
+  std::vector<NetId> v;
+  v.reserve(static_cast<std::size_t>(vars));
+  for (int i = 0; i < vars; ++i)
+    v.push_back(f.dff(f.input("llr_" + std::to_string(i)), b_var));
+
+  // Check nodes: XOR trees over globally random variable subsets.
+  std::vector<NetId> c;
+  c.reserve(static_cast<std::size_t>(checks));
+  for (int i = 0; i < checks; ++i) {
+    std::vector<NetId> ins;
+    for (int k = 0; k < check_degree; ++k)
+      ins.push_back(
+          v[static_cast<std::size_t>(f.rng().uniform_int(0, vars - 1))]);
+    c.push_back(f.xor_tree(ins, b_chk));
+  }
+
+  // Variable update: combine a few random check messages, re-register.
+  std::vector<NetId> upd;
+  upd.reserve(static_cast<std::size_t>(vars));
+  for (int i = 0; i < vars; ++i) {
+    NetId acc = v[static_cast<std::size_t>(i)];
+    for (int k = 0; k < var_degree; ++k) {
+      const NetId msg =
+          c[static_cast<std::size_t>(f.rng().uniform_int(0, checks - 1))];
+      acc = f.gate(CellFunc::Xor2, {acc, msg}, b_var);
+    }
+    upd.push_back(f.dff(acc, b_var));
+  }
+  // Hard-decision outputs on a sample of variables.
+  for (int i = 0; i < vars; i += 8)
+    f.output("hd_" + std::to_string(i), upd[static_cast<std::size_t>(i)]);
+
+  f.randomize_activities(0.15, 0.40);  // message-passing toggles heavily
+  Netlist nl = std::move(f).take();
+  terminate_dangling(nl);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_netcard(const GenOptions& opt) {
+  LogicFabric f("netcard", opt.seed);
+  // Wide, mostly-local pipeline: header parsing / checksum / buffering
+  // planes. Big cell count, simple logic, local Rent-style wiring with a
+  // sprinkle of global control. Several local layers per stage keep the
+  // pipeline cell-limited enough that the slow library cannot ride the
+  // fast library's frequency target.
+  const int width = scaled(1000, opt.scale, 48);
+  const int stages = 7;
+  std::vector<NetId> bus;
+  for (int i = 0; i < std::min(width, 256); ++i)
+    bus.push_back(f.input("rx_" + std::to_string(i)));
+  // Widen to the datapath width with a local layer.
+  const BlockId b_in = f.nl().add_block("ingress");
+  bus = f.random_layer(bus, width, 0.05, b_in);
+  bus = f.dff_bank(bus, b_in);
+
+  for (int s = 0; s < stages; ++s) {
+    const BlockId blk = f.nl().add_block("stage" + std::to_string(s));
+    // Five local layers; ~3 % of sinks reach across the datapath (global
+    // control signals: valid/ready, drop, checksum fold).
+    auto l = f.random_layer(bus, width, 0.015, blk);
+    for (int k = 0; k < 4; ++k) l = f.random_layer(l, width, 0.015, blk);
+    auto global_taps =
+        f.random_layer(bus, std::max(4, width / 32), 1.0, blk);
+    for (std::size_t i = 0; i < global_taps.size(); ++i)
+      l[(i * 31) % l.size()] = f.gate(
+          CellFunc::And2, {l[(i * 31) % l.size()], global_taps[i]}, blk);
+    bus = f.dff_bank(l, blk);
+  }
+  for (int i = 0; i < std::min(width, 256); ++i)
+    f.output("tx_" + std::to_string(i), bus[static_cast<std::size_t>(i)]);
+
+  f.randomize_activities(0.05, 0.25);
+  Netlist nl = std::move(f).take();
+  terminate_dangling(nl);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_cpu(const GenOptions& opt) {
+  LogicFabric f("cpu", opt.seed);
+  // Multi-block core: the blocks differ strongly in logic depth, giving
+  // the diverse timing criticality the heterogeneous flow feeds on. The
+  // cache SRAMs occupy a large share of the floorplan (paper: ~40 %).
+  const int w = scaled(256, opt.scale, 24);  // datapath width
+
+  const BlockId b_ifu = f.nl().add_block("ifu");
+  const BlockId b_dec = f.nl().add_block("decode");
+  const BlockId b_alu = f.nl().add_block("alu");
+  const BlockId b_mul = f.nl().add_block("mul");
+  const BlockId b_fpu = f.nl().add_block("fpu");
+  const BlockId b_lsu = f.nl().add_block("lsu");
+  const BlockId b_rf = f.nl().add_block("regfile");
+
+  // Deep blocks read from a sliding window over the last few layers (skip
+  // connections), so path depth inside a block is *distributed* — most
+  // paths are shallow, a thin spine reaches full depth. This is what real
+  // synthesized logic looks like, and it is precisely the criticality
+  // diversity the heterogeneous partitioner feeds on.
+  auto deep_block = [&](std::vector<NetId> in, int depth, double locality,
+                        BlockId blk) {
+    const std::size_t window = 4 * in.size();
+    std::vector<NetId> pool = in;
+    std::vector<NetId> layer = in;
+    for (int i = 0; i < depth; ++i) {
+      layer = f.random_layer(pool, static_cast<int>(in.size()), locality,
+                             blk);
+      pool.insert(pool.end(), layer.begin(), layer.end());
+      if (pool.size() > window)
+        pool.erase(pool.begin(),
+                   pool.begin() + static_cast<long>(pool.size() - window));
+    }
+    return layer;
+  };
+
+  // Fetch: pc logic + icache access.
+  std::vector<NetId> pc;
+  for (int i = 0; i < w / 8; ++i)
+    pc.push_back(f.dff(f.input("irq_" + std::to_string(i)), b_ifu));
+  auto pc_next = deep_block(pc, 3, 0.1, b_ifu);
+  auto ic0 = f.sram("icache0", "SRAM_1KX32", 44, 32, pc_next, b_ifu);
+  auto ic1 = f.sram("icache1", "SRAM_1KX32", 44, 32, pc_next, b_ifu);
+  std::vector<NetId> fetch = ic0;
+  fetch.insert(fetch.end(), ic1.begin(), ic1.end());
+  fetch = f.dff_bank(f.random_layer(fetch, w / 2, 0.1, b_ifu), b_ifu);
+
+  // Decode: wide, shallow, fanout-heavy logic.
+  auto dec = deep_block(fetch, 4, 0.15, b_dec);
+  dec = f.random_layer(dec, w * 2, 0.1, b_dec);
+  dec = f.dff_bank(dec, b_dec);
+
+  // Register file: FF-dense, shallow mux read.
+  auto rf_read = f.random_layer(dec, w, 0.08, b_rf);
+  auto rf = f.dff_bank(rf_read, b_rf);
+
+  // ALU: moderate depth.
+  auto alu = deep_block(rf, 7, 0.08, b_alu);
+
+  // Multiplier: the deep, physically-clustered critical block — narrow,
+  // so the timing-critical population stays a modest slice of total area
+  // (the paper pins 20–30 % of cell area to the fast tier).
+  auto mul_in = f.random_layer(rf, w / 4, 0.04, b_mul);
+  auto mul = deep_block(mul_in, 22, 0.03, b_mul);
+
+  // FPU-ish: deep but narrower still.
+  auto fpu_in = f.random_layer(rf, w / 8, 0.05, b_fpu);
+  auto fpu = deep_block(fpu_in, 16, 0.05, b_fpu);
+
+  // LSU: address generation + dcache.
+  auto agu = deep_block(rf, 4, 0.1, b_lsu);
+  auto dc0 = f.sram("dcache0", "SRAM_1KX32", 44, 32, agu, b_lsu);
+  auto dc1 = f.sram("dcache1", "SRAM_256X32", 40, 32, agu, b_lsu);
+  std::vector<NetId> lsu = dc0;
+  lsu.insert(lsu.end(), dc1.begin(), dc1.end());
+  lsu = f.random_layer(lsu, w / 4, 0.1, b_lsu);
+
+  // Writeback: merge result buses into the architectural registers.
+  std::vector<NetId> wb = alu;
+  wb.insert(wb.end(), mul.begin(), mul.end());
+  wb.insert(wb.end(), fpu.begin(), fpu.end());
+  wb.insert(wb.end(), lsu.begin(), lsu.end());
+  auto merged = f.random_layer(wb, w, 0.2, b_rf);
+  auto arch = f.dff_bank(merged, b_rf);
+
+  for (int i = 0; i < std::min<int>(64, static_cast<int>(arch.size())); ++i)
+    f.output("dbg_" + std::to_string(i), arch[static_cast<std::size_t>(i)]);
+
+  f.randomize_activities(0.05, 0.30);
+  Netlist nl = std::move(f).take();
+  terminate_dangling(nl);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_design(const std::string& name, const GenOptions& opt) {
+  if (name == "aes") return make_aes(opt);
+  if (name == "ldpc") return make_ldpc(opt);
+  if (name == "netcard") return make_netcard(opt);
+  if (name == "cpu") return make_cpu(opt);
+  M3D_CHECK_MSG(false, "unknown design " << name);
+  return Netlist("?");
+}
+
+}  // namespace m3d::gen

@@ -1,0 +1,53 @@
+#pragma once
+/// \file designs.hpp
+/// \brief The four evaluation netlists of the paper, as parameterized
+///        structural generators.
+///
+/// | Netlist | Paper character                         | Signature here |
+/// |---------|-----------------------------------------|----------------|
+/// | AES     | cell-dominant, 128 symmetric bit lanes, | 16 byte-lanes × |
+/// |         | uniform path depth, hard to help with   | S-box layers +  |
+/// |         | hetero partitioning                     | MixColumns XORs |
+/// | LDPC    | wire-dominant, global interconnect,     | bipartite check/|
+/// |         | low placement density                   | variable XOR    |
+/// |         |                                         | graph, random   |
+/// |         |                                         | permutations    |
+/// | Netcard | large, simple logic, 250k-cell class    | wide shallow    |
+/// |         |                                         | pipeline, local |
+/// |         |                                         | Rent-style wires|
+/// | CPU     | general-purpose, multi-block, SRAM      | fetch/decode/alu|
+/// |         | cache = 40 % footprint, diverse         | /mul/fpu/lsu    |
+/// |         | criticality                             | blocks + SRAMs  |
+///
+/// `scale` multiplies logic width so tests can run on tiny instances while
+/// benches use the defaults.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace m3d::gen {
+
+/// Generator knobs shared by all four designs.
+struct GenOptions {
+  double scale = 1.0;  ///< width multiplier (cells ∝ scale)
+  unsigned seed = 7;   ///< RNG seed; same seed → identical netlist
+};
+
+/// 128-bit AES-round-style encryption core (cell-dominant, symmetric).
+netlist::Netlist make_aes(const GenOptions& opt = {});
+
+/// LDPC decoder-style bipartite XOR network (wire-dominant).
+netlist::Netlist make_ldpc(const GenOptions& opt = {});
+
+/// Netcard-style large flat pipeline (simple logic, local wiring).
+netlist::Netlist make_netcard(const GenOptions& opt = {});
+
+/// Cortex-A7-class multi-block CPU with SRAM cache macros.
+netlist::Netlist make_cpu(const GenOptions& opt = {});
+
+/// Dispatch by name: "aes", "ldpc", "netcard", "cpu". Throws on unknown.
+netlist::Netlist make_design(const std::string& name,
+                             const GenOptions& opt = {});
+
+}  // namespace m3d::gen

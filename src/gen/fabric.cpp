@@ -1,0 +1,166 @@
+#include "gen/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3d::gen {
+
+using netlist::kInvalidId;
+using tech::CellFunc;
+
+LogicFabric::LogicFabric(std::string top_name, unsigned seed)
+    : nl_(std::move(top_name)), rng_(seed) {
+  const CellId clk_port = nl_.add_input_port("clk");
+  clk_net_ = nl_.add_net("clk", /*is_clock=*/true);
+  nl_.connect(clk_net_, nl_.output_pin(clk_port));
+}
+
+Netlist LogicFabric::take() && { return std::move(nl_); }
+
+std::string LogicFabric::uname(const std::string& prefix) {
+  return prefix + "_" + std::to_string(counter_++);
+}
+
+NetId LogicFabric::input(const std::string& name) {
+  const CellId port = nl_.add_input_port(name);
+  const NetId n = nl_.add_net("n_" + name);
+  nl_.connect(n, nl_.output_pin(port));
+  return n;
+}
+
+void LogicFabric::output(const std::string& name, NetId net) {
+  const CellId port = nl_.add_output_port(name);
+  nl_.connect(net, nl_.input_pin(port, 0));
+}
+
+NetId LogicFabric::gate(CellFunc func, const std::vector<NetId>& ins,
+                        BlockId block, int drive) {
+  const int need = tech::func_input_count(func);
+  M3D_CHECK_MSG(static_cast<int>(ins.size()) == need,
+                tech::func_name(func) << " needs " << need << " inputs, got "
+                                      << ins.size());
+  if (drive == 0) drive = rng_.chance(0.3) ? 2 : 1;
+  const CellId c = nl_.add_comb(uname("g"), func, drive, block);
+  for (int i = 0; i < need; ++i) nl_.connect(ins[static_cast<std::size_t>(i)],
+                                             nl_.input_pin(c, i));
+  const NetId out = nl_.add_net(uname("n"));
+  nl_.connect(out, nl_.output_pin(c));
+  return out;
+}
+
+NetId LogicFabric::dff(NetId d, BlockId block) {
+  const CellId ff = nl_.add_dff(uname("ff"), 1, block);
+  nl_.connect(d, nl_.input_pin(ff, 0));
+  nl_.connect(clk_net_, nl_.clock_pin(ff));
+  const NetId q = nl_.add_net(uname("q"));
+  nl_.connect(q, nl_.output_pin(ff));
+  return q;
+}
+
+std::vector<NetId> LogicFabric::dff_bank(const std::vector<NetId>& d,
+                                         BlockId block) {
+  std::vector<NetId> q;
+  q.reserve(d.size());
+  for (NetId n : d) q.push_back(dff(n, block));
+  return q;
+}
+
+std::vector<NetId> LogicFabric::random_layer(const std::vector<NetId>& pool,
+                                             int n_out, double locality,
+                                             BlockId block) {
+  M3D_CHECK(!pool.empty());
+  static const CellFunc kFuncs2[] = {CellFunc::Nand2, CellFunc::Nor2,
+                                     CellFunc::And2,  CellFunc::Or2,
+                                     CellFunc::Xor2,  CellFunc::Xnor2};
+  static const CellFunc kFuncs3[] = {CellFunc::Nand3, CellFunc::Nor3,
+                                     CellFunc::Aoi21, CellFunc::Oai21,
+                                     CellFunc::Mux2};
+  const int psize = static_cast<int>(pool.size());
+  std::vector<NetId> out;
+  out.reserve(static_cast<std::size_t>(n_out));
+  for (int i = 0; i < n_out; ++i) {
+    // Anchor index walks the pool so every source is reachable; partner
+    // indices are drawn at a locality-scaled distance.
+    const int anchor = psize > 1 ? static_cast<int>(
+        static_cast<long long>(i) * psize / std::max(n_out, 1)) % psize : 0;
+    auto pick = [&]() {
+      const double spread = std::max(1.0, locality * psize);
+      int idx = anchor + static_cast<int>(rng_.normal(0.0, spread));
+      idx = ((idx % psize) + psize) % psize;
+      return pool[static_cast<std::size_t>(idx)];
+    };
+    const bool three = rng_.chance(0.25);
+    CellFunc f;
+    std::vector<NetId> ins;
+    if (three) {
+      f = kFuncs3[static_cast<std::size_t>(rng_.uniform_int(0, 4))];
+      ins = {pick(), pick(), pick()};
+    } else if (rng_.chance(0.08)) {
+      f = CellFunc::Inv;
+      ins = {pick()};
+    } else {
+      f = kFuncs2[static_cast<std::size_t>(rng_.uniform_int(0, 5))];
+      ins = {pick(), pick()};
+    }
+    out.push_back(gate(f, ins, block));
+  }
+  return out;
+}
+
+NetId LogicFabric::xor_tree(const std::vector<NetId>& ins, BlockId block) {
+  M3D_CHECK(!ins.empty());
+  std::vector<NetId> level = ins;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(gate(CellFunc::Xor2, {level[i], level[i + 1]}, block));
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::vector<NetId> LogicFabric::sram(const std::string& name,
+                                     const std::string& macro_name, int n_in,
+                                     int n_out, std::vector<NetId> ins,
+                                     BlockId block) {
+  while (static_cast<int>(ins.size()) < n_in)
+    ins.push_back(input(uname(name + "_pad")));
+  const CellId m = nl_.add_macro(name, macro_name, n_in, n_out, block);
+  for (int i = 0; i < n_in; ++i)
+    nl_.connect(ins[static_cast<std::size_t>(i)], nl_.input_pin(m, i));
+  nl_.connect(clk_net_, nl_.clock_pin(m));
+  std::vector<NetId> out;
+  out.reserve(static_cast<std::size_t>(n_out));
+  for (int i = 0; i < n_out; ++i) {
+    const NetId q = nl_.add_net(uname(name + "_do"));
+    nl_.connect(q, nl_.output_pin(m, i));
+    out.push_back(q);
+  }
+  return out;
+}
+
+void LogicFabric::randomize_activities(double lo, double hi) {
+  for (NetId n = 0; n < nl_.net_count(); ++n) {
+    auto& net = nl_.net(n);
+    if (net.is_clock) continue;
+    net.activity = rng_.uniform(lo, hi);
+  }
+}
+
+int terminate_dangling(Netlist& nl, const std::string& prefix) {
+  int added = 0;
+  const int net_count = nl.net_count();  // new nets appear as we add POs
+  for (NetId n = 0; n < net_count; ++n) {
+    const auto& net = nl.net(n);
+    if (net.is_clock || net.driver == kInvalidId) continue;
+    if (nl.fanout(n) > 0) continue;
+    const CellId po =
+        nl.add_output_port(prefix + "_" + std::to_string(added));
+    nl.connect(n, nl.input_pin(po, 0));
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace m3d::gen

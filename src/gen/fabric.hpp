@@ -1,0 +1,90 @@
+#pragma once
+/// \file fabric.hpp
+/// \brief Shared machinery for the structural netlist generators.
+///
+/// The paper's four RTLs are proprietary (AES/LDPC/Netcard from industrial
+/// benchmark suites, a commercial Cortex-A7-class CPU). The generators in
+/// this module synthesize gate-level netlists with the same *topological
+/// signatures* the paper relies on: cell- vs wire-dominance, path-depth
+/// diversity, lane symmetry, global permutation wiring, and macro-attached
+/// buses. LogicFabric provides the building blocks they share.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace m3d::gen {
+
+using netlist::BlockId;
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+/// Incremental netlist builder with a clock domain and leveled wiring
+/// helpers. All randomness flows through the owned Rng, so a generator
+/// with a fixed seed is bit-reproducible.
+class LogicFabric {
+ public:
+  LogicFabric(std::string top_name, unsigned seed);
+
+  Netlist take() &&;
+  Netlist& nl() { return nl_; }
+  util::Rng& rng() { return rng_; }
+
+  NetId clock_net() const { return clk_net_; }
+
+  /// Create a primary input and return the net it drives.
+  NetId input(const std::string& name);
+
+  /// Create a primary output fed by `net`.
+  void output(const std::string& name, NetId net);
+
+  /// Add a combinational gate whose inputs are `ins`; returns its output
+  /// net. Drive strength is picked from {1,2} unless specified.
+  NetId gate(tech::CellFunc func, const std::vector<NetId>& ins,
+             BlockId block = 0, int drive = 0);
+
+  /// Add a flip-flop clocked by the fabric clock; returns the Q net.
+  NetId dff(NetId d, BlockId block = 0);
+
+  /// Register a whole bus: one DFF per net; returns the Q nets.
+  std::vector<NetId> dff_bank(const std::vector<NetId>& d, BlockId block = 0);
+
+  /// Random 2-to-3-input gate layer: produce `n_out` outputs, each a random
+  /// gate over inputs drawn from `pool` with locality: index distance
+  /// between chosen inputs follows |N(0, locality·pool)|. locality ≥ 1
+  /// makes wiring global (wire-dominant designs), small locality keeps it
+  /// local (cell-dominant designs).
+  std::vector<NetId> random_layer(const std::vector<NetId>& pool, int n_out,
+                                  double locality, BlockId block = 0);
+
+  /// Reduce a set of nets to one via a balanced XOR tree (LDPC checks).
+  NetId xor_tree(const std::vector<NetId>& ins, BlockId block = 0);
+
+  /// Add an SRAM macro wired to address/data-in buses; returns data-out
+  /// nets. Inputs shorter than the port count are padded with new PIs.
+  std::vector<NetId> sram(const std::string& name,
+                          const std::string& macro_name, int n_in, int n_out,
+                          std::vector<NetId> ins, BlockId block = 0);
+
+  /// Assign random switching activities to all signal nets (clock keeps 2).
+  void randomize_activities(double lo = 0.05, double hi = 0.30);
+
+  /// Unique net/cell name helper.
+  std::string uname(const std::string& prefix);
+
+ private:
+  Netlist nl_;
+  util::Rng rng_;
+  NetId clk_net_ = netlist::kInvalidId;
+  long long counter_ = 0;
+};
+
+/// Tie any dangling nets (driven but unread) to primary outputs so the
+/// netlist validates and the logic is observable. Returns #outputs added.
+int terminate_dangling(Netlist& nl, const std::string& prefix = "obs");
+
+}  // namespace m3d::gen

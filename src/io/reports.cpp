@@ -1,0 +1,192 @@
+#include "io/reports.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace m3d::io {
+
+using util::TextTable;
+
+util::TextTable table6_ppac(const std::vector<DesignMetrics>& hetero) {
+  M3D_CHECK(!hetero.empty());
+  TextTable t("Table VI — PPAC results of the 3-D heterogeneous designs");
+  std::vector<std::string> head{"Metric", "Units"};
+  for (const auto& m : hetero) head.push_back(m.netlist_name);
+  t.header(head);
+
+  auto row = [&](const std::string& name, const std::string& unit,
+                 auto getter, int prec) {
+    std::vector<std::string> cells{name, unit};
+    for (const auto& m : hetero)
+      cells.push_back(TextTable::num(getter(m), prec));
+    t.row(cells);
+  };
+  row("Frequency", "GHz", [](const DesignMetrics& m) { return m.frequency_ghz; }, 3);
+  row("Area", "mm2", [](const DesignMetrics& m) { return m.silicon_area_mm2; }, 3);
+  row("Chip Width", "um", [](const DesignMetrics& m) { return m.chip_width_um; }, 0);
+  row("Density", "%", [](const DesignMetrics& m) { return m.density_pct; }, 0);
+  row("WL", "m", [](const DesignMetrics& m) { return m.wirelength_m; }, 3);
+  row("# MIVs", "x1000", [](const DesignMetrics& m) { return m.mivs / 1000.0; }, 1);
+  row("Total Power", "mW", [](const DesignMetrics& m) { return m.total_power_mw; }, 1);
+  row("WNS", "ns", [](const DesignMetrics& m) { return m.wns_ns; }, 3);
+  row("TNS", "ns", [](const DesignMetrics& m) { return m.tns_ns; }, 2);
+  row("Effective Delay", "ns", [](const DesignMetrics& m) { return m.effective_delay_ns; }, 3);
+  row("PDP", "pJ", [](const DesignMetrics& m) { return m.pdp_pj; }, 1);
+  row("Die Cost", "1e-6 C'", [](const DesignMetrics& m) { return m.die_cost_e6; }, 2);
+  row("PPC", "GHz/(W*1e-6C')", [](const DesignMetrics& m) { return m.ppc; }, 3);
+  return t;
+}
+
+util::TextTable table7_deltas(const std::string& config_label,
+                              const std::vector<DesignMetrics>& hetero,
+                              const std::vector<DesignMetrics>& config) {
+  M3D_CHECK(hetero.size() == config.size() && !hetero.empty());
+  TextTable t("Table VII — % delta of Hetero-3D vs " + config_label +
+              "  ((hetero - config)/config x 100; -ve = hetero better, "
+              "except PPC)");
+  std::vector<std::string> head{"Metric"};
+  for (const auto& m : hetero) head.push_back(m.netlist_name);
+  t.header(head);
+
+  auto drow = [&](const std::string& name, auto getter, int prec = 1) {
+    std::vector<std::string> cells{name};
+    for (std::size_t i = 0; i < hetero.size(); ++i)
+      cells.push_back(TextTable::pct(
+          core::pct_delta(getter(hetero[i]), getter(config[i])), prec));
+    t.row(cells);
+  };
+  drow("Si Area", [](const DesignMetrics& m) { return m.silicon_area_mm2; });
+  drow("Density", [](const DesignMetrics& m) { return m.density_pct; });
+  drow("WL", [](const DesignMetrics& m) { return m.wirelength_m; });
+  drow("Total Power", [](const DesignMetrics& m) { return m.total_power_mw; });
+  drow("Eff. Delay", [](const DesignMetrics& m) { return m.effective_delay_ns; });
+  drow("PDP", [](const DesignMetrics& m) { return m.pdp_pj; });
+  drow("Die Cost", [](const DesignMetrics& m) { return m.die_cost_e6; });
+  drow("Cost per cm2", [](const DesignMetrics& m) { return m.cost_per_cm2; });
+  drow("PPC", [](const DesignMetrics& m) { return m.ppc; });
+  t.separator();
+  // Raw reference rows like the bottom of the paper's Table VII.
+  auto raw = [&](const std::string& name, auto getter, int prec) {
+    std::vector<std::string> cells{name};
+    for (const auto& m : config)
+      cells.push_back(TextTable::num(getter(m), prec));
+    t.row(cells);
+  };
+  raw("Width (um)", [](const DesignMetrics& m) { return m.chip_width_um; }, 0);
+  raw("WNS (ns)", [](const DesignMetrics& m) { return m.wns_ns; }, 3);
+  raw("TNS (ns)", [](const DesignMetrics& m) { return m.tns_ns; }, 2);
+  return t;
+}
+
+util::TextTable table8_deepdive(const std::vector<DesignMetrics>& impls) {
+  M3D_CHECK(!impls.empty());
+  TextTable t(
+      "Table VIII — clock network, critical path and memory interconnects");
+  std::vector<std::string> head{"Metric", "Units"};
+  for (const auto& m : impls) head.push_back(m.config_name);
+  t.header(head);
+
+  auto row = [&](const std::string& name, const std::string& unit,
+                 auto getter, int prec) {
+    std::vector<std::string> cells{name, unit};
+    for (const auto& m : impls)
+      cells.push_back(TextTable::num(getter(m), prec));
+    t.row(cells);
+  };
+  auto irow = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells{name, ""};
+    for (const auto& m : impls)
+      cells.push_back(TextTable::integer(getter(m)));
+    t.row(cells);
+  };
+
+  t.row({"-- Memory Interconnects --"});
+  row("Input Net Latency", "ps",
+      [](const DesignMetrics& m) { return m.memory_nets.input_latency_ps; }, 1);
+  row("Output Net Latency", "ps",
+      [](const DesignMetrics& m) { return m.memory_nets.output_latency_ps; }, 1);
+  row("Net Switching Power", "uW",
+      [](const DesignMetrics& m) { return m.memory_nets.switching_uw; }, 2);
+
+  t.row({"-- Clock Network --"});
+  irow("Buffer Count",
+       [](const DesignMetrics& m) { return m.clock.buffer_count; });
+  irow("Top Buffer Count",
+       [](const DesignMetrics& m) { return m.clock.buffer_count_tier[1]; });
+  irow("Bottom Buffer Count",
+       [](const DesignMetrics& m) { return m.clock.buffer_count_tier[0]; });
+  row("Buffer Area", "um2",
+      [](const DesignMetrics& m) { return m.clock.buffer_area_um2; }, 0);
+  row("Wirelength", "mm",
+      [](const DesignMetrics& m) { return m.clock.wirelength_um / 1000.0; }, 3);
+  row("Max Latency", "ns",
+      [](const DesignMetrics& m) { return m.clock.max_latency_ns; }, 3);
+  row("Max Skew", "ns",
+      [](const DesignMetrics& m) { return m.clock.max_skew_ns; }, 3);
+  row("100 Path Avg. Skew", "ns",
+      [](const DesignMetrics& m) { return m.avg_path_skew_ns; }, 3);
+
+  t.row({"-- Critical Path --"});
+  row("Clock Period", "ns",
+      [](const DesignMetrics& m) { return m.clock_period_ns; }, 3);
+  row("Slack", "ns", [](const DesignMetrics& m) { return m.wns_ns; }, 3);
+  row("Clock Skew", "ns",
+      [](const DesignMetrics& m) { return m.critical_path.clock_skew_ns; },
+      3);
+  row("Setup Time", "ns",
+      [](const DesignMetrics& m) { return m.critical_path.setup_ns; }, 3);
+  row("Path Delay", "ns",
+      [](const DesignMetrics& m) { return m.critical_path.path_delay_ns; },
+      3);
+  row("Wire Delay", "ns",
+      [](const DesignMetrics& m) { return m.critical_path.wire_delay_ns; },
+      3);
+  row("Wirelength", "um",
+      [](const DesignMetrics& m) { return m.critical_path.wirelength_um; },
+      1);
+  row("Cell Delay", "ns",
+      [](const DesignMetrics& m) { return m.critical_path.cell_delay_ns; },
+      3);
+  irow("Total Cells",
+       [](const DesignMetrics& m) { return m.critical_path.total_cells(); });
+  irow("# MIVs",
+       [](const DesignMetrics& m) { return m.critical_path.miv_count; });
+  irow("Top Cells", [](const DesignMetrics& m) {
+    return m.critical_path.cells_on_tier[1];
+  });
+  row("Top Cell Delay", "ns",
+      [](const DesignMetrics& m) { return m.critical_path.delay_on_tier[1]; },
+      3);
+  irow("Bottom Cells", [](const DesignMetrics& m) {
+    return m.critical_path.cells_on_tier[0];
+  });
+  row("Bottom Cell Delay", "ns",
+      [](const DesignMetrics& m) { return m.critical_path.delay_on_tier[0]; },
+      3);
+  row("Avg. Top Delay*", "ns",
+      [](const DesignMetrics& m) { return m.avg_stage_delay_tier_ns[1]; }, 3);
+  row("Avg. Bottom Delay*", "ns",
+      [](const DesignMetrics& m) { return m.avg_stage_delay_tier_ns[0]; }, 3);
+  t.row({"(* per-stage average over the 100 worst paths)"});
+  return t;
+}
+
+std::string metrics_csv(const std::vector<DesignMetrics>& ms) {
+  std::ostringstream os;
+  os << "netlist,config,freq_ghz,wns_ns,tns_ns,eff_delay_ns,si_area_mm2,"
+        "width_um,density_pct,wl_m,mivs,power_mw,clock_power_mw,pdp_pj,"
+        "die_cost_e6,cost_per_cm2,ppc\n";
+  for (const auto& m : ms) {
+    os << m.netlist_name << ',' << m.config_name << ',' << m.frequency_ghz
+       << ',' << m.wns_ns << ',' << m.tns_ns << ',' << m.effective_delay_ns
+       << ',' << m.silicon_area_mm2 << ',' << m.chip_width_um << ','
+       << m.density_pct << ',' << m.wirelength_m << ',' << m.mivs << ','
+       << m.total_power_mw << ',' << m.clock_power_mw << ',' << m.pdp_pj
+       << ',' << m.die_cost_e6 << ',' << m.cost_per_cm2 << ',' << m.ppc
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace m3d::io

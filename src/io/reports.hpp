@@ -1,0 +1,36 @@
+#pragma once
+/// \file reports.hpp
+/// \brief Paper-style report tables: Table VI (absolute hetero PPAC),
+///        Table VII (percent deltas vs each homogeneous configuration),
+///        and Table VIII (clock / critical-path / memory deep-dive).
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "util/table.hpp"
+
+namespace m3d::io {
+
+using core::DesignMetrics;
+
+/// Table VI layout: one column per netlist, rows = PPAC metrics, absolute
+/// values for the heterogeneous design.
+util::TextTable table6_ppac(const std::vector<DesignMetrics>& hetero);
+
+/// Table VII layout: percent deltas of hetero vs one configuration,
+/// columns per netlist. `config` supplies the homogeneous runs in the
+/// same netlist order as `hetero`.
+util::TextTable table7_deltas(const std::string& config_label,
+                              const std::vector<DesignMetrics>& hetero,
+                              const std::vector<DesignMetrics>& config);
+
+/// Table VIII layout: clock network / critical path / memory interconnect
+/// rows, one column per implementation.
+util::TextTable table8_deepdive(const std::vector<DesignMetrics>& impls);
+
+/// CSV dump of a metric set (one row per implementation) for downstream
+/// plotting.
+std::string metrics_csv(const std::vector<DesignMetrics>& ms);
+
+}  // namespace m3d::io

@@ -1,0 +1,42 @@
+#pragma once
+/// \file svg.hpp
+/// \brief SVG layout exports reproducing the paper's Figs. 3 and 4:
+///        placement/routing views, clock-tree overlays, memory-net
+///        overlays, and critical-path overlays.
+///
+/// 3-D designs render as side-by-side tier panels (bottom | top) at equal
+/// magnification, like the paper's zoomed comparison of cell heights.
+
+#include <string>
+
+#include "netlist/design.hpp"
+#include "sta/sta.hpp"
+
+namespace m3d::io {
+
+using netlist::Design;
+
+/// What to overlay on the base placement.
+enum class Overlay {
+  None,         ///< cells + macros only (Fig. 3)
+  ClockTree,    ///< clock buffers and clock nets (Fig. 4a)
+  MemoryNets,   ///< nets to/from macros, in/out colored (Fig. 4b)
+  CriticalPath, ///< the worst timing path (Fig. 4c)
+};
+
+/// SVG rendering knobs.
+struct SvgOptions {
+  double scale = 6.0;     ///< pixels per µm
+  Overlay overlay = Overlay::None;
+  bool draw_nets = false; ///< light net flight-lines under the overlay
+  const sta::CriticalPath* critical_path = nullptr;  ///< for CriticalPath
+};
+
+/// Render the design to an SVG string.
+std::string layout_svg(const Design& d, const SvgOptions& opt = {});
+
+/// Render and write to a file; returns the path written.
+std::string write_layout_svg(const Design& d, const std::string& path,
+                             const SvgOptions& opt = {});
+
+}  // namespace m3d::io

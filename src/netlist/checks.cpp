@@ -1,0 +1,174 @@
+#include "netlist/checks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace m3d::netlist {
+
+namespace {
+
+void add(std::vector<CheckViolation>& out, CheckSeverity sev,
+         const std::string& rule, const std::string& msg,
+         CellId cell = kInvalidId, NetId net = kInvalidId) {
+  out.push_back({sev, rule, msg, cell, net});
+}
+
+void check_tiers(const Design& d, std::vector<CheckViolation>& out) {
+  const auto& nl = d.nl();
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const int t = d.tier(c);
+    if (t < 0 || t >= d.num_tiers())
+      add(out, CheckSeverity::Error, "tier.range",
+          nl.cell(c).name + " sits on nonexistent tier " +
+              std::to_string(t),
+          c);
+  }
+}
+
+void check_placement(const Design& d, const CheckOptions& opt,
+                     std::vector<CheckViolation>& out) {
+  const auto& nl = d.nl();
+  const auto fp = d.floorplan();
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const auto& cc = nl.cell(c);
+    if (cc.is_port()) continue;
+    const auto p = d.pos(c);
+    const double w2 = d.cell_width(c) / 2.0;
+    const double h2 = d.cell_height(c) / 2.0;
+    if (p.x - w2 < fp.xlo - 1e-6 || p.x + w2 > fp.xhi + 1e-6 ||
+        p.y - h2 < fp.ylo - 1e-6 || p.y + h2 > fp.yhi + 1e-6)
+      add(out, CheckSeverity::Error, "placement.outside",
+          cc.name + " extends beyond the die", c);
+    if (opt.check_rows && (cc.is_comb() || cc.is_sequential())) {
+      const double row_h = d.lib_of(c).row_height_um();
+      const double rel = (p.y - fp.ylo) / row_h - 0.5;
+      if (std::abs(rel - std::round(rel)) > 1e-6)
+        add(out, CheckSeverity::Error, "placement.off_row",
+            cc.name + " not aligned to its tier's row grid", c);
+    }
+  }
+
+  // Same-tier overlaps (sweep by x per tier).
+  for (int tier = 0; tier < d.num_tiers(); ++tier) {
+    std::vector<CellId> cells;
+    for (CellId c = 0; c < nl.cell_count(); ++c)
+      if (!nl.cell(c).is_port() && d.tier(c) == tier) cells.push_back(c);
+    std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+      return d.pos(a).x < d.pos(b).x;
+    });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellId a = cells[i];
+      const double ax1 = d.pos(a).x + d.cell_width(a) / 2.0;
+      for (std::size_t j = i + 1; j < cells.size(); ++j) {
+        const CellId b = cells[j];
+        if (d.pos(b).x - d.cell_width(b) / 2.0 >= ax1 - 1e-9) break;
+        const double oy =
+            std::min(d.pos(a).y + d.cell_height(a) / 2.0,
+                     d.pos(b).y + d.cell_height(b) / 2.0) -
+            std::max(d.pos(a).y - d.cell_height(a) / 2.0,
+                     d.pos(b).y - d.cell_height(b) / 2.0);
+        if (oy > 1e-6)
+          add(out, CheckSeverity::Error, "placement.overlap",
+              nl.cell(a).name + " overlaps " + nl.cell(b).name, a);
+      }
+    }
+  }
+}
+
+void check_electrical(const Design& d, const CheckOptions& opt,
+                      std::vector<CheckViolation>& out) {
+  const auto& nl = d.nl();
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.driver == kInvalidId) continue;
+    const int fo = nl.fanout(n);
+    if (fo > opt.max_fanout)
+      add(out, CheckSeverity::Warning, "electrical.fanout",
+          "net " + net.name + " fans out to " + std::to_string(fo),
+          kInvalidId, n);
+    double load = 0.0;
+    for (PinId s : nl.sinks(n)) load += d.pin_cap_ff(s);
+    if (load > opt.max_load_ff)
+      add(out, CheckSeverity::Warning, "electrical.load",
+          "net " + net.name + " carries " + std::to_string(load) + " fF",
+          kInvalidId, n);
+  }
+}
+
+void check_clocking(const Design& d, std::vector<CheckViolation>& out) {
+  const auto& nl = d.nl();
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const auto& cc = nl.cell(c);
+    if (!cc.is_sequential() && !cc.is_macro()) continue;
+    const PinId ck = nl.clock_pin(c);
+    if (ck == kInvalidId || nl.pin(ck).net == kInvalidId) {
+      add(out, CheckSeverity::Error, "clock.unclocked",
+          cc.name + " has no clock connection", c);
+      continue;
+    }
+    if (!nl.net(nl.pin(ck).net).is_clock)
+      add(out, CheckSeverity::Error, "clock.data_net",
+          cc.name + "'s clock pin rides a data net", c);
+  }
+  // Clock nets must not feed ordinary data inputs.
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (!net.is_clock) continue;
+    for (PinId p : nl.sinks(n)) {
+      const auto& pp = nl.pin(p);
+      const auto& cc = nl.cell(pp.cell);
+      const bool ok = pp.is_clock ||
+                      (cc.is_comb() && cc.func == tech::CellFunc::ClkBuf);
+      if (!ok)
+        add(out, CheckSeverity::Warning, "clock.leak",
+            "clock net " + net.name + " drives data pin on " + cc.name,
+            pp.cell, n);
+    }
+  }
+}
+
+void check_dangling(const Design& d, std::vector<CheckViolation>& out) {
+  const auto& nl = d.nl();
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.driver == kInvalidId || net.is_clock) continue;
+    if (nl.fanout(n) == 0)
+      add(out, CheckSeverity::Warning, "logic.dangling",
+          "net " + net.name + " is driven but unread", kInvalidId, n);
+  }
+}
+
+}  // namespace
+
+std::vector<CheckViolation> run_checks(const Design& d,
+                                       const CheckOptions& opt) {
+  std::vector<CheckViolation> out;
+  check_tiers(d, out);
+  if (opt.check_placement) check_placement(d, opt, out);
+  check_electrical(d, opt, out);
+  check_clocking(d, out);
+  check_dangling(d, out);
+  return out;
+}
+
+int count_violations(const std::vector<CheckViolation>& v,
+                     CheckSeverity severity) {
+  return static_cast<int>(
+      std::count_if(v.begin(), v.end(), [&](const CheckViolation& x) {
+        return x.severity == severity;
+      }));
+}
+
+std::string check_report(const std::vector<CheckViolation>& v) {
+  std::ostringstream os;
+  os << v.size() << " violation(s): "
+     << count_violations(v, CheckSeverity::Error) << " error(s), "
+     << count_violations(v, CheckSeverity::Warning) << " warning(s)\n";
+  for (const auto& x : v)
+    os << "  [" << (x.severity == CheckSeverity::Error ? "ERROR" : "warn ")
+       << "] " << x.rule << ": " << x.message << "\n";
+  return os.str();
+}
+
+}  // namespace m3d::netlist

@@ -1,0 +1,250 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace m3d::netlist {
+
+BlockId Netlist::add_block(const std::string& block_name) {
+  for (int i = 0; i < block_count(); ++i)
+    if (blocks_[static_cast<std::size_t>(i)] == block_name) return i;
+  blocks_.push_back(block_name);
+  return block_count() - 1;
+}
+
+const std::string& Netlist::block_name(BlockId b) const {
+  M3D_CHECK(b >= 0 && b < block_count());
+  return blocks_[static_cast<std::size_t>(b)];
+}
+
+PinId Netlist::new_pin(CellId c, PinDir dir, int index, bool is_clock) {
+  Pin p;
+  p.cell = c;
+  p.dir = dir;
+  p.index = index;
+  p.is_clock = is_clock;
+  pins_.push_back(p);
+  const PinId id = pin_count() - 1;
+  cells_[static_cast<std::size_t>(c)].pins.push_back(id);
+  return id;
+}
+
+CellId Netlist::add_comb(const std::string& name, tech::CellFunc func,
+                         int drive, BlockId block) {
+  M3D_CHECK(!tech::func_is_sequential(func));
+  Cell c;
+  c.name = name;
+  c.kind = CellKind::Comb;
+  c.func = func;
+  c.drive = drive;
+  c.block = block;
+  cells_.push_back(std::move(c));
+  const CellId id = cell_count() - 1;
+  const int nin = tech::func_input_count(func);
+  for (int i = 0; i < nin; ++i) new_pin(id, PinDir::Input, i, false);
+  new_pin(id, PinDir::Output, 0, false);
+  return id;
+}
+
+CellId Netlist::add_dff(const std::string& name, int drive, BlockId block) {
+  Cell c;
+  c.name = name;
+  c.kind = CellKind::Seq;
+  c.func = tech::CellFunc::Dff;
+  c.drive = drive;
+  c.block = block;
+  cells_.push_back(std::move(c));
+  const CellId id = cell_count() - 1;
+  new_pin(id, PinDir::Input, 0, false);   // D
+  new_pin(id, PinDir::Input, 0, true);    // CLK
+  new_pin(id, PinDir::Output, 0, false);  // Q
+  return id;
+}
+
+CellId Netlist::add_macro(const std::string& name,
+                          const std::string& macro_name, int n_in, int n_out,
+                          BlockId block) {
+  M3D_CHECK(n_in > 0 && n_out > 0);
+  Cell c;
+  c.name = name;
+  c.kind = CellKind::Macro;
+  c.macro_name = macro_name;
+  c.block = block;
+  c.fixed = true;
+  cells_.push_back(std::move(c));
+  const CellId id = cell_count() - 1;
+  for (int i = 0; i < n_in; ++i) new_pin(id, PinDir::Input, i, false);
+  new_pin(id, PinDir::Input, 0, true);  // CLK
+  for (int i = 0; i < n_out; ++i) new_pin(id, PinDir::Output, i, false);
+  return id;
+}
+
+CellId Netlist::add_input_port(const std::string& name) {
+  Cell c;
+  c.name = name;
+  c.kind = CellKind::PrimaryIn;
+  c.fixed = true;
+  cells_.push_back(std::move(c));
+  const CellId id = cell_count() - 1;
+  new_pin(id, PinDir::Output, 0, false);
+  return id;
+}
+
+CellId Netlist::add_output_port(const std::string& name) {
+  Cell c;
+  c.name = name;
+  c.kind = CellKind::PrimaryOut;
+  c.fixed = true;
+  cells_.push_back(std::move(c));
+  const CellId id = cell_count() - 1;
+  new_pin(id, PinDir::Input, 0, false);
+  return id;
+}
+
+NetId Netlist::add_net(const std::string& name, bool is_clock) {
+  Net n;
+  n.name = name;
+  n.is_clock = is_clock;
+  if (is_clock) n.activity = 2.0;  // two edges per cycle
+  nets_.push_back(std::move(n));
+  return net_count() - 1;
+}
+
+void Netlist::connect(NetId net_id, PinId pin_id) {
+  Net& n = net(net_id);
+  Pin& p = pin(pin_id);
+  M3D_CHECK_MSG(p.net == kInvalidId,
+                "pin already connected (cell " << cell(p.cell).name << ")");
+  if (p.dir == PinDir::Output) {
+    M3D_CHECK_MSG(n.driver == kInvalidId,
+                  "net " << n.name << " already has a driver");
+    n.driver = pin_id;
+  }
+  p.net = net_id;
+  n.pins.push_back(pin_id);
+}
+
+void Netlist::disconnect(PinId pin_id) {
+  Pin& p = pin(pin_id);
+  if (p.net == kInvalidId) return;
+  Net& n = net(p.net);
+  n.pins.erase(std::remove(n.pins.begin(), n.pins.end(), pin_id),
+               n.pins.end());
+  if (n.driver == pin_id) n.driver = kInvalidId;
+  p.net = kInvalidId;
+}
+
+PinId Netlist::output_pin(CellId c, int nth) const {
+  int seen = 0;
+  for (PinId p : cell(c).pins)
+    if (pin(p).dir == PinDir::Output && seen++ == nth) return p;
+  M3D_CHECK_MSG(false, "cell " << cell(c).name << " has no output pin " << nth);
+  return kInvalidId;
+}
+
+PinId Netlist::input_pin(CellId c, int nth) const {
+  int seen = 0;
+  for (PinId p : cell(c).pins)
+    if (pin(p).dir == PinDir::Input && !pin(p).is_clock && seen++ == nth)
+      return p;
+  M3D_CHECK_MSG(false, "cell " << cell(c).name << " has no input pin " << nth);
+  return kInvalidId;
+}
+
+PinId Netlist::clock_pin(CellId c) const {
+  for (PinId p : cell(c).pins)
+    if (pin(p).is_clock) return p;
+  return kInvalidId;
+}
+
+std::vector<PinId> Netlist::output_pins(CellId c) const {
+  std::vector<PinId> out;
+  for (PinId p : cell(c).pins)
+    if (pin(p).dir == PinDir::Output) out.push_back(p);
+  return out;
+}
+
+std::vector<PinId> Netlist::input_pins(CellId c) const {
+  std::vector<PinId> out;
+  for (PinId p : cell(c).pins)
+    if (pin(p).dir == PinDir::Input && !pin(p).is_clock) out.push_back(p);
+  return out;
+}
+
+int Netlist::fanout(NetId n) const {
+  const Net& nn = net(n);
+  int count = static_cast<int>(nn.pins.size());
+  if (nn.driver != kInvalidId) --count;
+  return count;
+}
+
+std::vector<PinId> Netlist::sinks(NetId n) const {
+  const Net& nn = net(n);
+  std::vector<PinId> out;
+  out.reserve(nn.pins.size());
+  for (PinId p : nn.pins)
+    if (p != nn.driver) out.push_back(p);
+  return out;
+}
+
+void Netlist::validate() const {
+  for (NetId n = 0; n < net_count(); ++n) {
+    const Net& nn = nets_[static_cast<std::size_t>(n)];
+    M3D_CHECK_MSG(nn.driver != kInvalidId || nn.pins.empty(),
+                  "net " << nn.name << " has sinks but no driver");
+    int drivers = 0;
+    for (PinId p : nn.pins) {
+      M3D_CHECK(pin(p).net == n);
+      if (pin(p).dir == PinDir::Output) ++drivers;
+    }
+    M3D_CHECK_MSG(drivers <= 1, "net " << nn.name << " is multiply driven");
+    if (!nn.pins.empty())
+      M3D_CHECK_MSG(drivers == 1, "net " << nn.name << " has no driver pin");
+  }
+  for (PinId p = 0; p < pin_count(); ++p) {
+    const Pin& pp = pins_[static_cast<std::size_t>(p)];
+    const Cell& cc = cell(pp.cell);
+    const bool in_cell =
+        std::find(cc.pins.begin(), cc.pins.end(), p) != cc.pins.end();
+    M3D_CHECK_MSG(in_cell, "pin/cell cross-reference broken at pin " << p);
+    if (pp.dir == PinDir::Input && !cc.is_port()) {
+      M3D_CHECK_MSG(pp.net != kInvalidId,
+                    "unconnected input pin on cell " << cc.name);
+    }
+  }
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  for (const Cell& c : cells_) {
+    switch (c.kind) {
+      case CellKind::Comb:
+        ++s.cells;
+        ++s.comb_cells;
+        break;
+      case CellKind::Seq:
+        ++s.cells;
+        ++s.seq_cells;
+        break;
+      case CellKind::Macro:
+        ++s.macros;
+        break;
+      case CellKind::PrimaryIn:
+      case CellKind::PrimaryOut:
+        ++s.ports;
+        break;
+    }
+  }
+  s.nets = net_count();
+  s.pins = pin_count();
+  long long fo = 0;
+  int driven = 0;
+  for (NetId n = 0; n < net_count(); ++n) {
+    if (nets_[static_cast<std::size_t>(n)].driver == kInvalidId) continue;
+    fo += fanout(n);
+    ++driven;
+  }
+  s.avg_fanout = driven ? static_cast<double>(fo) / driven : 0.0;
+  return s;
+}
+
+}  // namespace m3d::netlist

@@ -1,0 +1,190 @@
+#pragma once
+/// \file netlist.hpp
+/// \brief Gate-level netlist data model: cells, pins, nets, RTL blocks.
+///
+/// The netlist is technology-*relative*: cells carry a logic function and a
+/// drive strength, and are bound to a concrete LibCell through the library
+/// of whichever tier they sit on (see design.hpp). That is exactly what
+/// makes heterogeneous tier remapping (12-track → 9-track) a pure tier
+/// reassignment instead of a netlist rewrite.
+
+#include <string>
+#include <vector>
+
+#include "tech/lib_cell.hpp"
+#include "util/check.hpp"
+
+namespace m3d::netlist {
+
+using CellId = int;
+using NetId = int;
+using PinId = int;
+using BlockId = int;
+
+inline constexpr int kInvalidId = -1;
+
+/// What a cell *is* in the physical design.
+enum class CellKind {
+  Comb,       ///< combinational standard cell
+  Seq,        ///< flip-flop
+  Macro,      ///< hard macro (SRAM)
+  PrimaryIn,  ///< chip input port (zero-area, fixed at the boundary)
+  PrimaryOut, ///< chip output port
+};
+
+/// Pin direction as seen from the cell.
+enum class PinDir { Input, Output };
+
+/// A pin instance. Pins are the nodes of the timing graph.
+struct Pin {
+  CellId cell = kInvalidId;
+  PinDir dir = PinDir::Input;
+  int index = 0;        ///< input index within the cell (arc selector)
+  bool is_clock = false;
+  NetId net = kInvalidId;
+};
+
+/// A cell instance.
+struct Cell {
+  std::string name;
+  CellKind kind = CellKind::Comb;
+  tech::CellFunc func = tech::CellFunc::Inv;  ///< Comb/Seq only
+  int drive = 1;                              ///< Comb/Seq only
+  std::string macro_name;                     ///< Macro only
+  BlockId block = 0;
+  bool fixed = false;   ///< immovable (macros after floorplanning, ports)
+  std::vector<PinId> pins;
+
+  bool is_macro() const { return kind == CellKind::Macro; }
+  bool is_port() const {
+    return kind == CellKind::PrimaryIn || kind == CellKind::PrimaryOut;
+  }
+  bool is_sequential() const { return kind == CellKind::Seq; }
+  bool is_comb() const { return kind == CellKind::Comb; }
+};
+
+/// A signal or clock net.
+struct Net {
+  std::string name;
+  std::vector<PinId> pins;  ///< all connected pins; driver cached below
+  PinId driver = kInvalidId;
+  double activity = 0.1;  ///< output toggles per clock cycle (0..2)
+  bool is_clock = false;
+};
+
+/// Aggregate statistics used by reports and generators.
+struct NetlistStats {
+  int cells = 0;        ///< standard cells (comb + seq)
+  int comb_cells = 0;
+  int seq_cells = 0;
+  int macros = 0;
+  int ports = 0;
+  int nets = 0;
+  int pins = 0;
+  double avg_fanout = 0.0;
+};
+
+/// The netlist container and builder.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {
+    blocks_.push_back("top");
+  }
+
+  const std::string& name() const { return name_; }
+
+  // ---- blocks ----------------------------------------------------------
+  /// Register (or look up) an RTL block tag. Block 0 is "top".
+  BlockId add_block(const std::string& block_name);
+  int block_count() const { return static_cast<int>(blocks_.size()); }
+  const std::string& block_name(BlockId b) const;
+
+  // ---- construction ----------------------------------------------------
+  /// Add a combinational cell; creates input pins and one output pin.
+  CellId add_comb(const std::string& name, tech::CellFunc func, int drive,
+                  BlockId block = 0);
+
+  /// Add a flip-flop; creates D (input 0), CLK (clock), Q (output).
+  CellId add_dff(const std::string& name, int drive, BlockId block = 0);
+
+  /// Add a macro with n_in input pins, n_out output pins and a clock pin.
+  CellId add_macro(const std::string& name, const std::string& macro_name,
+                   int n_in, int n_out, BlockId block = 0);
+
+  /// Add a primary input port (single output pin driving into the chip).
+  CellId add_input_port(const std::string& name);
+
+  /// Add a primary output port (single input pin).
+  CellId add_output_port(const std::string& name);
+
+  /// Create an (initially empty) net.
+  NetId add_net(const std::string& name, bool is_clock = false);
+
+  /// Attach a pin to a net. Output pins become the net's driver (only one
+  /// driver per net is allowed).
+  void connect(NetId net, PinId pin);
+
+  /// Detach a pin from its net (used by buffer insertion / ECO moves).
+  void disconnect(PinId pin);
+
+  // ---- pin helpers ------------------------------------------------------
+  /// Output pin of a cell (first output); checks existence.
+  PinId output_pin(CellId c, int nth = 0) const;
+  /// nth input pin of a cell (excludes the clock pin).
+  PinId input_pin(CellId c, int nth) const;
+  /// Clock pin of a sequential/macro cell; kInvalidId otherwise.
+  PinId clock_pin(CellId c) const;
+  /// All output pins of a cell.
+  std::vector<PinId> output_pins(CellId c) const;
+  /// All non-clock input pins of a cell.
+  std::vector<PinId> input_pins(CellId c) const;
+
+  // ---- access -----------------------------------------------------------
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  int net_count() const { return static_cast<int>(nets_.size()); }
+  int pin_count() const { return static_cast<int>(pins_.size()); }
+
+  const Cell& cell(CellId c) const { return cells_[check_cell(c)]; }
+  Cell& cell(CellId c) { return cells_[check_cell(c)]; }
+  const Net& net(NetId n) const { return nets_[check_net(n)]; }
+  Net& net(NetId n) { return nets_[check_net(n)]; }
+  const Pin& pin(PinId p) const { return pins_[check_pin(p)]; }
+  Pin& pin(PinId p) { return pins_[check_pin(p)]; }
+
+  /// Fanout (sink count) of a net.
+  int fanout(NetId n) const;
+
+  /// Sink pins of a net (everything but the driver).
+  std::vector<PinId> sinks(NetId n) const;
+
+  /// Validate structural invariants: every net driven exactly once, every
+  /// input pin connected, pin/cell cross-references consistent.
+  /// Throws util::Error on violation.
+  void validate() const;
+
+  NetlistStats stats() const;
+
+ private:
+  std::size_t check_cell(CellId c) const {
+    M3D_CHECK_MSG(c >= 0 && c < cell_count(), "bad cell id " << c);
+    return static_cast<std::size_t>(c);
+  }
+  std::size_t check_net(NetId n) const {
+    M3D_CHECK_MSG(n >= 0 && n < net_count(), "bad net id " << n);
+    return static_cast<std::size_t>(n);
+  }
+  std::size_t check_pin(PinId p) const {
+    M3D_CHECK_MSG(p >= 0 && p < pin_count(), "bad pin id " << p);
+    return static_cast<std::size_t>(p);
+  }
+
+  PinId new_pin(CellId c, PinDir dir, int index, bool is_clock);
+
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+  std::vector<std::string> blocks_;
+};
+
+}  // namespace m3d::netlist

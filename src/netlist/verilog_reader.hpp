@@ -1,0 +1,26 @@
+#pragma once
+/// \file verilog_reader.hpp
+/// \brief Structural Verilog reader for the subset write_verilog emits:
+///        module header with input/output ports, wire declarations
+///        (`// clock` comments mark clock nets), port-binding assigns,
+///        and gate/macro instances with named connections.
+///
+/// Cell types resolve from their names: `FUNC_Xd` (e.g. `NAND2_X4`) maps
+/// to a combinational/sequential cell with that function and drive;
+/// anything else is treated as a macro whose pin counts come from the
+/// instance's own connection list (A-pins in, Z-pins out, CK clock).
+///
+/// Net activities are not part of Verilog; they reset to defaults
+/// (structure round-trips losslessly, activities do not).
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace m3d::netlist {
+
+/// Parse structural Verilog text into a Netlist. Throws util::Error with
+/// a line number on malformed input.
+Netlist parse_verilog(const std::string& text);
+
+}  // namespace m3d::netlist

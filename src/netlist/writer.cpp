@@ -1,0 +1,109 @@
+#include "netlist/writer.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace m3d::netlist {
+
+void write_verilog(const Netlist& nl, std::ostream& os) {
+  os << "module " << nl.name() << " (\n";
+  bool first = true;
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cc = nl.cell(c);
+    if (!cc.is_port()) continue;
+    if (!first) os << ",\n";
+    os << "  " << (cc.kind == CellKind::PrimaryIn ? "input  " : "output ")
+       << cc.name;
+    first = false;
+  }
+  os << "\n);\n";
+
+  for (NetId n = 0; n < nl.net_count(); ++n)
+    os << "  wire " << nl.net(n).name
+       << (nl.net(n).is_clock ? ";  // clock" : ";") << "\n";
+
+  // Port-to-net binding (our data model keeps ports as boundary cells, so
+  // the edge must be written explicitly for a lossless round trip).
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cc = nl.cell(c);
+    if (cc.kind == CellKind::PrimaryIn) {
+      const auto net = nl.pin(nl.output_pin(c)).net;
+      if (net != kInvalidId)
+        os << "  assign " << nl.net(net).name << " = " << cc.name << ";\n";
+    } else if (cc.kind == CellKind::PrimaryOut) {
+      const auto net = nl.pin(nl.input_pin(c, 0)).net;
+      if (net != kInvalidId)
+        os << "  assign " << cc.name << " = " << nl.net(net).name << ";\n";
+    }
+  }
+
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cc = nl.cell(c);
+    if (cc.is_port()) continue;
+    const std::string type =
+        cc.is_macro() ? cc.macro_name
+                      : std::string(tech::func_name(cc.func)) + "_X" +
+                            std::to_string(cc.drive);
+    os << "  " << type << " " << cc.name << " (";
+    bool fp = true;
+    int in_idx = 0;
+    int out_idx = 0;
+    for (PinId p : cc.pins) {
+      const Pin& pp = nl.pin(p);
+      if (!fp) os << ", ";
+      fp = false;
+      std::string pin_name;
+      if (pp.is_clock)
+        pin_name = "CK";
+      else if (pp.dir == PinDir::Input)
+        pin_name = "A" + std::to_string(in_idx++);
+      else
+        pin_name = out_idx++ ? "Z" + std::to_string(out_idx - 1) : "Z";
+      os << "." << pin_name << "("
+         << (pp.net == kInvalidId ? std::string("/*open*/")
+                                  : nl.net(pp.net).name)
+         << ")";
+    }
+    os << ");\n";
+  }
+  os << "endmodule\n";
+}
+
+void write_placement(const Design& d, std::ostream& os) {
+  const Netlist& nl = d.nl();
+  const auto& fp = d.floorplan();
+  os << "DESIGN " << nl.name() << "\n";
+  os << "DIEAREA ( " << fp.xlo << " " << fp.ylo << " ) ( " << fp.xhi << " "
+     << fp.yhi << " )\n";
+  os << "TIERS " << d.num_tiers() << "\n";
+  os << "COMPONENTS " << nl.cell_count() << "\n";
+  os << std::fixed << std::setprecision(3);
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cc = nl.cell(c);
+    const std::string type =
+        cc.is_port() ? (cc.kind == CellKind::PrimaryIn ? "PI" : "PO")
+        : cc.is_macro()
+            ? cc.macro_name
+            : std::string(tech::func_name(cc.func)) + "_X" +
+                  std::to_string(cc.drive);
+    os << "- " << cc.name << " " << type << " TIER " << d.tier(c) << " ( "
+       << d.pos(c).x << " " << d.pos(c).y << " )"
+       << (cc.fixed ? " FIXED" : " PLACED") << "\n";
+  }
+  os << "END\n";
+}
+
+std::string verilog_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(nl, os);
+  return os.str();
+}
+
+std::string placement_string(const Design& d) {
+  std::ostringstream os;
+  write_placement(d, os);
+  return os.str();
+}
+
+}  // namespace m3d::netlist

@@ -1,0 +1,24 @@
+#pragma once
+/// \file writer.hpp
+/// \brief Structural text dump of a netlist (Verilog-flavoured) and a DEF-
+///        flavoured placement dump. Used for artifacts and debugging.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+
+namespace m3d::netlist {
+
+/// Write a structural, Verilog-like view of the netlist.
+void write_verilog(const Netlist& nl, std::ostream& os);
+
+/// Write placement (name, libcell, tier, x, y) in a DEF-like text format.
+void write_placement(const Design& d, std::ostream& os);
+
+/// Convenience: render to a string.
+std::string verilog_string(const Netlist& nl);
+std::string placement_string(const Design& d);
+
+}  // namespace m3d::netlist

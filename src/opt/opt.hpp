@@ -1,0 +1,82 @@
+#pragma once
+/// \file opt.hpp
+/// \brief Timing optimization: high-fanout buffering, critical-cell
+///        upsizing, and power recovery on slack-rich paths.
+///
+/// This is the "synthesis/optimization effort" knob of the flow. Its
+/// behaviour reproduces a key effect from the paper: driving a *slow*
+/// library (9-track at 0.81 V) toward a frequency target set by the *fast*
+/// library forces aggressive upsizing and buffering, blowing up cell area
+/// and power — the "over-correction" that makes homogeneous 9-track
+/// implementations lose on area despite their smaller cells.
+
+#include "netlist/design.hpp"
+#include "sta/sta.hpp"
+
+namespace m3d::opt {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+
+/// Optimizer knobs.
+struct OptOptions {
+  int max_sizing_rounds = 5;       ///< upsizing iterations
+  int power_recovery_rounds = 2;   ///< downsizing iterations
+  double target_slack_ns = 0.0;    ///< upsize cells below this slack
+  double recovery_slack_frac = 0.30;  ///< downsize above this × period
+  int max_fanout = 6;              ///< buffer nets above this fanout
+  int buffer_drive = 4;            ///< drive strength of inserted buffers
+  double max_wire_um = 60.0;       ///< repeater spacing on long wires
+  /// Slew limit as a multiple of the driving library's FO-4 delay (slow
+  /// libraries get proportionally relaxed limits, as real low-power
+  /// corners do — a fixed ns limit would force the 9-track tier into
+  /// blanket upsizing and erase its area/power advantage).
+  double max_transition_fo4 = 8.0;
+  sta::StaOptions sta;             ///< timing view used during optimization
+  /// false = zero-wire timing (the synthesis stage, before placement).
+  bool routed = true;
+};
+
+/// Summary of one optimization run.
+struct OptResult {
+  int buffers_added = 0;
+  int cells_upsized = 0;
+  int cells_downsized = 0;
+  double wns_before = 0.0;
+  double wns_after = 0.0;
+};
+
+/// Split nets with more than `max_fanout` sinks by inserting buffers that
+/// each drive a positionally-clustered sink group. New buffers inherit the
+/// driver's tier and sit at their group's centroid (re-legalize after).
+/// Clock nets are left alone — CTS owns them. Returns buffers added.
+int insert_fanout_buffers(Design& d, int max_fanout, int buffer_drive = 4);
+
+/// Long-wire repeater insertion: sinks whose tree path from the driver
+/// exceeds `max_seg_um` get a repeater at the midpoint. Keeps critical
+/// wire delay a small share of path delay, as commercial flows do —
+/// without this, wire-dominant designs let the slow library ride the
+/// 3-D wirelength savings. Returns repeaters added.
+int insert_wire_repeaters(Design& d, double max_seg_um, int drive = 4);
+
+/// One upsizing sweep: bump the drive of cells whose slack is below
+/// `slack_threshold`. Returns cells changed.
+int upsize_critical(Design& d, const sta::StaResult& timing,
+                    double slack_threshold);
+
+/// One power-recovery sweep: downsize cells whose slack exceeds
+/// `slack_threshold` (never below drive X1). Returns cells changed.
+int recover_power(Design& d, const sta::StaResult& timing,
+                  double slack_threshold);
+
+/// Max-transition repair: upsize drivers of nets whose worst sink slew
+/// exceeds `max_tran_fo4` × the driver library's FO-4 delay. Returns
+/// cells changed.
+int fix_max_transition(Design& d, const sta::StaResult& timing,
+                       double max_tran_fo4);
+
+/// Full optimization loop: buffer → (time, upsize)* → (time, downsize)*.
+OptResult optimize_timing(Design& d, const OptOptions& opt = {});
+
+}  // namespace m3d::opt

@@ -1,0 +1,404 @@
+#include "part/fm.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace m3d::part {
+
+using netlist::kBottomTier;
+using netlist::kInvalidId;
+using netlist::kTopTier;
+using netlist::PinId;
+
+double cell_area_on(const Design& d, CellId c, int t) {
+  const auto& cc = d.nl().cell(c);
+  if (cc.is_macro()) return d.cell_area(c);
+  if (cc.is_port()) return 0.0;
+  const tech::TechLib& lib = d.lib(t);
+  const tech::LibCell* lc = lib.find(cc.func, cc.drive);
+  M3D_CHECK(lc != nullptr);
+  return lc->area_um2(lib.row_height_um());
+}
+
+int cut_size(const Design& d) {
+  int cut = 0;
+  const auto& nl = d.nl();
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.is_clock || net.pins.size() < 2) continue;
+    bool top = false, bottom = false;
+    for (PinId p : net.pins) {
+      (d.tier(nl.pin(p).cell) == kTopTier ? top : bottom) = true;
+    }
+    if (top && bottom) ++cut;
+  }
+  return cut;
+}
+
+double cut_fraction(const Design& d) {
+  int signal = 0;
+  const auto& nl = d.nl();
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (!net.is_clock && net.pins.size() >= 2) ++signal;
+  }
+  return signal ? static_cast<double>(cut_size(d)) / signal : 0.0;
+}
+
+namespace {
+
+/// Shared FM engine; `region` assigns each cell to a balance domain
+/// (a single domain for whole-design FM, a placement bin for the
+/// bin-based variant).
+class FmEngine {
+ public:
+  FmEngine(Design& d, const FmOptions& opt, const std::vector<char>* locked,
+           std::vector<int> region, int num_regions)
+      : d_(d),
+        nl_(d.nl()),
+        opt_(opt),
+        region_(std::move(region)),
+        nreg_(num_regions) {
+    const std::size_t nc = static_cast<std::size_t>(nl_.cell_count());
+    movable_.assign(nc, 0);
+    for (CellId c = 0; c < nl_.cell_count(); ++c) {
+      const auto& cc = nl_.cell(c);
+      if (!cc.is_comb() && !cc.is_sequential()) continue;
+      if (cc.fixed) continue;
+      if (locked != nullptr && (*locked)[static_cast<std::size_t>(c)])
+        continue;
+      movable_[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+
+  int run();
+
+ private:
+  void initial_assignment();
+  void rebuild_counts();
+  int current_cut() const;
+  int gain_of(CellId c) const;
+  bool feasible(CellId c) const;
+  void apply_move(CellId c);
+  std::vector<NetId> nets_of(CellId c) const;
+
+  Design& d_;
+  const netlist::Netlist& nl_;
+  const FmOptions& opt_;
+  std::vector<int> region_;
+  int nreg_;
+  std::vector<char> movable_;
+  // Per net: pin-count per tier (participating signal nets only).
+  std::vector<int> cnt_[2];
+  // Per region: hypothetical-area balance (top in top-lib, bottom in
+  // bottom-lib units).
+  std::vector<double> area_top_, area_bottom_;
+};
+
+std::vector<NetId> FmEngine::nets_of(CellId c) const {
+  std::vector<NetId> out;
+  for (PinId p : nl_.cell(c).pins) {
+    const NetId n = nl_.pin(p).net;
+    if (n == kInvalidId || nl_.net(n).is_clock) continue;
+    if (nl_.net(n).pins.size() < 2) continue;
+    out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void FmEngine::rebuild_counts() {
+  const std::size_t nn = static_cast<std::size_t>(nl_.net_count());
+  cnt_[0].assign(nn, 0);
+  cnt_[1].assign(nn, 0);
+  for (NetId n = 0; n < nl_.net_count(); ++n) {
+    const auto& net = nl_.net(n);
+    if (net.is_clock || net.pins.size() < 2) continue;
+    for (PinId p : net.pins)
+      ++cnt_[d_.tier(nl_.pin(p).cell)][static_cast<std::size_t>(n)];
+  }
+  area_top_.assign(static_cast<std::size_t>(nreg_), 0.0);
+  area_bottom_.assign(static_cast<std::size_t>(nreg_), 0.0);
+  for (CellId c = 0; c < nl_.cell_count(); ++c) {
+    const auto& cc = nl_.cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    const std::size_t r = static_cast<std::size_t>(region_[
+        static_cast<std::size_t>(c)]);
+    if (d_.tier(c) == kTopTier)
+      area_top_[r] += cell_area_on(d_, c, kTopTier);
+    else
+      area_bottom_[r] += cell_area_on(d_, c, kBottomTier);
+  }
+}
+
+int FmEngine::current_cut() const {
+  int cut = 0;
+  for (NetId n = 0; n < nl_.net_count(); ++n)
+    if (cnt_[0][static_cast<std::size_t>(n)] > 0 &&
+        cnt_[1][static_cast<std::size_t>(n)] > 0)
+      ++cut;
+  return cut;
+}
+
+int FmEngine::gain_of(CellId c) const {
+  const int from = d_.tier(c);
+  const int to = 1 - from;
+  int g = 0;
+  for (NetId n : nets_of(c)) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    if (cnt_[from][ni] == 1 && cnt_[to][ni] > 0) ++g;  // uncuts the net
+    if (cnt_[to][ni] == 0) --g;                        // newly cuts it
+  }
+  return g;
+}
+
+bool FmEngine::feasible(CellId c) const {
+  const int from = d_.tier(c);
+  const int to = 1 - from;
+  const std::size_t r =
+      static_cast<std::size_t>(region_[static_cast<std::size_t>(c)]);
+  double top = area_top_[r];
+  double bottom = area_bottom_[r];
+  if (from == kTopTier) {
+    top -= cell_area_on(d_, c, kTopTier);
+    bottom += cell_area_on(d_, c, kBottomTier);
+  } else {
+    bottom -= cell_area_on(d_, c, kBottomTier);
+    top += cell_area_on(d_, c, kTopTier);
+  }
+  (void)to;
+  const double total = top + bottom;
+  if (total <= 0.0) return true;
+  return std::abs(top / total - opt_.target_top_share) <= opt_.balance_tol;
+}
+
+void FmEngine::apply_move(CellId c) {
+  const int from = d_.tier(c);
+  const int to = 1 - from;
+  const std::size_t r =
+      static_cast<std::size_t>(region_[static_cast<std::size_t>(c)]);
+  if (from == kTopTier) {
+    area_top_[r] -= cell_area_on(d_, c, kTopTier);
+    area_bottom_[r] += cell_area_on(d_, c, kBottomTier);
+  } else {
+    area_bottom_[r] -= cell_area_on(d_, c, kBottomTier);
+    area_top_[r] += cell_area_on(d_, c, kTopTier);
+  }
+  for (NetId n : nets_of(c)) {
+    --cnt_[from][static_cast<std::size_t>(n)];
+    ++cnt_[to][static_cast<std::size_t>(n)];
+  }
+  d_.set_tier(c, to);
+}
+
+void FmEngine::initial_assignment() {
+  // Per region, grow a connected BFS blob up to the target top share and
+  // assign it to the top tier. A connected seed partition is a far better
+  // FM start than a random split: the cut starts near the blob's surface
+  // instead of scattered through the whole graph.
+  util::Rng rng(opt_.seed);
+  std::vector<std::vector<CellId>> by_region(
+      static_cast<std::size_t>(nreg_));
+  for (CellId c = 0; c < nl_.cell_count(); ++c)
+    if (movable_[static_cast<std::size_t>(c)])
+      by_region[static_cast<std::size_t>(
+          region_[static_cast<std::size_t>(c)])].push_back(c);
+
+  for (auto& cells : by_region) {
+    if (cells.empty()) continue;
+    rng.shuffle(cells);
+    double top = 0.0, bottom = 0.0;
+    for (CellId c : cells)
+      if (d_.tier(c) == kTopTier)
+        top += cell_area_on(d_, c, kTopTier);
+      else
+        bottom += cell_area_on(d_, c, kBottomTier);
+
+    std::vector<char> in_region(
+        static_cast<std::size_t>(nl_.cell_count()), 0);
+    for (CellId c : cells) in_region[static_cast<std::size_t>(c)] = 1;
+    std::vector<char> visited(
+        static_cast<std::size_t>(nl_.cell_count()), 0);
+
+    std::size_t seed_idx = 0;
+    std::vector<CellId> frontier;
+    auto total_share = [&] {
+      const double total = top + bottom;
+      return total > 0.0 ? top / total : opt_.target_top_share;
+    };
+    while (total_share() < opt_.target_top_share) {
+      CellId c = kInvalidId;
+      if (!frontier.empty()) {
+        c = frontier.back();
+        frontier.pop_back();
+      } else {
+        // Natural blob boundary reached. If the share is already inside
+        // the balance envelope, stop here instead of seeding an island —
+        // a connected, slightly-light partition beats a scattered exact
+        // one as an FM start.
+        if (total_share() >=
+            opt_.target_top_share - 0.9 * opt_.balance_tol)
+          break;
+        // Otherwise start a new blob from the next unvisited seed.
+        while (seed_idx < cells.size() &&
+               visited[static_cast<std::size_t>(cells[seed_idx])])
+          ++seed_idx;
+        if (seed_idx >= cells.size()) break;
+        c = cells[seed_idx];
+      }
+      if (visited[static_cast<std::size_t>(c)]) continue;
+      visited[static_cast<std::size_t>(c)] = 1;
+      if (d_.tier(c) != kTopTier) {
+        bottom -= cell_area_on(d_, c, kBottomTier);
+        top += cell_area_on(d_, c, kTopTier);
+        d_.set_tier(c, kTopTier);
+      }
+      // Expand through small nets only — huge nets connect everything and
+      // destroy locality.
+      for (PinId p : nl_.cell(c).pins) {
+        const NetId n = nl_.pin(p).net;
+        if (n == kInvalidId || nl_.net(n).is_clock) continue;
+        if (nl_.net(n).pins.size() > 12) continue;
+        for (PinId q : nl_.net(n).pins) {
+          const CellId nb = nl_.pin(q).cell;
+          if (nb == c || visited[static_cast<std::size_t>(nb)]) continue;
+          if (!in_region[static_cast<std::size_t>(nb)]) continue;
+          if (!movable_[static_cast<std::size_t>(nb)]) continue;
+          frontier.push_back(nb);
+        }
+      }
+    }
+  }
+}
+
+int FmEngine::run() {
+  M3D_CHECK(d_.num_tiers() == 2);
+  initial_assignment();
+  rebuild_counts();
+  int cut = current_cut();
+
+  for (int pass = 0; pass < opt_.max_passes; ++pass) {
+    // Per-side gain-ordered candidate sets: (-gain, cell). Two buckets so
+    // that balance saturation on one side never starves the other —
+    // the classic FM arrangement.
+    std::set<std::pair<int, CellId>> bucket[2];
+    std::vector<int> gain(static_cast<std::size_t>(nl_.cell_count()), 0);
+    std::vector<char> locked_in_pass(
+        static_cast<std::size_t>(nl_.cell_count()), 0);
+    for (CellId c = 0; c < nl_.cell_count(); ++c) {
+      if (!movable_[static_cast<std::size_t>(c)]) continue;
+      gain[static_cast<std::size_t>(c)] = gain_of(c);
+      bucket[d_.tier(c)].insert({-gain[static_cast<std::size_t>(c)], c});
+    }
+
+    const std::vector<int> tier_snapshot = [&] {
+      std::vector<int> t(static_cast<std::size_t>(nl_.cell_count()));
+      for (CellId c = 0; c < nl_.cell_count(); ++c)
+        t[static_cast<std::size_t>(c)] = d_.tier(c);
+      return t;
+    }();
+
+    std::vector<CellId> moves;
+    int running_cut = cut;
+    int best_cut = cut;
+    std::size_t best_prefix = 0;
+
+    while (!bucket[0].empty() || !bucket[1].empty()) {
+      // Best feasible candidate from either side's bucket front.
+      CellId c = kInvalidId;
+      int c_gain = 0;
+      for (int side : {0, 1}) {
+        int probed = 0;
+        for (auto it = bucket[side].begin();
+             it != bucket[side].end() && probed < 16; ++it, ++probed) {
+          if (!feasible(it->second)) continue;
+          const int g = -it->first;
+          if (c == kInvalidId || g > c_gain) {
+            c = it->second;
+            c_gain = g;
+          }
+          break;  // bucket is sorted: first feasible is this side's best
+        }
+      }
+      if (c == kInvalidId) break;
+      bucket[d_.tier(c)].erase({-gain[static_cast<std::size_t>(c)], c});
+      locked_in_pass[static_cast<std::size_t>(c)] = 1;
+
+      // Neighbours whose gains change.
+      std::vector<CellId> touched;
+      for (NetId n : nets_of(c))
+        for (PinId p : nl_.net(n).pins) {
+          const CellId nb = nl_.pin(p).cell;
+          if (nb != c && movable_[static_cast<std::size_t>(nb)] &&
+              !locked_in_pass[static_cast<std::size_t>(nb)])
+            touched.push_back(nb);
+        }
+      running_cut -= gain[static_cast<std::size_t>(c)];
+      apply_move(c);
+      moves.push_back(c);
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      for (CellId nb : touched) {
+        bucket[d_.tier(nb)].erase(
+            {-gain[static_cast<std::size_t>(nb)], nb});
+        gain[static_cast<std::size_t>(nb)] = gain_of(nb);
+        bucket[d_.tier(nb)].insert(
+            {-gain[static_cast<std::size_t>(nb)], nb});
+      }
+      if (running_cut < best_cut) {
+        best_cut = running_cut;
+        best_prefix = moves.size();
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i)
+      d_.set_tier(moves[i - 1],
+                  tier_snapshot[static_cast<std::size_t>(moves[i - 1])]);
+    rebuild_counts();
+    const int new_cut = current_cut();
+    util::log_debug("FM pass ", pass, ": cut ", cut, " -> ", new_cut);
+    if (new_cut >= cut) break;
+    cut = new_cut;
+  }
+  return cut;
+}
+
+std::vector<int> bin_regions(const Design& d, int bins) {
+  const auto fp = d.floorplan();
+  std::vector<int> region(static_cast<std::size_t>(d.nl().cell_count()), 0);
+  for (CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto p = d.pos(c);
+    int bx = static_cast<int>((p.x - fp.xlo) / std::max(fp.width(), 1e-9) *
+                              bins);
+    int by = static_cast<int>((p.y - fp.ylo) / std::max(fp.height(), 1e-9) *
+                              bins);
+    bx = std::clamp(bx, 0, bins - 1);
+    by = std::clamp(by, 0, bins - 1);
+    region[static_cast<std::size_t>(c)] = by * bins + bx;
+  }
+  return region;
+}
+
+}  // namespace
+
+int fm_mincut(Design& d, const FmOptions& opt,
+              const std::vector<char>* locked) {
+  std::vector<int> region(static_cast<std::size_t>(d.nl().cell_count()), 0);
+  FmEngine eng(d, opt, locked, std::move(region), 1);
+  return eng.run();
+}
+
+int bin_fm_partition(Design& d, const FmOptions& opt,
+                     const std::vector<char>* locked) {
+  FmEngine eng(d, opt, locked, bin_regions(d, opt.bins),
+               opt.bins * opt.bins);
+  return eng.run();
+}
+
+}  // namespace m3d::part

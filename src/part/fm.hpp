@@ -1,0 +1,55 @@
+#pragma once
+/// \file fm.hpp
+/// \brief Fiduccia–Mattheyses min-cut tier partitioning with area balance,
+///        plus the placement-driven bin-based variant used by pseudo-3-D
+///        flows.
+///
+/// The bin-based variant enforces the area balance *per placement bin*
+/// instead of globally: each bin of the pseudo-3-D placement must split
+/// close to 50/50 between tiers, so folding the footprint in half does not
+/// disturb the optimized x/y placement — this is the partitioning step of
+/// Shrunk-2-D/Compact-2-D/Pin-3-D that the paper builds on.
+///
+/// Area accounting is heterogeneity-aware: a cell's area is evaluated in
+/// the library of the tier it would occupy, so a 12-track cell "shrinks"
+/// when hypothetically moved to the 9-track tier.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace m3d::part {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+
+/// Partitioning knobs.
+struct FmOptions {
+  double target_top_share = 0.5;  ///< desired top-tier share of cell area
+  double balance_tol = 0.10;      ///< allowed deviation from the target
+  int max_passes = 8;             ///< FM passes (each pass visits all cells)
+  int bins = 8;                   ///< bin grid per axis (bin-based variant)
+  unsigned seed = 1;              ///< initial-assignment seed
+};
+
+/// Area of a standard cell if it sat on tier `t` (heterogeneity-aware).
+double cell_area_on(const Design& d, CellId c, int t);
+
+/// Number of signal nets spanning both tiers (the cut).
+int cut_size(const Design& d);
+
+/// Fraction of signal nets spanning both tiers (paper: ~15 % for the CPU).
+double cut_fraction(const Design& d);
+
+/// Whole-design FM min-cut. Cells in `locked` (by id) keep their current
+/// tier. Assigns every movable cell a tier; returns the final cut size.
+int fm_mincut(Design& d, const FmOptions& opt = {},
+              const std::vector<char>* locked = nullptr);
+
+/// Placement-driven bin-based FM: per-bin area balance so the 2-D
+/// placement survives folding. Returns the final cut size.
+int bin_fm_partition(Design& d, const FmOptions& opt = {},
+                     const std::vector<char>* locked = nullptr);
+
+}  // namespace m3d::part

@@ -1,0 +1,233 @@
+#include "part/repartition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "part/fm.hpp"
+#include "route/route.hpp"
+#include "util/log.hpp"
+
+namespace m3d::part {
+
+using netlist::kBottomTier;
+using netlist::kInvalidId;
+using netlist::kTopTier;
+
+double tier_unbalance(const Design& d) {
+  const double top = d.tier_std_cell_area(kTopTier);
+  const double bottom = d.tier_std_cell_area(kBottomTier);
+  const double total = top + bottom;
+  return total > 0.0 ? std::abs(top - bottom) / total : 0.0;
+}
+
+int rebalance_to_top(Design& d, const sta::StaResult& timing,
+                     double min_slack_ns, double utilization) {
+  M3D_CHECK(d.num_tiers() == 2);
+  auto tier_req = [&](int tier) {
+    double macro = 0.0;
+    for (CellId c = 0; c < d.nl().cell_count(); ++c)
+      if (d.nl().cell(c).is_macro() && d.tier(c) == tier)
+        macro += d.cell_area(c);
+    return d.tier_std_cell_area(tier) / utilization + macro * 1.05;
+  };
+
+  // Candidates: bottom-tier std cells, most slack first.
+  std::vector<std::pair<double, CellId>> cands;
+  for (CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    if (d.tier(c) != kBottomTier) continue;
+    const double s = timing.cell_slack(c);
+    if (!std::isfinite(s) || s < min_slack_ns) continue;
+    cands.emplace_back(-s, c);
+  }
+  std::sort(cands.begin(), cands.end());
+
+  // Batch-verified migration: move a slack-ordered batch, re-time, undo the
+  // batch if WNS degraded (the 12T→9T remap costs ~2× per stage, so the
+  // slack filter alone is not a safety proof).
+  const double wns_start = [&] {
+    const auto routes = route::route_design(d);
+    return sta::run_sta(d, &routes).wns();
+  }();
+  // Migration may consume positive slack and even dip negative up to the
+  // paper's own acceptance band (WNS within ~7 % of the period — its
+  // hetero designs all sit a few percent below zero), but never degrade an
+  // already-violating design further.
+  const double wns_floor =
+      std::min(wns_start, -0.08 * d.clock_period_ns());
+  std::size_t batch = std::max<std::size_t>(40, cands.size() / 12);
+  int moved = 0;
+  double bottom = tier_req(kBottomTier);
+  double top = tier_req(kTopTier);
+  std::size_t i = 0;
+  int attempts = 0;
+  while (i < cands.size() && bottom > top && attempts++ < 48) {
+    const std::size_t batch_start = i;
+    std::vector<CellId> moved_batch;
+    for (; i < cands.size() && moved_batch.size() < batch && bottom > top;
+         ++i) {
+      const CellId c = cands[i].second;
+      const double a_b = cell_area_on(d, c, kBottomTier) / utilization;
+      const double a_t = cell_area_on(d, c, kTopTier) / utilization;
+      d.set_tier(c, kTopTier);
+      bottom -= a_b;
+      top += a_t;
+      moved_batch.push_back(c);
+    }
+    if (moved_batch.empty()) break;
+    const auto routes = route::route_design(d);
+    const double wns = sta::run_sta(d, &routes).wns();
+    if (wns < wns_floor) {
+      // One poisoned cell fails the whole batch: undo, shrink the batch
+      // and retry from the same point to isolate it.
+      for (CellId c : moved_batch) {
+        d.set_tier(c, kBottomTier);
+        bottom += cell_area_on(d, c, kBottomTier) / utilization;
+        top -= cell_area_on(d, c, kTopTier) / utilization;
+      }
+      if (batch <= 8) {
+        // Skip the poisoned head cell and continue with small batches.
+        i = batch_start + 1;
+        continue;
+      }
+      i = batch_start;
+      batch /= 4;
+      continue;
+    }
+    moved += static_cast<int>(moved_batch.size());
+  }
+  util::log_info("rebalance: ", moved, " slack-rich cells to the top tier");
+  return moved;
+}
+
+RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
+  M3D_CHECK(d.num_tiers() == 2);
+  RepartitionResult res;
+
+  auto time_design = [&] {
+    const auto routes = route::route_design(d);
+    return sta::run_sta(d, &routes, opt.sta);
+  };
+
+  sta::StaResult timing = time_design();
+  res.wns_before = timing.wns();
+  res.tns_before = timing.tns();
+  double wns = res.wns_before;
+  double tns = res.tns_before;
+
+  double d_k = opt.d0;
+  const int n_p = opt.n_paths;
+
+  // The budget bounds how far the ECO may *push* the tier balance away
+  // from wherever the partitioner left it (which is deliberately offset
+  // when macros occupy the bottom tier).
+  const double initial_unbalance = tier_unbalance(d);
+
+  while (res.iterations < opt.max_iters &&
+         tier_unbalance(d) - initial_unbalance <= opt.unbalance_th) {
+    ++res.iterations;
+
+    // Average stage delay over the n_p worst paths sets the threshold.
+    const auto paths = timing.worst_paths(n_p);
+    if (paths.empty()) break;
+    double delay_sum = 0.0;
+    long long stage_count = 0;
+    for (const auto& p : paths)
+      for (const auto& st : p.stages) {
+        if (st.cell == kInvalidId || st.out_pin == kInvalidId) continue;
+        delay_sum += st.cell_delay_ns;
+        ++stage_count;
+      }
+    if (stage_count == 0) break;
+    const double d_th = d_k * (delay_sum / static_cast<double>(stage_count));
+
+    // Collect critical cells above the threshold; count slow-die share.
+    int all_crit = 0, slow_crit = 0;
+    std::vector<CellId> move_list;
+    std::vector<char> in_list(
+        static_cast<std::size_t>(d.nl().cell_count()), 0);
+    for (const auto& p : paths)
+      for (const auto& st : p.stages) {
+        if (st.cell == kInvalidId || st.out_pin == kInvalidId) continue;
+        const auto& cc = d.nl().cell(st.cell);
+        if (!cc.is_comb() && !cc.is_sequential()) continue;
+        if (st.cell_delay_ns <= d_th) continue;
+        if (in_list[static_cast<std::size_t>(st.cell)]) continue;
+        in_list[static_cast<std::size_t>(st.cell)] = 1;
+        ++all_crit;
+        if (d.tier(st.cell) == kTopTier) {
+          ++slow_crit;
+          move_list.push_back(st.cell);
+        }
+      }
+
+    if (all_crit == 0 ||
+        static_cast<double>(slow_crit) / all_crit < opt.crit_th) {
+      util::log_info("repartition: critical cells now fast-die dominated (",
+                     slow_crit, "/", all_crit, "), stopping");
+      break;
+    }
+    if (move_list.empty()) break;
+
+    // Counterweights: the ECO is a *swap*, not a one-way migration — an
+    // equal area of the most slack-rich bottom cells rides to the top
+    // tier so the fast die does not outgrow the footprint.
+    double area_added = 0.0;
+    for (CellId c : move_list)
+      area_added += cell_area_on(d, c, kBottomTier);
+    std::vector<std::pair<double, CellId>> counter_cands;
+    for (CellId c = 0; c < d.nl().cell_count(); ++c) {
+      const auto& cc = d.nl().cell(c);
+      if (!cc.is_comb() && !cc.is_sequential()) continue;
+      if (d.tier(c) != kBottomTier) continue;
+      if (in_list[static_cast<std::size_t>(c)]) continue;
+      const double s = timing.cell_slack(c);
+      if (!std::isfinite(s) || s < 0.05 * d.clock_period_ns()) continue;
+      counter_cands.emplace_back(-s, c);
+    }
+    std::sort(counter_cands.begin(), counter_cands.end());
+    std::vector<CellId> counter_list;
+    double area_removed = 0.0;
+    for (const auto& [neg_s, c] : counter_cands) {
+      if (area_removed >= area_added) break;
+      counter_list.push_back(c);
+      area_removed += cell_area_on(d, c, kBottomTier);
+    }
+
+    // Move to the fast die (ECO), swap counterweights up, re-time.
+    for (CellId c : move_list) d.set_tier(c, kBottomTier);
+    for (CellId c : counter_list) d.set_tier(c, kTopTier);
+    timing = time_design();
+    const double new_wns = timing.wns();
+    const double new_tns = timing.tns();
+
+    if (new_wns - wns < opt.wns_th || new_tns - tns < opt.tns_th) {
+      // Not enough improvement: undo and tighten the threshold.
+      for (CellId c : move_list) d.set_tier(c, kTopTier);
+      for (CellId c : counter_list) d.set_tier(c, kBottomTier);
+      res.moves_undone += static_cast<int>(move_list.size());
+      d_k *= opt.alpha;
+      timing = time_design();
+      util::log_debug("repartition iter ", res.iterations,
+                      ": undone (wns ", new_wns, " vs ", wns, "), d_k=", d_k);
+    } else {
+      res.cells_moved += static_cast<int>(move_list.size());
+      wns = new_wns;
+      tns = new_tns;
+      util::log_debug("repartition iter ", res.iterations, ": moved ",
+                      move_list.size(), " cells (+",
+                      counter_list.size(), " counterweights up), wns=", wns);
+    }
+  }
+
+  res.wns_after = wns;
+  res.tns_after = tns;
+  res.final_unbalance = tier_unbalance(d);
+  util::log_info("repartition ECO: ", res.cells_moved, " cells to fast die, ",
+                 res.moves_undone, " undone, wns ", res.wns_before, " -> ",
+                 res.wns_after);
+  return res;
+}
+
+}  // namespace m3d::part

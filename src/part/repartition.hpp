@@ -1,0 +1,67 @@
+#pragma once
+/// \file repartition.hpp
+/// \brief Repartitioning via ECO (paper §III-C, Algorithm 1).
+///
+/// After the 3-D database exists, the pseudo-3-D timing that drove the
+/// initial partition is stale: the pseudo stage knew only one technology.
+/// Algorithm 1 walks the current critical paths, finds cells whose stage
+/// delay exceeds a threshold *and* that sit on the slow tier, moves them to
+/// the fast tier as an ECO, and keeps the move only if WNS/TNS improve.
+/// On a rejected move the delay threshold is tightened (d_k *= alpha) so
+/// only the very slowest offenders are retried. The loop stops when
+///  * the slow-tier share of critical cells drops below crit_th (the
+///    critical population now lives on the fast die), or
+///  * the tier-area unbalance budget is exhausted, or
+///  * max_iters is hit.
+
+#include "netlist/design.hpp"
+#include "sta/sta.hpp"
+
+namespace m3d::part {
+
+using netlist::CellId;
+using netlist::Design;
+
+/// Algorithm 1 knobs (names follow the paper's pseudocode).
+struct RepartitionOptions {
+  double unbalance_th = 0.15;  ///< max |top−bottom|/total area unbalance
+  double d0 = 1.2;             ///< initial delay-threshold multiplier d_k
+  int n_paths = 50;            ///< paths examined per iteration (n_p)
+  double crit_th = 0.25;       ///< stop when slow_crit/all_crit below this
+  double alpha = 0.7;          ///< threshold tightening on rejected moves
+  double wns_th = 0.0;         ///< required WNS improvement per iteration
+  double tns_th = 0.0;         ///< required TNS improvement per iteration
+  int max_iters = 12;
+  sta::StaOptions sta;         ///< timing options for the ECO updates
+};
+
+/// Outcome diagnostics.
+struct RepartitionResult {
+  int iterations = 0;
+  int cells_moved = 0;   ///< net accepted moves to the fast tier
+  int moves_undone = 0;  ///< cells moved then rolled back
+  double wns_before = 0.0;
+  double wns_after = 0.0;
+  double tns_before = 0.0;
+  double tns_after = 0.0;
+  double final_unbalance = 0.0;
+};
+
+/// Run Algorithm 1 on a partitioned, placed 3-D design. Re-times the design
+/// with routing-aware STA after every move batch (the "ECO update").
+RepartitionResult repartition_eco(Design& d,
+                                  const RepartitionOptions& opt = {});
+
+/// Area unbalance |top − bottom| / total, areas measured in each tier's
+/// own library units (the quantity Algorithm 1 budgets).
+double tier_unbalance(const Design& d);
+
+/// Heterogeneous tier rebalancing: while the bottom (fast) tier needs more
+/// plan-view room than the top, migrate the *least critical* bottom cells
+/// (slack above `min_slack_ns`) to the top tier. This is the flow's
+/// area/power recovery lever — non-critical logic belongs on the small,
+/// low-power 9-track die. Returns cells moved.
+int rebalance_to_top(Design& d, const sta::StaResult& timing,
+                     double min_slack_ns, double utilization);
+
+}  // namespace m3d::part

@@ -1,0 +1,86 @@
+#include "part/timing_partition.hpp"
+#include <limits>
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace m3d::part {
+
+using netlist::kBottomTier;
+using netlist::kInvalidId;
+
+namespace {
+
+TimingPartitionResult pin_and_partition(Design& d,
+                                        const std::vector<CellId>& order,
+                                        const TimingPartitionOptions& opt,
+                                        const sta::StaResult& timing) {
+  TimingPartitionResult res;
+  res.worst_pinned_slack = -std::numeric_limits<double>::infinity();
+  const double total_area = d.total_std_cell_area();
+  const double cap = opt.area_cap * total_area;
+
+  std::vector<char> locked(static_cast<std::size_t>(d.nl().cell_count()), 0);
+  double pinned = 0.0;
+  for (CellId c : order) {
+    if (pinned >= cap) break;
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    d.set_tier(c, kBottomTier);
+    locked[static_cast<std::size_t>(c)] = 1;
+    pinned += cell_area_on(d, c, kBottomTier);
+    ++res.pinned_cells;
+    res.worst_pinned_slack =
+        std::max(res.worst_pinned_slack, timing.cell_slack(c));
+  }
+  res.pinned_area = pinned;
+
+  res.cut = bin_fm_partition(d, opt.fm, &locked);
+  util::log_info("timing partition: pinned ", res.pinned_cells, " cells (",
+                 pinned / total_area * 100.0, "% area), cut ", res.cut);
+  return res;
+}
+
+}  // namespace
+
+TimingPartitionResult timing_partition(Design& d,
+                                       const sta::StaResult& timing,
+                                       const TimingPartitionOptions& opt) {
+  M3D_CHECK(d.num_tiers() == 2);
+  // Order all std cells by cell criticality (worst slack through the cell).
+  std::vector<std::pair<double, CellId>> crit;
+  for (CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    const double s = timing.cell_slack(c);
+    if (std::isfinite(s)) crit.emplace_back(s, c);
+  }
+  std::sort(crit.begin(), crit.end());
+  std::vector<CellId> order;
+  order.reserve(crit.size());
+  for (const auto& [s, c] : crit) order.push_back(c);
+  return pin_and_partition(d, order, opt, timing);
+}
+
+TimingPartitionResult timing_partition_path_based(
+    Design& d, const sta::StaResult& timing, int n_paths,
+    const TimingPartitionOptions& opt) {
+  M3D_CHECK(d.num_tiers() == 2);
+  // Enumerate one worst path per endpoint for the n worst endpoints and
+  // pin the traversed cells in endpoint-slack order. This is the coverage-
+  // limited strategy of [14] that the paper's cell-based method replaces.
+  std::vector<CellId> order;
+  std::vector<char> seen(static_cast<std::size_t>(d.nl().cell_count()), 0);
+  for (const auto& path : timing.worst_paths(n_paths)) {
+    for (const auto& st : path.stages) {
+      if (st.cell == kInvalidId) continue;
+      if (seen[static_cast<std::size_t>(st.cell)]) continue;
+      seen[static_cast<std::size_t>(st.cell)] = 1;
+      order.push_back(st.cell);
+    }
+  }
+  return pin_and_partition(d, order, opt, timing);
+}
+
+}  // namespace m3d::part

@@ -1,0 +1,51 @@
+#pragma once
+/// \file timing_partition.hpp
+/// \brief Timing-based tier partitioning (paper §III-A1).
+///
+/// Cell-based criticality: each cell's criticality is the worst slack among
+/// all paths through it (straight from the STA required/arrival times), not
+/// a path enumeration — the paper argues path-based selection misses cells
+/// whose single worst path is not in the enumerated set, and one missed
+/// critical cell on the slow tier can wreck timing.
+///
+/// The most critical cells — capped to a fraction of total cell area,
+/// 20–30 % in the paper, to avoid dense critical clusters unbalancing the
+/// placement — are pinned to the fast (bottom/12-track) tier. The rest is
+/// split by placement-driven bin-based FM.
+
+#include <vector>
+
+#include "part/fm.hpp"
+#include "sta/sta.hpp"
+
+namespace m3d::part {
+
+/// Knobs for the timing-based stage.
+struct TimingPartitionOptions {
+  double area_cap = 0.25;  ///< max fraction of std-cell area pinned fast
+  FmOptions fm;            ///< options for the residual bin-FM stage
+};
+
+/// Result diagnostics.
+struct TimingPartitionResult {
+  int pinned_cells = 0;        ///< cells pinned to the fast tier
+  double pinned_area = 0.0;    ///< their area (bottom-lib units)
+  int cut = 0;                 ///< final cut size after bin-FM
+  double worst_pinned_slack = 0.0;
+};
+
+/// Run timing-based partitioning on a 3-D design whose timing `timing` was
+/// analyzed in the pseudo-3-D stage. Marks critical cells to the bottom
+/// tier, locks them, and bin-FM-partitions the remainder.
+TimingPartitionResult timing_partition(Design& d,
+                                       const sta::StaResult& timing,
+                                       const TimingPartitionOptions& opt = {});
+
+/// Path-based alternative (the [14] baseline the paper compares against):
+/// walks the worst `n_paths` paths and pins their cells to the fast tier
+/// under the same area cap. Used by the criticality ablation bench.
+TimingPartitionResult timing_partition_path_based(
+    Design& d, const sta::StaResult& timing, int n_paths,
+    const TimingPartitionOptions& opt = {});
+
+}  // namespace m3d::part

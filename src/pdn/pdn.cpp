@@ -1,0 +1,130 @@
+#include "pdn/pdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "thermal/thermal.hpp"
+#include "util/log.hpp"
+
+namespace m3d::pdn {
+
+std::vector<std::vector<double>> current_map_a(const Design& d,
+                                               const power::PowerReport& pw,
+                                               int grid) {
+  // Reuse the thermal power map (W per node per tier) and convert with the
+  // tier's own rail: I = P / VDD.
+  auto maps = thermal::power_map_w(d, pw, grid);
+  for (int t = 0; t < d.num_tiers(); ++t) {
+    const double vdd = d.lib(t).vdd();
+    for (double& p : maps[static_cast<std::size_t>(t)]) p /= vdd;
+  }
+  return maps;
+}
+
+PdnReport analyze_pdn(const Design& d, const power::PowerReport& pw,
+                      const PdnOptions& opt) {
+  M3D_CHECK(opt.grid >= 2);
+  const int g = opt.grid;
+  const int tiers = d.num_tiers();
+  const auto current = current_map_a(d, pw, g);
+
+  const double g_mesh = 1.0 / opt.mesh_res_ohm;
+  const double g_bump = 1.0 / opt.bump_res_ohm;
+  const double g_pmiv = 1.0 / opt.pmiv_res_ohm;
+
+  // Node voltages initialized at each tier's rail.
+  std::vector<std::vector<double>> volt(static_cast<std::size_t>(tiers));
+  for (int t = 0; t < tiers; ++t)
+    volt[static_cast<std::size_t>(t)]
+        .assign(static_cast<std::size_t>(g * g), d.lib(t).vdd());
+
+  // Supply topology: the bottom mesh taps the package bump array. In a
+  // homogeneous stack the top mesh has no supply of its own — its power
+  // arrives *through* the bottom mesh via the power-MIV array, which is
+  // what makes the top tier the IR-drop victim in M3D. In a heterogeneous
+  // stack the rails differ, so the top mesh is fed from its own 0.81 V
+  // regulation, but through the package + MIV series resistance.
+  const bool shared_rail =
+      tiers == 2 && std::abs(d.lib(0).vdd() - d.lib(1).vdd()) < 1e-9;
+  const double g_top_tap =
+      1.0 / (opt.pmiv_res_ohm + opt.bump_res_ohm);
+  PdnReport rep;
+  for (rep.iterations = 0; rep.iterations < opt.max_iters;
+       ++rep.iterations) {
+    double worst_delta = 0.0;
+    for (int t = 0; t < tiers; ++t) {
+      const double rail = d.lib(t).vdd();
+      for (int y = 0; y < g; ++y) {
+        for (int x = 0; x < g; ++x) {
+          const std::size_t n = static_cast<std::size_t>(y * g + x);
+          // KCL: sum of conductance-weighted neighbours minus load current.
+          double num = -current[static_cast<std::size_t>(t)][n];
+          double den = 0.0;
+          auto couple = [&](double cond, double v) {
+            num += cond * v;
+            den += cond;
+          };
+          if (x > 0) couple(g_mesh, volt[static_cast<std::size_t>(t)][n - 1]);
+          if (x + 1 < g)
+            couple(g_mesh, volt[static_cast<std::size_t>(t)][n + 1]);
+          if (y > 0)
+            couple(g_mesh, volt[static_cast<std::size_t>(t)]
+                               [n - static_cast<std::size_t>(g)]);
+          if (y + 1 < g)
+            couple(g_mesh, volt[static_cast<std::size_t>(t)]
+                               [n + static_cast<std::size_t>(g)]);
+          if (t == 0 && x % opt.bump_pitch_nodes == 0 &&
+              y % opt.bump_pitch_nodes == 0)
+            couple(g_bump, rail);
+          const bool on_pmiv = x % opt.pmiv_pitch_nodes == 0 &&
+                               y % opt.pmiv_pitch_nodes == 0;
+          if (shared_rail && on_pmiv && tiers == 2) {
+            // The MIV carries current between the meshes (both directions
+            // of the Gauss–Seidel update see the coupling).
+            couple(g_pmiv, volt[static_cast<std::size_t>(1 - t)][n]);
+          } else if (t == 1 && on_pmiv) {
+            couple(g_top_tap, rail);
+          }
+
+          const double updated = num / std::max(den, 1e-18);
+          worst_delta = std::max(
+              worst_delta,
+              std::abs(updated - volt[static_cast<std::size_t>(t)][n]));
+          volt[static_cast<std::size_t>(t)][n] = updated;
+        }
+      }
+    }
+    if (worst_delta < opt.tolerance_v) break;
+  }
+
+  for (int t = 0; t < tiers; ++t) {
+    const double rail = d.lib(t).vdd();
+    double sum_drop = 0.0;
+    for (int y = 0; y < g; ++y)
+      for (int x = 0; x < g; ++x) {
+        const double drop =
+            rail -
+            volt[static_cast<std::size_t>(t)][static_cast<std::size_t>(
+                y * g + x)];
+        sum_drop += drop;
+        if (drop * 1000.0 > rep.worst_drop_mv[t]) {
+          rep.worst_drop_mv[t] = drop * 1000.0;
+          if (drop * 1000.0 >
+              rep.worst_drop_mv[rep.worst_tier] - 1e-12) {
+            rep.worst_x = x;
+            rep.worst_y = y;
+            rep.worst_tier = t;
+          }
+        }
+      }
+    rep.avg_drop_mv[t] = sum_drop / (g * g) * 1000.0;
+    rep.worst_drop_pct[t] = rep.worst_drop_mv[t] / (rail * 1000.0) * 100.0;
+  }
+  rep.tier_maps = std::move(volt);
+  util::log_info("PDN: worst drop ", rep.worst_drop_mv[0], " mV (bottom) / ",
+                 rep.worst_drop_mv[1], " mV (top), ", rep.iterations,
+                 " iterations");
+  return rep;
+}
+
+}  // namespace m3d::pdn

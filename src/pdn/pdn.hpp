@@ -1,0 +1,64 @@
+#pragma once
+/// \file pdn.hpp
+/// \brief Power-delivery-network IR-drop analysis — the paper's explicit
+///        future work ("the current research is done with ideal power
+///        delivery, and a thorough study of the power delivery networks
+///        for heterogeneous 3-D ICs is required").
+///
+/// Model: each tier carries a uniform power mesh discretized onto an N×N
+/// resistive grid. The bottom tier connects to the package C4 bumps on a
+/// regular array (low-resistance taps to the ideal supply). The top tier
+/// has *no* bumps of its own — monolithic stacks feed it through arrays
+/// of power MIVs from the bottom mesh, the structural asymmetry that
+/// makes M3D power delivery interesting. Cell currents (I = P/V_DD of the
+/// cell's own tier) load the node under each instance; Gauss–Seidel
+/// solves for the node voltages.
+///
+/// The heterogeneous angle: the 9-track top tier draws less current *and*
+/// tolerates proportionally less absolute drop (its rail is 0.81 V);
+/// analyze_pdn reports per-tier worst drop both in mV and as a fraction
+/// of that tier's own VDD so the trade is visible.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "power/power.hpp"
+
+namespace m3d::pdn {
+
+using netlist::Design;
+
+/// Electrical knobs.
+struct PdnOptions {
+  int grid = 16;             ///< mesh nodes per axis per tier
+  double mesh_res_ohm = 0.8; ///< resistance between adjacent mesh nodes
+  int bump_pitch_nodes = 4;  ///< C4 bump every k-th node (bottom tier)
+  double bump_res_ohm = 0.15;   ///< bump + package resistance per tap
+  int pmiv_pitch_nodes = 2;  ///< power-MIV array pitch (tier-to-tier)
+  double pmiv_res_ohm = 0.4; ///< resistance of one power-MIV bundle
+  int max_iters = 6000;
+  double tolerance_v = 1e-7;
+};
+
+/// Result of one solve.
+struct PdnReport {
+  double worst_drop_mv[2] = {0, 0};  ///< per tier, vs that tier's VDD
+  double avg_drop_mv[2] = {0, 0};
+  double worst_drop_pct[2] = {0, 0};  ///< % of the tier's own VDD
+  int worst_x = 0, worst_y = 0, worst_tier = 0;
+  int iterations = 0;
+  /// Per-tier voltage maps (V), row-major grid×grid.
+  std::vector<std::vector<double>> tier_maps;
+};
+
+/// Per-node current draw (A) for each tier, from the power analysis:
+/// I = P_node / VDD(tier).
+std::vector<std::vector<double>> current_map_a(const Design& d,
+                                               const power::PowerReport& pw,
+                                               int grid);
+
+/// Solve the IR-drop field.
+PdnReport analyze_pdn(const Design& d, const power::PowerReport& pw,
+                      const PdnOptions& opt = {});
+
+}  // namespace m3d::pdn

@@ -1,0 +1,479 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace m3d::place {
+
+using netlist::Cell;
+using netlist::kBottomTier;
+using netlist::kInvalidId;
+using netlist::NetId;
+using netlist::PinId;
+using util::Point;
+using util::Rect;
+
+namespace {
+
+bool movable(const Cell& c) { return !c.fixed && !c.is_port(); }
+
+/// Evenly distribute ports around the floorplan perimeter.
+void place_ports(Design& d) {
+  const auto& nl = d.nl();
+  std::vector<CellId> ports;
+  for (CellId c = 0; c < nl.cell_count(); ++c)
+    if (nl.cell(c).is_port()) ports.push_back(c);
+  if (ports.empty()) return;
+  const Rect& fp = d.floorplan();
+  const double perim = 2.0 * (fp.width() + fp.height());
+  const double step = perim / static_cast<double>(ports.size());
+  double s = 0.0;
+  for (CellId c : ports) {
+    double t = std::fmod(s, perim);
+    Point p;
+    if (t < fp.width()) {
+      p = {fp.xlo + t, fp.ylo};
+    } else if (t < fp.width() + fp.height()) {
+      p = {fp.xhi, fp.ylo + (t - fp.width())};
+    } else if (t < 2.0 * fp.width() + fp.height()) {
+      p = {fp.xhi - (t - fp.width() - fp.height()), fp.yhi};
+    } else {
+      p = {fp.xlo, fp.yhi - (t - 2.0 * fp.width() - fp.height())};
+    }
+    d.set_pos(c, p);
+    s += step;
+  }
+}
+
+/// Pin macros in columns along the left and right core edges. In 3-D the
+/// macros are themselves partitioned across tiers (area-balanced greedy):
+/// the paper keeps memories identical in both technology variants exactly
+/// so the cache can occupy either die.
+void place_macros(Design& d) {
+  const auto& nl = d.nl();
+  std::vector<CellId> macros;
+  for (CellId c = 0; c < nl.cell_count(); ++c)
+    if (nl.cell(c).is_macro()) macros.push_back(c);
+  if (macros.empty()) return;
+  // Largest first for better greedy balance.
+  std::sort(macros.begin(), macros.end(), [&](CellId a, CellId b) {
+    return d.cell_area(a) > d.cell_area(b);
+  });
+  const Rect& fp = d.floorplan();
+  const int tiers = d.num_tiers();
+  double tier_area[2] = {0.0, 0.0};
+  // col_y[tier][side]: fill level of each tier's left/right column.
+  double col_y[2][2] = {{fp.ylo, fp.ylo}, {fp.ylo, fp.ylo}};
+  for (CellId c : macros) {
+    const int tier =
+        tiers == 2 && tier_area[1] < tier_area[0] ? netlist::kTopTier
+                                                  : kBottomTier;
+    d.set_tier(c, tier);
+    tier_area[tier] += d.cell_area(c);
+    const double w = d.cell_width(c);
+    const double h = d.cell_height(c);
+    double* cols = col_y[tier];
+    int side = cols[0] <= cols[1] ? 0 : 1;
+    if (cols[side] + h > fp.yhi) side = 1 - side;
+    if (cols[side] + h > fp.yhi)
+      util::log_warn("macro column overflow — stacking beyond core edge");
+    const double x = side == 0 ? fp.xlo + w / 2.0 : fp.xhi - w / 2.0;
+    d.set_pos(c, {x, cols[side] + h / 2.0});
+    cols[side] += h + 2.0;  // 2 µm halo between macros
+  }
+}
+
+
+struct MacroObstacle {
+  Rect r;
+  int tier;
+};
+
+std::vector<MacroObstacle> macro_obstacles(const Design& d) {
+  std::vector<MacroObstacle> out;
+  const auto& nl = d.nl();
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    if (!nl.cell(c).is_macro()) continue;
+    const Point p = d.pos(c);
+    const double w = d.cell_width(c), h = d.cell_height(c);
+    out.push_back(
+        {{p.x - w / 2.0, p.y - h / 2.0, p.x + w / 2.0, p.y + h / 2.0},
+         d.tier(c)});
+  }
+  return out;
+}
+
+}  // namespace
+
+void init_floorplan(Design& d, const PlaceOptions& opt) {
+  M3D_CHECK(opt.utilization > 0.05 && opt.utilization <= 1.0);
+  const double cell_area = d.total_std_cell_area();
+  const double macro_area = d.total_macro_area();
+  // In 3-D the same footprint hosts both tiers, so the standard-cell area
+  // budget is split across tiers; macros live on the bottom tier only and
+  // must fit in plan view.
+  const int tiers = d.num_tiers();
+  // With a balanced tier partition (macro-aware: see the FM target-share
+  // computation in the flow), the per-tier requirement is the 2-D core
+  // divided by the tier count — this is what keeps total silicon area
+  // equal between a 2-D design and its homogeneous 3-D fold.
+  double core =
+      (cell_area / opt.utilization + macro_area * 1.05) / tiers;
+  // Each tier's macro share must fit in plan view.
+  core = std::max(core, macro_area * 1.15 / tiers);
+  const double width = std::sqrt(core * opt.aspect);
+  const double height = core / width;
+  d.set_floorplan({0.0, 0.0, width, height});
+  place_macros(d);
+  place_ports(d);
+  util::log_info("floorplan ", width, " x ", height, " um, util ",
+                 opt.utilization, ", tiers ", tiers);
+}
+
+void global_place(Design& d, const PlaceOptions& opt) {
+  const auto& nl = d.nl();
+  const Rect fp = d.floorplan();
+  util::Rng rng(opt.seed);
+
+  // --- initial scatter ----------------------------------------------------
+  std::vector<char> mv(static_cast<std::size_t>(nl.cell_count()), 0);
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    if (!movable(nl.cell(c))) continue;
+    mv[static_cast<std::size_t>(c)] = 1;
+    d.set_pos(c, {rng.uniform(fp.xlo, fp.xhi), rng.uniform(fp.ylo, fp.yhi)});
+  }
+
+  // --- net-centroid relaxation --------------------------------------------
+  // x_i <- average of centroids of nets incident to i (fixed cells anchor).
+  std::vector<double> cx(static_cast<std::size_t>(nl.net_count()));
+  std::vector<double> cy(static_cast<std::size_t>(nl.net_count()));
+  std::vector<int> cn(static_cast<std::size_t>(nl.net_count()));
+  for (int iter = 0; iter < opt.relax_iters; ++iter) {
+    std::fill(cx.begin(), cx.end(), 0.0);
+    std::fill(cy.begin(), cy.end(), 0.0);
+    std::fill(cn.begin(), cn.end(), 0);
+    for (NetId n = 0; n < nl.net_count(); ++n) {
+      const auto& net = nl.net(n);
+      if (net.is_clock) continue;  // CTS owns the clock topology
+      for (PinId p : net.pins) {
+        const Point q = d.pin_pos(p);
+        cx[static_cast<std::size_t>(n)] += q.x;
+        cy[static_cast<std::size_t>(n)] += q.y;
+        ++cn[static_cast<std::size_t>(n)];
+      }
+    }
+    for (CellId c = 0; c < nl.cell_count(); ++c) {
+      if (!mv[static_cast<std::size_t>(c)]) continue;
+      double sx = 0.0, sy = 0.0;
+      int k = 0;
+      for (PinId p : nl.cell(c).pins) {
+        const NetId n = nl.pin(p).net;
+        if (n == kInvalidId || nl.net(n).is_clock) continue;
+        const int cnt = cn[static_cast<std::size_t>(n)];
+        if (cnt < 2) continue;
+        // Centroid of the net excluding this pin (removes self-pull).
+        const Point self = d.pos(c);
+        sx += (cx[static_cast<std::size_t>(n)] - self.x) / (cnt - 1);
+        sy += (cy[static_cast<std::size_t>(n)] - self.y) / (cnt - 1);
+        ++k;
+      }
+      if (k == 0) continue;
+      d.set_pos(c, fp.clamp({sx / k, sy / k}));
+    }
+  }
+
+  // --- density spreading: per-axis histogram equalization ------------------
+  const int g = std::max(4, opt.grid);
+  for (int pass = 0; pass < opt.spread_iters; ++pass) {
+    for (int axis = 0; axis < 2; ++axis) {
+      const double lo = axis == 0 ? fp.xlo : fp.ylo;
+      const double hi = axis == 0 ? fp.xhi : fp.yhi;
+      const double span = hi - lo;
+      std::vector<double> mass(static_cast<std::size_t>(g), 0.0);
+      for (CellId c = 0; c < nl.cell_count(); ++c) {
+        if (!mv[static_cast<std::size_t>(c)]) continue;
+        const double v = axis == 0 ? d.pos(c).x : d.pos(c).y;
+        int b = static_cast<int>((v - lo) / span * g);
+        b = std::clamp(b, 0, g - 1);
+        mass[static_cast<std::size_t>(b)] += d.cell_area(c);
+      }
+      std::vector<double> cum(static_cast<std::size_t>(g) + 1, 0.0);
+      for (int b = 0; b < g; ++b)
+        cum[static_cast<std::size_t>(b) + 1] =
+            cum[static_cast<std::size_t>(b)] +
+            mass[static_cast<std::size_t>(b)];
+      const double total = cum.back();
+      if (total <= 0.0) continue;
+      // Blend toward the equalized coordinate to avoid oscillation.
+      const double blend = 0.5;
+      for (CellId c = 0; c < nl.cell_count(); ++c) {
+        if (!mv[static_cast<std::size_t>(c)]) continue;
+        Point p = d.pos(c);
+        const double v = axis == 0 ? p.x : p.y;
+        double f = (v - lo) / span * g;
+        f = std::clamp(f, 0.0, static_cast<double>(g) - 1e-9);
+        const int b = static_cast<int>(f);
+        const double frac = f - b;
+        const double cdf = (cum[static_cast<std::size_t>(b)] +
+                            frac * mass[static_cast<std::size_t>(b)]) /
+                           total;
+        const double target = lo + cdf * span;
+        const double nv = v * (1.0 - blend) + target * blend;
+        if (axis == 0)
+          p.x = nv;
+        else
+          p.y = nv;
+        d.set_pos(c, fp.clamp(p));
+      }
+    }
+  }
+  util::log_info("global place done");
+}
+
+namespace {
+
+/// One legalization row: a set of occupied intervals (macro cutouts +
+/// already-placed cells). Cells slot into the nearest free gap, so earlier
+/// placements never strand capacity.
+struct LegalRow {
+  double y = 0.0;
+
+  void init(double xlo, double xhi) {
+    occ_.clear();
+    // Sentinels outside the row bound all gaps.
+    occ_[xlo - 1.0] = xlo;
+    occ_[xhi] = xhi + 1.0;
+  }
+
+  void block(double lo, double hi) { occ_[lo] = hi; }
+
+  /// Try to place a cell of width w near want_x; returns the placed center
+  /// x or NaN when no gap within the search window fits.
+  double place(double want_x, double w) {
+    const double want_lo = want_x - w / 2.0;
+    auto right = occ_.upper_bound(want_lo);  // first interval starting after
+    auto left = right;
+    if (left != occ_.begin()) --left;
+
+    double best = std::numeric_limits<double>::quiet_NaN();
+    double best_cost = std::numeric_limits<double>::max();
+    // Scan gaps outward from the desired spot (bounded window).
+    auto try_gap = [&](std::map<double, double>::iterator lo_it) {
+      auto hi_it = std::next(lo_it);
+      if (hi_it == occ_.end()) return;
+      const double gap_lo = lo_it->second;
+      const double gap_hi = hi_it->first;
+      if (gap_hi - gap_lo < w - 1e-9) return;
+      const double x = std::clamp(want_lo, gap_lo, gap_hi - w);
+      const double cost = std::abs(x - want_lo);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = x;
+      }
+    };
+    auto l = left;
+    for (int i = 0; i < 48; ++i) {
+      try_gap(l);
+      if (l == occ_.begin()) break;
+      --l;
+    }
+    auto r = right;
+    for (int i = 0; i < 48 && r != occ_.end(); ++i, ++r) try_gap(r);
+
+    if (std::isnan(best)) return best;
+    occ_[best] = best + w;
+    return best + w / 2.0;
+  }
+
+ private:
+  std::map<double, double> occ_;  // start -> end of occupied intervals
+};
+
+}  // namespace
+
+void legalize(Design& d) {
+  const auto& nl = d.nl();
+  const Rect fp = d.floorplan();
+  const auto obstacles = macro_obstacles(d);
+
+  for (int tier = 0; tier < d.num_tiers(); ++tier) {
+    const double row_h = d.lib(tier).row_height_um();
+    const int nrows = std::max(1, static_cast<int>(fp.height() / row_h));
+
+    // Build rows with macro cutouts.
+    std::vector<LegalRow> rows(static_cast<std::size_t>(nrows));
+    for (int r = 0; r < nrows; ++r) {
+      LegalRow& row = rows[static_cast<std::size_t>(r)];
+      row.y = fp.ylo + (r + 0.5) * row_h;
+      row.init(fp.xlo, fp.xhi);
+      for (const auto& ob : obstacles)
+        if (ob.tier == tier && ob.r.ylo <= row.y + row_h / 2.0 &&
+            row.y - row_h / 2.0 <= ob.r.yhi)
+          row.block(ob.r.xlo, ob.r.xhi);
+    }
+
+    // Two passes keep legalization nearly idempotent — vital for the ECO
+    // stages, which re-legalize after small tier moves and must not
+    // reshuffle the rest of the design:
+    //  1. cells already sitting exactly on a row keep their spot;
+    //  2. everything else Tetris-packs into the remaining gaps.
+    std::vector<CellId> aligned, rest;
+    for (CellId c = 0; c < nl.cell_count(); ++c) {
+      if (!movable(nl.cell(c)) || d.tier(c) != tier) continue;
+      const double rel = (d.pos(c).y - fp.ylo) / row_h - 0.5;
+      if (std::abs(rel - std::round(rel)) < 1e-9 && rel > -0.25 &&
+          rel < nrows - 0.75)
+        aligned.push_back(c);
+      else
+        rest.push_back(c);
+    }
+    auto by_x = [&](CellId a, CellId b) { return d.pos(a).x < d.pos(b).x; };
+    std::sort(aligned.begin(), aligned.end(), by_x);
+    std::sort(rest.begin(), rest.end(), by_x);
+    std::vector<CellId> cells = std::move(aligned);
+    cells.insert(cells.end(), rest.begin(), rest.end());
+
+    int unplaced = 0;
+    for (CellId c : cells) {
+      const double w = d.cell_width(c);
+      const Point want = d.pos(c);
+      int r0 = static_cast<int>((want.y - fp.ylo) / row_h);
+      r0 = std::clamp(r0, 0, nrows - 1);
+      bool placed = false;
+      // Search rows outward from the desired one.
+      for (int off = 0; off < nrows && !placed; ++off) {
+        for (int sgn : {1, -1}) {
+          if (off == 0 && sgn < 0) continue;
+          const int r = r0 + sgn * off;
+          if (r < 0 || r >= nrows) continue;
+          LegalRow& row = rows[static_cast<std::size_t>(r)];
+          const double x = row.place(want.x, w);
+          if (!std::isnan(x)) {
+            d.set_pos(c, {x, row.y});
+            placed = true;
+            break;
+          }
+        }
+      }
+      if (!placed) ++unplaced;
+    }
+    if (unplaced > 0)
+      util::log_warn("legalize: ", unplaced, " cells found no row on tier ",
+                     tier, " (utilization too high?)");
+  }
+  util::log_info("legalization done");
+}
+
+void place_design(Design& d, const PlaceOptions& opt) {
+  init_floorplan(d, opt);
+  global_place(d, opt);
+  legalize(d);
+}
+
+void rescale_to_utilization(Design& d, double utilization) {
+  M3D_CHECK(utilization > 0.05 && utilization <= 1.0);
+  const auto& nl = d.nl();
+  const Rect old_fp = d.floorplan();
+  const double macro_area = d.total_macro_area();
+  double core;
+  if (d.num_tiers() == 2) {
+    // The footprint must host whichever tier needs more plan-view room —
+    // the partition is rarely a perfect 50/50 once macros and pinned
+    // critical cells skew the split.
+    const double bottom_req =
+        d.tier_std_cell_area(netlist::kBottomTier) / utilization +
+        tier_macro_area(d, netlist::kBottomTier) * 1.05;
+    const double top_req =
+        d.tier_std_cell_area(netlist::kTopTier) / utilization +
+        tier_macro_area(d, netlist::kTopTier) * 1.05;
+    core = std::max(bottom_req, top_req);
+    core = std::max(core,
+                    std::max(tier_macro_area(d, netlist::kBottomTier),
+                             tier_macro_area(d, netlist::kTopTier)) * 1.15);
+  } else {
+    core = d.total_std_cell_area() / utilization + macro_area * 1.05;
+    core = std::max(core, macro_area * 1.15);
+  }
+  const double ratio = std::sqrt(core / std::max(old_fp.area(), 1e-9));
+  // A rescale moves *every* cell off the legalized grid; for a sub-3 %
+  // linear change the placement damage outweighs the area gain.
+  if (std::abs(ratio - 1.0) < 0.0001) return;
+  const Rect new_fp{old_fp.xlo, old_fp.ylo,
+                    old_fp.xlo + old_fp.width() * ratio,
+                    old_fp.ylo + old_fp.height() * ratio};
+  d.set_floorplan(new_fp);
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    if (!movable(nl.cell(c))) continue;
+    const Point p = d.pos(c);
+    d.set_pos(c, new_fp.clamp({old_fp.xlo + (p.x - old_fp.xlo) * ratio,
+                               old_fp.ylo + (p.y - old_fp.ylo) * ratio}));
+  }
+  place_macros(d);
+  place_ports(d);
+  util::log_info("floorplan rescaled by ", ratio, " to ", new_fp.width(),
+                 " x ", new_fp.height(), " um");
+}
+
+double max_overlap_um2(const Design& d) {
+  const auto& nl = d.nl();
+  // Sweep per tier: sort by x and compare neighbours within width range.
+  double worst = 0.0;
+  for (int tier = 0; tier < d.num_tiers(); ++tier) {
+    std::vector<CellId> cells;
+    for (CellId c = 0; c < nl.cell_count(); ++c)
+      if (!nl.cell(c).is_port() && d.tier(c) == tier) cells.push_back(c);
+    std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+      return d.pos(a).x < d.pos(b).x;
+    });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellId a = cells[i];
+      const double ax0 = d.pos(a).x - d.cell_width(a) / 2.0;
+      const double ax1 = d.pos(a).x + d.cell_width(a) / 2.0;
+      const double ay0 = d.pos(a).y - d.cell_height(a) / 2.0;
+      const double ay1 = d.pos(a).y + d.cell_height(a) / 2.0;
+      for (std::size_t j = i + 1; j < cells.size(); ++j) {
+        const CellId b = cells[j];
+        const double bx0 = d.pos(b).x - d.cell_width(b) / 2.0;
+        if (bx0 >= ax1) break;
+        const double bx1 = d.pos(b).x + d.cell_width(b) / 2.0;
+        const double by0 = d.pos(b).y - d.cell_height(b) / 2.0;
+        const double by1 = d.pos(b).y + d.cell_height(b) / 2.0;
+        const double ox = std::min(ax1, bx1) - std::max(ax0, bx0);
+        const double oy = std::min(ay1, by1) - std::max(ay0, by0);
+        if (ox > 1e-9 && oy > 1e-9) worst = std::max(worst, ox * oy);
+      }
+    }
+  }
+  return worst;
+}
+
+double tier_macro_area(const Design& d, int tier) {
+  double a = 0.0;
+  for (CellId c = 0; c < d.nl().cell_count(); ++c)
+    if (d.nl().cell(c).is_macro() && d.tier(c) == tier)
+      a += d.cell_area(c);
+  return a;
+}
+
+double mean_displacement_um(const Design& d,
+                            const std::vector<util::Point>& snapshot) {
+  const auto& nl = d.nl();
+  M3D_CHECK(snapshot.size() >= static_cast<std::size_t>(nl.cell_count()));
+  double sum = 0.0;
+  int n = 0;
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    if (nl.cell(c).is_port()) continue;
+    sum += util::manhattan(d.pos(c), snapshot[static_cast<std::size_t>(c)]);
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+}  // namespace m3d::place

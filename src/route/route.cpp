@@ -1,0 +1,131 @@
+#include "route/route.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/geom.hpp"
+
+namespace m3d::route {
+
+using netlist::kInvalidId;
+using util::BBox;
+using util::Point;
+
+double hpwl(const Design& d, NetId n) {
+  const auto& net = d.nl().net(n);
+  BBox bb;
+  for (PinId p : net.pins) bb.add(d.pin_pos(p));
+  return bb.hpwl();
+}
+
+double total_hpwl(const Design& d) {
+  double sum = 0.0;
+  for (NetId n = 0; n < d.nl().net_count(); ++n) sum += hpwl(d, n);
+  return sum;
+}
+
+NetRoute route_net(const Design& d, NetId n) {
+  NetRoute r;
+  const auto& nl = d.nl();
+  const auto& net = nl.net(n);
+  if (net.driver == kInvalidId || net.pins.size() < 2) return r;
+
+  // Gather terminals: index 0 = driver, then sinks in Netlist::sinks order.
+  const auto sink_pins = nl.sinks(n);
+  const std::size_t k = sink_pins.size() + 1;
+  std::vector<Point> pt(k);
+  std::vector<int> tier(k);
+  pt[0] = d.pin_pos(net.driver);
+  tier[0] = d.tier(nl.pin(net.driver).cell);
+  for (std::size_t i = 0; i < sink_pins.size(); ++i) {
+    pt[i + 1] = d.pin_pos(sink_pins[i]);
+    tier[i + 1] = d.tier(nl.pin(sink_pins[i]).cell);
+  }
+
+  // Prim MST on Manhattan distance, rooted at the driver. O(k²) — fine for
+  // signal fanouts; the raw clock net is replaced by CTS before routing
+  // matters.
+  std::vector<bool> in_tree(k, false);
+  std::vector<double> best(k, std::numeric_limits<double>::max());
+  std::vector<std::size_t> parent(k, 0);
+  in_tree[0] = true;
+  best[0] = 0.0;
+  for (std::size_t j = 1; j < k; ++j) {
+    best[j] = util::manhattan(pt[0], pt[j]);
+    parent[j] = 0;
+  }
+  for (std::size_t added = 1; added < k; ++added) {
+    std::size_t u = k;
+    double bd = std::numeric_limits<double>::max();
+    for (std::size_t j = 1; j < k; ++j)
+      if (!in_tree[j] && best[j] < bd) {
+        bd = best[j];
+        u = j;
+      }
+    M3D_CHECK(u < k);
+    in_tree[u] = true;
+    r.length_um += bd;
+    if (tier[u] != tier[parent[u]]) ++r.miv_count;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (in_tree[j]) continue;
+      const double dd = util::manhattan(pt[u], pt[j]);
+      if (dd < best[j]) {
+        best[j] = dd;
+        parent[j] = u;
+      }
+    }
+  }
+
+  // Per-sink path length from the driver along tree edges.
+  r.sink_path_um.resize(sink_pins.size(), 0.0);
+  r.sink_crosses_tier.resize(sink_pins.size(), false);
+  std::vector<double> dist(k, 0.0);
+  std::vector<bool> crosses(k, false);
+  // parent[] forms a tree rooted at 0; compute by walking up (paths are
+  // short), memoization not needed at these fanouts.
+  for (std::size_t j = 1; j < k; ++j) {
+    double acc = 0.0;
+    bool x = false;
+    std::size_t v = j;
+    while (v != 0) {
+      acc += util::manhattan(pt[v], pt[parent[v]]);
+      x = x || (tier[v] != tier[parent[v]]);
+      v = parent[v];
+    }
+    dist[j] = acc;
+    crosses[j] = x;
+  }
+  for (std::size_t i = 0; i < sink_pins.size(); ++i) {
+    r.sink_path_um[i] = dist[i + 1];
+    r.sink_crosses_tier[i] = crosses[i + 1];
+  }
+
+  const auto& wire = d.lib(netlist::kBottomTier).wire();
+  r.wire_cap_ff = wire.wire_cap_ff(r.length_um) +
+                  static_cast<double>(r.miv_count) *
+                      d.lib(netlist::kBottomTier).miv().cap_ff;
+  return r;
+}
+
+RoutingEstimate route_design(const Design& d) {
+  RoutingEstimate est;
+  est.nets.resize(static_cast<std::size_t>(d.nl().net_count()));
+  for (NetId n = 0; n < d.nl().net_count(); ++n) {
+    est.nets[static_cast<std::size_t>(n)] = route_net(d, n);
+    est.total_wirelength_um += est.nets[static_cast<std::size_t>(n)].length_um;
+    est.total_mivs += est.nets[static_cast<std::size_t>(n)].miv_count;
+  }
+  const double cap = routing_capacity_um(d);
+  est.congestion = cap > 0.0 ? est.total_wirelength_um / cap : 0.0;
+  return est;
+}
+
+double routing_capacity_um(const Design& d, double track_pitch_um) {
+  // Each signal layer offers (area / pitch) µm of track; both tiers route
+  // with the same 6-layer stack (paper §IV-A1).
+  const double area = d.floorplan().area();
+  const int layers = d.lib(netlist::kBottomTier).wire().signal_layers;
+  return area / track_pitch_um * layers * d.num_tiers();
+}
+
+}  // namespace m3d::route

@@ -1,0 +1,61 @@
+#pragma once
+/// \file route.hpp
+/// \brief Routing estimation: Steiner-style wirelength, per-sink RC paths,
+///        MIV insertion for inter-tier nets, and congestion metrics.
+///
+/// We estimate each net as a rectilinear spanning tree (Prim MST on
+/// Manhattan distance), which is a standard 1.0–1.5× envelope of the true
+/// RSMT and behaves correctly under placement changes. Nets whose pins sit
+/// on both tiers receive one MIV per tier-crossing tree edge — matching the
+/// paper's observation that ~15 % of nets cross tiers and each crossing is
+/// a single ~50 nm via, not a bump.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace m3d::route {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+using netlist::PinId;
+
+/// Routed view of one net.
+struct NetRoute {
+  double length_um = 0.0;      ///< total tree wirelength
+  int miv_count = 0;           ///< tier-crossing edges
+  double wire_cap_ff = 0.0;    ///< total wire capacitance
+  /// Per sink (aligned with Netlist::sinks(net)): distance from the driver
+  /// to that sink along the tree, and whether the path crosses tiers.
+  std::vector<double> sink_path_um;
+  std::vector<bool> sink_crosses_tier;
+};
+
+/// Whole-design routing estimate.
+struct RoutingEstimate {
+  double total_wirelength_um = 0.0;
+  long long total_mivs = 0;
+  double congestion = 0.0;  ///< demanded track-length / available capacity
+  std::vector<NetRoute> nets;  ///< indexed by NetId
+};
+
+/// Half-perimeter wirelength of one net (0 for degenerate nets).
+double hpwl(const Design& d, NetId n);
+
+/// Sum of HPWL over all nets.
+double total_hpwl(const Design& d);
+
+/// Route one net: build the spanning tree, measure per-sink paths and
+/// tier crossings. Clock nets are routed like signal nets here; the CTS
+/// stage replaces the raw clock net with a buffered tree first.
+NetRoute route_net(const Design& d, NetId n);
+
+/// Route every net and compute aggregate metrics.
+RoutingEstimate route_design(const Design& d);
+
+/// Routing capacity model: total available track length across the
+/// signal layers of all tiers (µm), given the floorplan and wire pitch.
+double routing_capacity_um(const Design& d, double track_pitch_um = 0.1);
+
+}  // namespace m3d::route

@@ -1,0 +1,601 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace m3d::sta {
+
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::kInvalidId;
+using netlist::Pin;
+using netlist::PinDir;
+using tech::Transition;
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+constexpr double kClockPinSlew = 0.025;  // slew asserted at FF clock pins
+
+int opp(int t) { return 1 - t; }
+
+}  // namespace
+
+namespace detail {
+
+/// The working state of one STA run; converted to StaResult at the end.
+class StaEngine {
+ public:
+  StaEngine(const Design& d, const route::RoutingEstimate* routes,
+            const StaOptions& opt)
+      : d_(d), nl_(d.nl()), routes_(routes), opt_(opt) {}
+
+  StaResult run();
+
+ private:
+  // A pin participates in the data timing graph unless it belongs to the
+  // clock network (clock pins, clock nets, and clock-buffer cells).
+  bool participates(PinId p) const;
+  bool is_clock_buffer(CellId c) const;
+
+  double net_load_ff(NetId n) const;
+  void net_arc(PinId driver, int sink_ordinal, PinId sink, double* delay,
+               double* slew_add, bool* via_miv, double* wirelen) const;
+  double arc_derate(CellId cell, PinId in_pin) const;
+
+  void init_launch(PinId p);
+  void eval_cell_arc(CellId c, PinId in_pin, PinId out_pin);
+
+  const Design& d_;
+  const netlist::Netlist& nl_;
+  const route::RoutingEstimate* routes_;
+  const StaOptions& opt_;
+
+  std::vector<double> arr_[2], slew_[2], req_[2];
+  std::vector<double> arr_min_[2];
+  std::vector<StaResult::Pred> pred_[2];
+  // Stored forward arc delays for the exact backward (required) pass.
+  std::vector<double> net_arc_delay_;            // per sink pin
+  std::vector<std::vector<double>> cell_arc_;    // per out pin: [in*2 + T]
+  std::vector<PinId> topo_;
+};
+
+bool StaEngine::is_clock_buffer(CellId c) const {
+  const Cell& cc = nl_.cell(c);
+  if (!cc.is_comb()) return false;
+  for (PinId p : cc.pins) {
+    const Pin& pp = nl_.pin(p);
+    if (pp.net != kInvalidId && nl_.net(pp.net).is_clock) return true;
+  }
+  return false;
+}
+
+bool StaEngine::participates(PinId p) const {
+  const Pin& pp = nl_.pin(p);
+  if (pp.is_clock) return false;
+  if (pp.net != kInvalidId && nl_.net(pp.net).is_clock) return false;
+  if (is_clock_buffer(pp.cell)) return false;
+  return true;
+}
+
+double StaEngine::net_load_ff(NetId n) const {
+  double load = 0.0;
+  for (PinId s : nl_.sinks(n)) load += d_.pin_cap_ff(s);
+  if (routes_ != nullptr)
+    load += routes_->nets[static_cast<std::size_t>(n)].wire_cap_ff;
+  return load;
+}
+
+void StaEngine::net_arc(PinId driver, int sink_ordinal, PinId sink,
+                     double* delay, double* slew_add, bool* via_miv,
+                     double* wirelen) const {
+  *delay = 0.0;
+  *slew_add = 0.0;
+  *via_miv = false;
+  *wirelen = 0.0;
+  if (routes_ == nullptr) return;
+  const Pin& dp = nl_.pin(driver);
+  const auto& nr = routes_->nets[static_cast<std::size_t>(dp.net)];
+  if (static_cast<std::size_t>(sink_ordinal) >= nr.sink_path_um.size()) return;
+  const double len = nr.sink_path_um[static_cast<std::size_t>(sink_ordinal)];
+  const bool crosses =
+      nr.sink_crosses_tier[static_cast<std::size_t>(sink_ordinal)];
+  const auto& wire = d_.lib(netlist::kBottomTier).wire();
+  const double sink_cap = d_.pin_cap_ff(sink);
+  double dly = wire.elmore_ns(len, sink_cap);
+  if (crosses) {
+    const auto& miv = d_.lib(netlist::kBottomTier).miv();
+    dly += miv.res_kohm * (sink_cap + miv.cap_ff) * tech::kRCtoNs;
+  }
+  *delay = dly;
+  // RC wire shaping degrades the edge; 10–90 % of an RC step is ~2.2 RC,
+  // i.e. roughly 2× the 50 % delay — combined quadratically downstream.
+  *slew_add = 2.0 * dly;
+  *via_miv = crosses;
+  *wirelen = len;
+}
+
+double StaEngine::arc_derate(CellId cell, PinId in_pin) const {
+  if (!opt_.boundary_derates || d_.num_tiers() < 2) return 1.0;
+  const Pin& pp = nl_.pin(in_pin);
+  if (pp.net == kInvalidId) return 1.0;
+  const PinId drv = nl_.net(pp.net).driver;
+  if (drv == kInvalidId) return 1.0;
+  const int tier_drv = d_.tier(nl_.pin(drv).cell);
+  const int tier_cell = d_.tier(cell);
+  if (tier_drv == tier_cell) return 1.0;
+  const double vg = d_.lib(tier_drv).vdd();
+  const tech::TechLib& lc = d_.lib_of(cell);
+  return tech::boundary_delay_derate(vg, lc.vdd(), lc.vthp());
+}
+
+void StaEngine::init_launch(PinId p) {
+  const Pin& pp = nl_.pin(p);
+  const Cell& cc = nl_.cell(pp.cell);
+  const double lat =
+      opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
+  switch (cc.kind) {
+    case CellKind::PrimaryIn:
+      for (int t : {0, 1}) {
+        arr_[t][static_cast<std::size_t>(p)] = opt_.input_delay_ns;
+        // Primary inputs do not launch hold races: port min-arrival is an
+        // external constraint (set_input_delay -min) we do not model, so
+        // PI-launched paths stay unconstrained for hold.
+        slew_[t][static_cast<std::size_t>(p)] = opt_.input_slew_ns;
+      }
+      break;
+    case CellKind::Seq: {
+      const tech::LibCell* lc = d_.lib_cell(pp.cell);
+      const double load =
+          pp.net == kInvalidId ? 0.0 : net_load_ff(pp.net);
+      for (int t : {0, 1}) {
+        const auto& arc = lc->arc(0);  // DFF arc 0 models CLK→Q
+        const double c2q = arc.delay[t].lookup(kClockPinSlew, load);
+        arr_[t][static_cast<std::size_t>(p)] = lat + c2q;
+        arr_min_[t][static_cast<std::size_t>(p)] = lat + c2q;
+        slew_[t][static_cast<std::size_t>(p)] =
+            arc.out_slew[t].lookup(kClockPinSlew, load);
+      }
+      break;
+    }
+    case CellKind::Macro: {
+      const tech::MacroCell* mc = d_.macro(pp.cell);
+      for (int t : {0, 1}) {
+        arr_[t][static_cast<std::size_t>(p)] = lat + mc->access_ns;
+        arr_min_[t][static_cast<std::size_t>(p)] = lat + mc->access_ns;
+        slew_[t][static_cast<std::size_t>(p)] = mc->out_slew_ns;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void StaEngine::eval_cell_arc(CellId c, PinId in_pin, PinId out_pin) {
+  const tech::LibCell* lc = d_.lib_cell(c);
+  const Pin& ip = nl_.pin(in_pin);
+  const auto& arc = lc->arc(ip.index);
+  const Pin& op = nl_.pin(out_pin);
+  const double load = op.net == kInvalidId ? 0.0 : net_load_ff(op.net);
+  const double derate = arc_derate(c, in_pin);
+  const auto pi = static_cast<std::size_t>(in_pin);
+  const auto po = static_cast<std::size_t>(out_pin);
+  for (int t : {0, 1}) {
+    const int in_t = arc.inverting ? opp(t) : t;
+    const double a_in = arr_[in_t][pi];
+    if (a_in == kNegInf) continue;
+    const double s_in = std::max(slew_[in_t][pi], 1e-4);
+    const double dly = arc.delay[t].lookup(s_in, load) * derate;
+    cell_arc_[po][static_cast<std::size_t>(ip.index * 2 + t)] = dly;
+    const double cand = a_in + dly;
+    if (cand > arr_[t][po]) {
+      arr_[t][po] = cand;
+      pred_[t][po] = {in_pin, in_t, dly, 0.0, false, false};
+      // Winner-slew propagation: the output edge is shaped by the input
+      // that switches last. (Max-slew propagation would let one slow
+      // side-input poison every downstream path — overly pessimistic in
+      // the heterogeneous setting where slow-tier fan-in is routine.)
+      slew_[t][po] = arc.out_slew[t].lookup(s_in, load) * derate;
+    }
+    // Min-delay (hold) propagation shares the same arc delays.
+    const double a_in_min = arr_min_[in_t][pi];
+    if (a_in_min != kPosInf)
+      arr_min_[t][po] = std::min(arr_min_[t][po], a_in_min + dly);
+  }
+}
+
+StaResult StaEngine::run() {
+  const std::size_t np = static_cast<std::size_t>(nl_.pin_count());
+  for (int t : {0, 1}) {
+    arr_[t].assign(np, kNegInf);
+    arr_min_[t].assign(np, kPosInf);
+    slew_[t].assign(np, 0.0);
+    req_[t].assign(np, kPosInf);
+    pred_[t].assign(np, {});
+  }
+  net_arc_delay_.assign(np, 0.0);
+  cell_arc_.assign(np, {});
+
+  // ---- in-degrees over the data graph -----------------------------------
+  std::vector<int> indeg(np, 0);
+  std::vector<char> part(np, 0);
+  for (PinId p = 0; p < nl_.pin_count(); ++p)
+    part[static_cast<std::size_t>(p)] = participates(p) ? 1 : 0;
+
+  // Net arcs: driver -> sinks.
+  for (NetId n = 0; n < nl_.net_count(); ++n) {
+    const auto& net = nl_.net(n);
+    if (net.is_clock || net.driver == kInvalidId) continue;
+    if (!part[static_cast<std::size_t>(net.driver)]) continue;
+    for (PinId s : nl_.sinks(n))
+      if (part[static_cast<std::size_t>(s)])
+        ++indeg[static_cast<std::size_t>(s)];
+  }
+  // Cell arcs: inputs -> output of combinational cells.
+  for (CellId c = 0; c < nl_.cell_count(); ++c) {
+    const Cell& cc = nl_.cell(c);
+    if (!cc.is_comb() || is_clock_buffer(c)) continue;
+    const auto ins = nl_.input_pins(c);
+    for (PinId o : nl_.output_pins(c)) {
+      indeg[static_cast<std::size_t>(o)] +=
+          static_cast<int>(ins.size());
+      cell_arc_[static_cast<std::size_t>(o)].assign(ins.size() * 2, 0.0);
+    }
+  }
+
+  // ---- Kahn topological order + forward propagation ---------------------
+  std::vector<PinId> queue;
+  for (PinId p = 0; p < nl_.pin_count(); ++p) {
+    if (!part[static_cast<std::size_t>(p)]) continue;
+    if (indeg[static_cast<std::size_t>(p)] == 0) {
+      init_launch(p);
+      queue.push_back(p);
+    }
+  }
+
+  std::size_t participating = 0;
+  for (std::size_t i = 0; i < np; ++i) participating += part[i];
+
+  topo_.clear();
+  topo_.reserve(participating);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const PinId u = queue[head++];
+    topo_.push_back(u);
+    const Pin& up = nl_.pin(u);
+    if (up.dir == PinDir::Output) {
+      // Net arc to each sink.
+      if (up.net != kInvalidId && !nl_.net(up.net).is_clock) {
+        const auto sinks = nl_.sinks(up.net);
+        for (std::size_t i = 0; i < sinks.size(); ++i) {
+          const PinId s = sinks[i];
+          if (!part[static_cast<std::size_t>(s)]) continue;
+          double dly, slew_add, wlen;
+          bool via_miv;
+          net_arc(u, static_cast<int>(i), s, &dly, &slew_add, &via_miv,
+                  &wlen);
+          net_arc_delay_[static_cast<std::size_t>(s)] = dly;
+          for (int t : {0, 1}) {
+            if (arr_min_[t][static_cast<std::size_t>(u)] != kPosInf)
+              arr_min_[t][static_cast<std::size_t>(s)] =
+                  std::min(arr_min_[t][static_cast<std::size_t>(s)],
+                           arr_min_[t][static_cast<std::size_t>(u)] + dly);
+            if (arr_[t][static_cast<std::size_t>(u)] == kNegInf) continue;
+            const double cand = arr_[t][static_cast<std::size_t>(u)] + dly;
+            if (cand > arr_[t][static_cast<std::size_t>(s)]) {
+              arr_[t][static_cast<std::size_t>(s)] = cand;
+              pred_[t][static_cast<std::size_t>(s)] = {u,    t,   dly,
+                                                       wlen, true, via_miv};
+            }
+            const double s_in = slew_[t][static_cast<std::size_t>(u)];
+            slew_[t][static_cast<std::size_t>(s)] =
+                std::max(slew_[t][static_cast<std::size_t>(s)],
+                         std::hypot(s_in, slew_add));
+          }
+          if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+        }
+      }
+    } else {
+      // Data input pin of a combinational cell: feed the cell arcs.
+      const Cell& cc = nl_.cell(up.cell);
+      if (cc.is_comb() && !is_clock_buffer(up.cell)) {
+        for (PinId o : nl_.output_pins(up.cell)) {
+          eval_cell_arc(up.cell, u, o);
+          if (--indeg[static_cast<std::size_t>(o)] == 0) queue.push_back(o);
+        }
+      }
+      // Sequential D pins / macro inputs / PO pins terminate here.
+    }
+  }
+
+  M3D_CHECK_MSG(topo_.size() == participating,
+                "combinational loop detected: " << participating - topo_.size()
+                                                << " pins unreachable");
+
+  // ---- endpoints & required times ---------------------------------------
+  StaResult res;
+  res.design_ = &d_;
+  res.setup_at_endpoint_.assign(np, 0.0);
+  bool any_hold_check = false;
+  if (opt_.hold_analysis) res.whs_ = kPosInf;
+  const double period = d_.clock_period_ns();
+  std::vector<std::pair<double, PinId>> eps;
+
+  // Virtual-clock latency for primary outputs: mean flop latency.
+  double port_latency = 0.0;
+  if (opt_.compensate_port_latency && !opt_.ideal_clock) {
+    double sum = 0.0;
+    int count = 0;
+    for (CellId c = 0; c < nl_.cell_count(); ++c) {
+      const Cell& cc = nl_.cell(c);
+      if (!cc.is_sequential() && !cc.is_macro()) continue;
+      sum += d_.clock_latency(c);
+      ++count;
+    }
+    if (count > 0) port_latency = sum / count;
+  }
+
+  for (PinId p = 0; p < nl_.pin_count(); ++p) {
+    if (!part[static_cast<std::size_t>(p)]) continue;
+    const Pin& pp = nl_.pin(p);
+    if (pp.dir != PinDir::Input) continue;
+    const Cell& cc = nl_.cell(pp.cell);
+    double setup = 0.0;
+    double lat = 0.0;
+    bool endpoint = false;
+    if (cc.kind == CellKind::Seq) {
+      setup = d_.lib_cell(pp.cell)->setup_ns;
+      lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
+      endpoint = true;
+    } else if (cc.kind == CellKind::Macro) {
+      setup = d_.macro(pp.cell)->setup_ns;
+      lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
+      endpoint = true;
+    } else if (cc.kind == CellKind::PrimaryOut) {
+      setup = opt_.output_margin_ns;
+      lat = port_latency;
+      endpoint = true;
+    }
+    if (!endpoint) continue;
+    // Hold check (min-delay race): earliest arrival vs capture edge.
+    if (opt_.hold_analysis && cc.kind != CellKind::PrimaryOut) {
+      double hold_req = 0.0;
+      if (cc.kind == CellKind::Seq) hold_req = d_.lib_cell(pp.cell)->hold_ns;
+      double earliest = kPosInf;
+      for (int t : {0, 1})
+        earliest = std::min(earliest, arr_min_[t][static_cast<std::size_t>(p)]);
+      if (earliest != kPosInf) {
+        const double hslack = earliest - (lat + hold_req);
+        res.whs_ = std::min(res.whs_, hslack);
+        any_hold_check = true;
+        if (hslack < 0.0) ++res.hold_violations_;
+      }
+    }
+    const double required = period + lat - setup;
+    res.setup_at_endpoint_[static_cast<std::size_t>(p)] = setup;
+    double worst = kPosInf;
+    bool reachable = false;
+    for (int t : {0, 1}) {
+      if (arr_[t][static_cast<std::size_t>(p)] == kNegInf) continue;
+      reachable = true;
+      req_[t][static_cast<std::size_t>(p)] =
+          std::min(req_[t][static_cast<std::size_t>(p)], required);
+      worst = std::min(worst,
+                       required - arr_[t][static_cast<std::size_t>(p)]);
+    }
+    if (reachable) eps.emplace_back(worst, p);
+  }
+
+  if (!any_hold_check) res.whs_ = 0.0;
+
+  // Backward pass in reverse topological order.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const PinId v = *it;
+    const auto vi = static_cast<std::size_t>(v);
+    const Pin& vp = nl_.pin(v);
+    if (vp.dir == PinDir::Input) {
+      // Push through the net arc to the driver (same transition).
+      if (vp.net == kInvalidId) continue;
+      const PinId drv = nl_.net(vp.net).driver;
+      if (drv == kInvalidId || !part[static_cast<std::size_t>(drv)]) continue;
+      for (int t : {0, 1}) {
+        if (req_[t][vi] == kPosInf) continue;
+        const double cand = req_[t][vi] - net_arc_delay_[vi];
+        req_[t][static_cast<std::size_t>(drv)] =
+            std::min(req_[t][static_cast<std::size_t>(drv)], cand);
+      }
+    } else {
+      // Comb output: push through cell arcs to each input.
+      const Cell& cc = nl_.cell(vp.cell);
+      if (!cc.is_comb() || is_clock_buffer(vp.cell)) continue;
+      const tech::LibCell* lc = d_.lib_cell(vp.cell);
+      for (PinId in : nl_.input_pins(vp.cell)) {
+        const Pin& ip = nl_.pin(in);
+        const auto& arc = lc->arc(ip.index);
+        for (int t : {0, 1}) {
+          if (req_[t][vi] == kPosInf) continue;
+          const double dly =
+              cell_arc_[vi][static_cast<std::size_t>(ip.index * 2 + t)];
+          const int in_t = arc.inverting ? opp(t) : t;
+          const double cand = req_[t][vi] - dly;
+          req_[in_t][static_cast<std::size_t>(in)] =
+              std::min(req_[in_t][static_cast<std::size_t>(in)], cand);
+        }
+      }
+    }
+  }
+
+  // ---- aggregate ----------------------------------------------------------
+  std::sort(eps.begin(), eps.end());
+  res.wns_ = eps.empty() ? 0.0 : eps.front().first;
+  res.tns_ = 0.0;
+  res.violated_ = 0;
+  for (const auto& [slack, pin] : eps) {
+    res.endpoints_.push_back(pin);
+    res.endpoint_slack_.push_back(slack);
+    if (slack < 0.0) {
+      res.tns_ += slack;
+      ++res.violated_;
+    }
+  }
+  for (int t : {0, 1}) {
+    res.arr_[t] = std::move(arr_[t]);
+    res.req_[t] = std::move(req_[t]);
+    res.slew_[t] = std::move(slew_[t]);
+    res.pred_[t] = std::move(pred_[t]);
+  }
+  return res;
+}
+
+}  // namespace detail
+
+StaResult run_sta(const Design& d, const route::RoutingEstimate* routes,
+                  const StaOptions& opt) {
+  detail::StaEngine eng(d, routes, opt);
+  return eng.run();
+}
+
+double StaResult::pin_slack(PinId p) const {
+  const auto pi = static_cast<std::size_t>(p);
+  double worst = kInf;
+  for (int t : {0, 1}) {
+    if (arr_[t][pi] == kNegInf || req_[t][pi] == kInf) continue;
+    worst = std::min(worst, req_[t][pi] - arr_[t][pi]);
+  }
+  return worst;
+}
+
+double StaResult::pin_arrival(PinId p) const {
+  const auto pi = static_cast<std::size_t>(p);
+  double worst = kNegInf;
+  for (int t : {0, 1}) worst = std::max(worst, arr_[t][pi]);
+  return worst;
+}
+
+double StaResult::pin_slew(PinId p) const {
+  const auto pi = static_cast<std::size_t>(p);
+  return std::max(slew_[0][pi], slew_[1][pi]);
+}
+
+double StaResult::cell_slack(CellId c) const {
+  double worst = kInf;
+  for (PinId p : design_->nl().cell(c).pins)
+    worst = std::min(worst, pin_slack(p));
+  return worst;
+}
+
+CriticalPath StaResult::trace_path(PinId endpoint) const {
+  CriticalPath path;
+  path.endpoint = endpoint;
+  const auto& nl = design_->nl();
+  const auto ei = static_cast<std::size_t>(endpoint);
+
+  // Worst transition at the endpoint.
+  int t = 0;
+  double worst = kInf;
+  for (int tt : {0, 1}) {
+    if (arr_[tt][ei] == kNegInf || req_[tt][ei] == kInf) continue;
+    const double s = req_[tt][ei] - arr_[tt][ei];
+    if (s < worst) {
+      worst = s;
+      t = tt;
+    }
+  }
+  path.slack_ns = worst;
+  path.setup_ns = setup_at_endpoint_[ei];
+
+  // Walk the predecessor chain back to the launch pin.
+  struct Hop {
+    PinId pin;
+    int trans;
+  };
+  std::vector<Hop> hops;
+  PinId cur = endpoint;
+  int ct = t;
+  while (cur != netlist::kInvalidId) {
+    hops.push_back({cur, ct});
+    const auto& pr = pred_[ct][static_cast<std::size_t>(cur)];
+    if (pr.from == netlist::kInvalidId) break;
+    const PinId nxt = pr.from;
+    ct = pr.from_trans;
+    cur = nxt;
+  }
+  std::reverse(hops.begin(), hops.end());
+  if (hops.empty()) return path;
+
+  // Launch info.
+  const PinId launch_pin = hops.front().pin;
+  const CellId launch_cell = nl.pin(launch_pin).cell;
+  path.launch_latency_ns = design_->clock_latency(launch_cell);
+  const CellId end_cell = nl.pin(endpoint).cell;
+  path.capture_latency_ns =
+      nl.cell(end_cell).is_port() ? 0.0 : design_->clock_latency(end_cell);
+  path.clock_skew_ns = path.capture_latency_ns - path.launch_latency_ns;
+
+  // Launch stage (FF CLK→Q or macro access or PI).
+  {
+    PathStage st;
+    st.cell = launch_cell;
+    st.out_pin = launch_pin;
+    st.tier = design_->tier(launch_cell);
+    st.cell_delay_ns = arr_[hops.front().trans][static_cast<std::size_t>(
+                           launch_pin)] -
+                       path.launch_latency_ns;
+    path.stages.push_back(st);
+  }
+
+  // Remaining hops come in (net-arc → input pin), (cell-arc → output pin)
+  // pairs; fold each pair into one stage on the traversed cell.
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    const auto& pr = pred_[hops[i].trans][static_cast<std::size_t>(
+        hops[i].pin)];
+    if (pr.is_net_arc) {
+      PathStage st;
+      st.cell = nl.pin(hops[i].pin).cell;
+      st.in_pin = hops[i].pin;
+      st.wire_delay_ns = pr.delay;
+      st.wire_length_um = pr.wire_len;
+      st.entered_through_miv = pr.via_miv;
+      st.tier = design_->tier(st.cell);
+      path.stages.push_back(st);
+    } else {
+      M3D_CHECK(!path.stages.empty());
+      PathStage& st = path.stages.back();
+      st.out_pin = hops[i].pin;
+      st.cell_delay_ns = pr.delay;
+    }
+  }
+
+  for (const auto& st : path.stages) {
+    path.cell_delay_ns += st.cell_delay_ns;
+    path.wire_delay_ns += st.wire_delay_ns;
+    path.wirelength_um += st.wire_length_um;
+    if (st.entered_through_miv) ++path.miv_count;
+    const int tier = st.tier == netlist::kTopTier ? 1 : 0;
+    ++path.cells_on_tier[tier];
+    path.delay_on_tier[tier] += st.cell_delay_ns + st.wire_delay_ns;
+  }
+  path.path_delay_ns =
+      arr_[t][ei] - path.launch_latency_ns;
+  return path;
+}
+
+CriticalPath StaResult::critical_path() const {
+  M3D_CHECK_MSG(!endpoints_.empty(), "no constrained endpoints");
+  return trace_path(endpoints_.front());
+}
+
+std::vector<CriticalPath> StaResult::worst_paths(int n) const {
+  std::vector<CriticalPath> out;
+  const int count = std::min<int>(n, static_cast<int>(endpoints_.size()));
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    out.push_back(trace_path(endpoints_[static_cast<std::size_t>(i)]));
+  return out;
+}
+
+}  // namespace m3d::sta

@@ -1,0 +1,160 @@
+#pragma once
+/// \file sta.hpp
+/// \brief Graph-based static timing analysis with rise/fall slew
+///        propagation, NLDM lookup, Elmore net delays, and heterogeneous
+///        boundary-cell derating.
+///
+/// The timing graph's nodes are pins. Launch points are primary inputs,
+/// flip-flop Q pins (clock latency + CLK→Q) and macro outputs (clock
+/// latency + access time); capture points are flip-flop D pins, macro
+/// inputs and primary outputs. Setup slack at a capture point is
+///   slack = (T + capture_latency − setup) − arrival,
+/// so clock skew between tiers — the crux of heterogeneous CTS — enters
+/// through per-cell clock latencies installed by the CTS stage.
+///
+/// Heterogeneity enters the delay model in the two ways of paper §II-B:
+///  * "heterogeneity at driver output": an output's load is summed from the
+///    sinks' *own* libraries, so driving a lighter/heavier foreign tier
+///    shifts delay and slew exactly as Table II describes;
+///  * "heterogeneity at input": when a cell's input swings to a foreign
+///    rail, an alpha-power-law derate speeds up overdriven stages and slows
+///    underdriven ones (Table III), with opposite signs in the two
+///    directions so long paths largely cancel.
+
+#include <limits>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "route/route.hpp"
+
+namespace m3d::sta {
+
+namespace detail {
+class StaEngine;
+}
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+using netlist::PinId;
+
+/// Analysis knobs.
+struct StaOptions {
+  double input_slew_ns = 0.020;   ///< slew asserted at primary inputs
+  double input_delay_ns = 0.0;    ///< arrival asserted at primary inputs
+  double output_margin_ns = 0.0;  ///< required margin at primary outputs
+  bool boundary_derates = true;   ///< model hetero voltage-boundary effects
+  bool ideal_clock = false;       ///< ignore CTS latencies (pre-CTS timing)
+  bool hold_analysis = true;      ///< also run the min-delay (hold) check
+  /// Give primary outputs a virtual capture clock at the design's mean
+  /// flop latency (an output-delay constraint that includes the clock
+  /// network latency). Without this every reg→port path loses the whole
+  /// launch latency against an un-latencied required time.
+  bool compensate_port_latency = true;
+};
+
+/// One stage of a reported timing path (a cell traversal plus the wire
+/// into it).
+struct PathStage {
+  CellId cell = netlist::kInvalidId;
+  PinId in_pin = netlist::kInvalidId;   ///< invalid for launch stage
+  PinId out_pin = netlist::kInvalidId;
+  double cell_delay_ns = 0.0;
+  double wire_delay_ns = 0.0;  ///< net delay *into* in_pin
+  double wire_length_um = 0.0;
+  int tier = 0;
+  bool entered_through_miv = false;
+};
+
+/// A fully annotated register-to-register (or port) path.
+struct CriticalPath {
+  std::vector<PathStage> stages;
+  PinId endpoint = netlist::kInvalidId;
+  double slack_ns = 0.0;
+  double path_delay_ns = 0.0;       ///< launch latency excluded: data delay
+  double cell_delay_ns = 0.0;
+  double wire_delay_ns = 0.0;
+  double wirelength_um = 0.0;
+  int miv_count = 0;
+  double launch_latency_ns = 0.0;
+  double capture_latency_ns = 0.0;
+  double setup_ns = 0.0;
+  /// capture − launch latency; positive skew helps setup here.
+  double clock_skew_ns = 0.0;
+  int cells_on_tier[2] = {0, 0};
+  double delay_on_tier[2] = {0.0, 0.0};
+
+  int total_cells() const { return static_cast<int>(stages.size()); }
+};
+
+/// Result of one STA run.
+class StaResult {
+ public:
+  double wns() const { return wns_; }
+  double tns() const { return tns_; }
+  int endpoint_count() const { return static_cast<int>(endpoints_.size()); }
+  int violated_endpoints() const { return violated_; }
+
+  /// Worst hold slack (min-delay analysis): earliest data arrival minus
+  /// (capture latency + hold requirement). Positive = no race.
+  double whs() const { return whs_; }
+  int hold_violations() const { return hold_violations_; }
+
+  /// Worst slack among all pins of a cell — the paper's *cell-based*
+  /// criticality used by timing-driven partitioning. Cells not on any
+  /// constrained path report +inf.
+  double cell_slack(CellId c) const;
+
+  /// Worst slack at one pin (min over rise/fall); +inf if unconstrained.
+  double pin_slack(PinId p) const;
+  double pin_arrival(PinId p) const;
+  double pin_slew(PinId p) const;
+
+  /// Endpoints sorted by ascending slack (worst first).
+  const std::vector<PinId>& endpoints_by_slack() const { return endpoints_; }
+
+  /// Trace the worst path ending at `endpoint`.
+  CriticalPath trace_path(PinId endpoint) const;
+
+  /// The single most critical path in the design.
+  CriticalPath critical_path() const;
+
+  /// Worst paths through the top-n worst endpoints (one path each).
+  std::vector<CriticalPath> worst_paths(int n) const;
+
+ private:
+  friend class detail::StaEngine;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  struct Pred {
+    PinId from = netlist::kInvalidId;
+    int from_trans = 0;
+    double delay = 0.0;
+    double wire_len = 0.0;
+    bool is_net_arc = false;
+    bool via_miv = false;
+  };
+
+  const Design* design_ = nullptr;
+  double wns_ = 0.0;
+  double tns_ = 0.0;
+  int violated_ = 0;
+  double whs_ = 0.0;
+  int hold_violations_ = 0;
+  std::vector<PinId> endpoints_;           // sorted by slack ascending
+  std::vector<double> endpoint_slack_;     // aligned with endpoints_
+  // Per pin × transition state.
+  std::vector<double> arr_[2];
+  std::vector<double> req_[2];
+  std::vector<double> slew_[2];
+  std::vector<Pred> pred_[2];
+  std::vector<double> setup_at_endpoint_;  // per pin; 0 if not an endpoint
+};
+
+/// Run setup STA over the design. `routes` supplies wire delays; pass
+/// nullptr for zero-wire (pre-placement / synthesis-stage) timing.
+StaResult run_sta(const Design& d, const route::RoutingEstimate* routes,
+                  const StaOptions& opt = {});
+
+}  // namespace m3d::sta

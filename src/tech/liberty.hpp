@@ -1,0 +1,32 @@
+#pragma once
+/// \file liberty.hpp
+/// \brief Liberty (.lib) interchange for technology libraries.
+///
+/// Writes and reads a well-formed subset of the Liberty format: library
+/// attributes (voltage, custom track/Vth attributes), cells with area and
+/// leakage, pins with direction and capacitance, and per-arc NLDM
+/// `cell_rise/cell_fall/rise_transition/fall_transition` tables with
+/// explicit `index_1/index_2/values`. Flip-flop `ff` groups carry
+/// setup/hold; macros are emitted as `cell`s with a `is_macro` attribute.
+///
+/// The subset round-trips exactly: `parse_liberty(write_liberty(lib))`
+/// reproduces every queryable number. Real third-party .lib files that
+/// stay within this subset parse too — the parser tolerates unknown
+/// attributes and groups by skipping them.
+
+#include <iosfwd>
+#include <string>
+
+#include "tech/tech_lib.hpp"
+
+namespace m3d::tech {
+
+/// Serialize a library to Liberty text.
+void write_liberty(const TechLib& lib, std::ostream& os);
+std::string liberty_string(const TechLib& lib);
+
+/// Parse Liberty text into a TechLib. Throws util::Error with a line
+/// number on malformed input. Unknown groups/attributes are ignored.
+TechLib parse_liberty(const std::string& text);
+
+}  // namespace m3d::tech

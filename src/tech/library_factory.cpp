@@ -1,0 +1,223 @@
+#include "tech/library_factory.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace m3d::tech {
+
+namespace {
+
+/// Baseline per-function electrical parameters for the 12-track X1 cell.
+struct FuncBase {
+  CellFunc func;
+  double d0_ns;      ///< intrinsic (unloaded) delay
+  double res_kohm;   ///< output drive resistance at X1
+  double cin_ff;     ///< input cap per pin at X1
+  double width_um;   ///< X1 placement width
+  double leak_uw;    ///< X1 leakage
+  double energy_fj;  ///< X1 internal energy per output toggle
+  bool inverting;
+};
+
+const std::vector<FuncBase>& func_bases() {
+  static const std::vector<FuncBase> kBases = {
+      {CellFunc::Inv,    0.0040, 2.8, 1.00, 0.40, 0.020, 0.40, true},
+      {CellFunc::Buf,    0.0090, 2.5, 1.00, 0.70, 0.032, 0.75, false},
+      {CellFunc::ClkBuf, 0.0085, 2.2, 1.10, 0.80, 0.038, 0.85, false},
+      {CellFunc::Nand2,  0.0060, 3.2, 1.20, 0.60, 0.028, 0.55, true},
+      {CellFunc::Nor2,   0.0072, 3.6, 1.20, 0.60, 0.028, 0.58, true},
+      {CellFunc::And2,   0.0105, 2.8, 1.15, 0.85, 0.040, 0.80, false},
+      {CellFunc::Or2,    0.0112, 2.8, 1.15, 0.85, 0.040, 0.82, false},
+      {CellFunc::Xor2,   0.0140, 3.4, 1.80, 1.20, 0.055, 1.10, false},
+      {CellFunc::Xnor2,  0.0142, 3.4, 1.80, 1.20, 0.055, 1.10, true},
+      {CellFunc::Nand3,  0.0078, 3.5, 1.30, 0.80, 0.036, 0.70, true},
+      {CellFunc::Nor3,   0.0095, 4.1, 1.30, 0.80, 0.036, 0.74, true},
+      {CellFunc::Aoi21,  0.0082, 3.6, 1.30, 0.80, 0.037, 0.72, true},
+      {CellFunc::Oai21,  0.0086, 3.6, 1.30, 0.80, 0.037, 0.72, true},
+      {CellFunc::Mux2,   0.0120, 3.1, 1.40, 1.00, 0.048, 0.95, false},
+      {CellFunc::Dff,    0.0350, 3.0, 1.10, 2.00, 0.080, 1.80, false},
+  };
+  return kBases;
+}
+
+// Rise is the pFET pull-up (slightly helped by our sizing), fall the nFET
+// pull-down; the asymmetry reproduces the fall>rise delays of Table II.
+constexpr double kRiseFactor = 0.92;
+constexpr double kFallFactor = 1.18;
+// Delay sensitivity to input slew (dimensionless; typical 50 %-threshold
+// sensitivity for static CMOS).
+constexpr double kSlewSens = 0.13;
+// Output slew of an RC stage: 10 %–90 % crossing of exp decay = 2.2·RC.
+constexpr double kSlewRC = 2.2;
+constexpr double kLn2 = 0.6931471805599453;
+
+std::vector<double> slew_axis() {
+  // Two orders of magnitude, per the paper's characterization remark.
+  return {0.002, 0.005, 0.010, 0.020, 0.050, 0.100, 0.200};
+}
+
+std::vector<double> load_axis() {
+  return {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+}
+
+NldmTable make_delay_table(double d0, double res, double trans_factor) {
+  const auto slews = slew_axis();
+  const auto loads = load_axis();
+  std::vector<double> vals;
+  vals.reserve(slews.size() * loads.size());
+  for (double s : slews) {
+    for (double l : loads) {
+      // First-order stage delay with a mild square-root load nonlinearity
+      // so the tables are genuinely non-linear (exercises interpolation).
+      const double rc = res * l * kRCtoNs;
+      const double nonlin = 0.04 * std::sqrt(rc * d0);
+      vals.push_back(trans_factor * (d0 + kSlewSens * s + kLn2 * rc + nonlin));
+    }
+  }
+  return NldmTable(slews, loads, std::move(vals));
+}
+
+NldmTable make_slew_table(double d0, double res, double trans_factor) {
+  const auto slews = slew_axis();
+  const auto loads = load_axis();
+  std::vector<double> vals;
+  vals.reserve(slews.size() * loads.size());
+  for (double s : slews) {
+    for (double l : loads) {
+      const double rc = res * l * kRCtoNs;
+      // Intrinsic output edge plus RC shaping plus weak input-slew
+      // feed-through (fast gates mostly regenerate the edge).
+      vals.push_back(trans_factor * (0.6 * d0 + kSlewRC * rc + 0.05 * s));
+    }
+  }
+  return NldmTable(slews, loads, std::move(vals));
+}
+
+LibCell make_cell(const LibSpec& spec, const FuncBase& base, int drive) {
+  LibCell c;
+  c.func = base.func;
+  c.drive = drive;
+  c.name = std::string(func_name(base.func)) + "_X" + std::to_string(drive) +
+           "_" + std::to_string(spec.tracks) + "T";
+  const double d = static_cast<double>(drive);
+  // Width grows sub-linearly with drive (shared diffusion/poly overhead).
+  c.width_um = spec.width_factor * base.width_um * (0.45 + 0.55 * d);
+  c.input_cap_ff = spec.cap_factor * base.cin_ff * d;
+  c.leakage_uw = spec.leak_factor * base.leak_uw * d;
+  c.internal_energy_fj = spec.energy_factor * base.energy_fj *
+                         (0.55 + 0.45 * d);
+  const double d0 = spec.speed_d0_factor * base.d0_ns;
+  const double res = spec.speed_res_factor * base.res_kohm / d;
+
+  const int nin = func_input_count(base.func);
+  for (int i = 0; i < nin; ++i) {
+    TimingArc arc;
+    arc.input_index = i;
+    arc.inverting = base.inverting;
+    // Later inputs of a stack are marginally slower (series transistors).
+    const double stack = 1.0 + 0.06 * i;
+    arc.delay[static_cast<int>(Transition::Rise)] =
+        make_delay_table(d0 * stack, res, kRiseFactor);
+    arc.delay[static_cast<int>(Transition::Fall)] =
+        make_delay_table(d0 * stack, res, kFallFactor);
+    arc.out_slew[static_cast<int>(Transition::Rise)] =
+        make_slew_table(d0 * stack, res, kRiseFactor);
+    arc.out_slew[static_cast<int>(Transition::Fall)] =
+        make_slew_table(d0 * stack, res, kFallFactor);
+    c.arcs.push_back(std::move(arc));
+  }
+
+  if (base.func == CellFunc::Dff) {
+    c.clock_cap_ff = spec.cap_factor * 0.8;
+    // Setup/hold track the intrinsic speed of the library.
+    c.setup_ns = 0.030 * spec.speed_d0_factor;
+    c.hold_ns = 0.010 * spec.speed_d0_factor;
+  }
+  return c;
+}
+
+MacroCell make_sram(const LibSpec& spec, const std::string& name,
+                    double kbits, double width, double height) {
+  MacroCell m;
+  m.name = name;
+  m.width_um = width;
+  m.height_um = height;
+  m.pin_cap_ff = 2.0;
+  // Macro timing does not change between the multi-track variants (the
+  // paper keeps CPU memories identical in both technologies); only supply
+  // scaling applies weakly. We keep them fixed for exact parity.
+  m.access_ns = 0.250;
+  m.setup_ns = 0.080;
+  m.out_slew_ns = 0.030;
+  m.drive_res_kohm = 1.0;
+  m.leakage_uw = 18.0 * kbits / 64.0;
+  m.internal_energy_fj = 320.0 * std::sqrt(kbits / 64.0);
+  (void)spec;
+  return m;
+}
+
+}  // namespace
+
+TechLib make_library(const LibSpec& spec) {
+  TechLib lib(spec.name, spec.tracks, spec.vdd, spec.vthp,
+              spec.row_height_um());
+  for (const auto& base : func_bases())
+    for (int drive : {1, 2, 4, 8}) lib.add_cell(make_cell(spec, base, drive));
+
+  // SRAM macros: the CPU generator instantiates these for the cache.
+  lib.add_macro(make_sram(spec, "SRAM_64X32", 2, 30.0, 22.0));
+  lib.add_macro(make_sram(spec, "SRAM_256X32", 8, 42.0, 34.0));
+  lib.add_macro(make_sram(spec, "SRAM_1KX32", 32, 64.0, 52.0));
+  lib.add_macro(make_sram(spec, "SRAM_4KX32", 128, 104.0, 88.0));
+  return lib;
+}
+
+LibSpec spec_12track() {
+  LibSpec s;
+  s.name = "lib12t";
+  s.tracks = 12;
+  s.vdd = 0.90;
+  s.vthp = 0.32;
+  return s;
+}
+
+LibSpec spec_9track() {
+  LibSpec s;
+  s.name = "lib9t";
+  s.tracks = 9;
+  s.vdd = 0.81;
+  s.vthp = 0.30;
+  // Slow, small, low-power: drive weakened both by narrower devices and by
+  // the lower rail; leakage collapses at the low-power corner (Table II
+  // reports ~30× lower FO4 leakage for the slow tier).
+  s.speed_res_factor = 1.85;
+  s.speed_d0_factor = 1.60;
+  s.cap_factor = 0.85;
+  s.leak_factor = 0.035;
+  s.energy_factor = 0.70;  // smaller caps × (0.81/0.90)² supply ratio
+  s.width_factor = 1.00;   // same width; area saving comes from height
+  return s;
+}
+
+std::shared_ptr<const TechLib> make_12track() {
+  return std::make_shared<const TechLib>(make_library(spec_12track()));
+}
+
+std::shared_ptr<const TechLib> make_9track() {
+  return std::make_shared<const TechLib>(make_library(spec_9track()));
+}
+
+double fo4_delay_ns(const TechLib& lib) {
+  const LibCell* inv = lib.find(CellFunc::Inv, 1);
+  M3D_CHECK(inv != nullptr);
+  const double load = 4.0 * inv->input_cap_ff;
+  const double slew = 0.015;
+  const auto& arc = inv->arc(0);
+  const double rise =
+      arc.delay[static_cast<int>(Transition::Rise)].lookup(slew, load);
+  const double fall =
+      arc.delay[static_cast<int>(Transition::Fall)].lookup(slew, load);
+  return 0.5 * (rise + fall);
+}
+
+}  // namespace m3d::tech

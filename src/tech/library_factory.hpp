@@ -1,0 +1,61 @@
+#pragma once
+/// \file library_factory.hpp
+/// \brief Procedural characterization of the 9-track and 12-track 28 nm
+///        standard-cell libraries used throughout the paper.
+///
+/// The paper uses a proprietary foundry 28 nm PDK; we substitute libraries
+/// characterized from a first-order RC + alpha-power device model,
+/// calibrated to reproduce the published *relations*: the 12-track cells
+/// are faster, larger, leakier and more power-hungry; the 9-track cells
+/// are ~25 % smaller (9/12 height), roughly 1.7–2.4× slower per stage, and
+/// far lower leakage at 0.81 V. NLDM tables span two orders of magnitude
+/// in slew, matching the paper's remark that library slew characterization
+/// easily absorbs ±15 % boundary-cell slew shifts.
+
+#include <memory>
+#include <string>
+
+#include "tech/tech_lib.hpp"
+
+namespace m3d::tech {
+
+/// Knobs for generating one library. Defaults describe the 12-track corner.
+struct LibSpec {
+  std::string name = "lib12t";
+  int tracks = 12;
+  double vdd = 0.90;        ///< V
+  double vthp = 0.32;       ///< V, lowest pFET threshold in the library
+  double m1_pitch_um = 0.1; ///< row height = tracks × M1 pitch
+
+  // Relative factors vs the 12-track baseline characterization.
+  double speed_res_factor = 1.0;   ///< drive resistance multiplier
+  double speed_d0_factor = 1.0;    ///< intrinsic delay multiplier
+  double cap_factor = 1.0;         ///< pin capacitance multiplier
+  double leak_factor = 1.0;        ///< leakage multiplier
+  double energy_factor = 1.0;      ///< internal switching energy multiplier
+  double width_factor = 1.0;       ///< cell width multiplier
+
+  double row_height_um() const { return tracks * m1_pitch_um; }
+};
+
+/// Build a full library (all cell functions × drives {1,2,4,8} + SRAM
+/// macros) from a spec.
+TechLib make_library(const LibSpec& spec);
+
+/// Spec of the fast/large 12-track library at 0.90 V.
+LibSpec spec_12track();
+
+/// Spec of the slow/small 9-track library at 0.81 V.
+LibSpec spec_9track();
+
+/// Convenience: shared 12-track library instance (freshly built each call).
+std::shared_ptr<const TechLib> make_12track();
+
+/// Convenience: shared 9-track library instance (freshly built each call).
+std::shared_ptr<const TechLib> make_9track();
+
+/// FO4 delay of the library's X1 inverter (average of rise/fall), the
+/// canonical speed metric used in calibration tests and Tables II/III.
+double fo4_delay_ns(const TechLib& lib);
+
+}  // namespace m3d::tech

@@ -1,0 +1,50 @@
+#pragma once
+/// \file nldm.hpp
+/// \brief Non-linear delay model (NLDM) lookup table.
+///
+/// Mirrors the Liberty NLDM format: a 2-D table indexed by input slew and
+/// output load, bilinearly interpolated, linearly extrapolated at the edges
+/// (clamped extrapolation would hide out-of-range characterization, which
+/// the paper's boundary-cell discussion explicitly cares about, so we track
+/// the characterized range and expose an in_range() query).
+
+#include <vector>
+
+namespace m3d::tech {
+
+/// 2-D lookup table: rows indexed by input slew (ns), columns by output
+/// load (fF). Values are delay or output slew in ns.
+class NldmTable {
+ public:
+  NldmTable() = default;
+
+  /// Construct from axes and a row-major value matrix.
+  /// Axes must be strictly increasing; values.size() == slews.size() *
+  /// loads.size().
+  NldmTable(std::vector<double> slew_axis, std::vector<double> load_axis,
+            std::vector<double> values);
+
+  /// Bilinear interpolation with linear extrapolation outside the axes.
+  double lookup(double slew_ns, double load_ff) const;
+
+  /// True when the query point lies inside the characterized box.
+  bool in_range(double slew_ns, double load_ff) const;
+
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& slew_axis() const { return slew_axis_; }
+  const std::vector<double>& load_axis() const { return load_axis_; }
+
+  /// Scale every table value by a constant (used for derating).
+  void scale(double k);
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<double> values_;  // row-major: [slew][load]
+
+  double at(std::size_t i, std::size_t j) const {
+    return values_[i * load_axis_.size() + j];
+  }
+};
+
+}  // namespace m3d::tech

@@ -1,0 +1,51 @@
+#pragma once
+/// \file wire_model.hpp
+/// \brief BEOL wiring and monolithic inter-tier via (MIV) electrical model.
+///
+/// Both tiers share the same BEOL stack (the paper's multi-track libraries
+/// are chosen precisely because they share BEOL), so one WireModel serves
+/// 2-D and both tiers of 3-D. Units: resistance kΩ, capacitance fF, length
+/// µm; R[kΩ]·C[fF] = 1e-3 ns.
+
+namespace m3d::tech {
+
+/// Converts a kΩ·fF product into nanoseconds.
+inline constexpr double kRCtoNs = 1e-3;
+
+/// Per-unit-length wire parasitics for the signal-routing stack.
+struct WireModel {
+  int signal_layers = 6;        ///< signal routing layers per tier
+  double res_kohm_per_um = 0.0015;  ///< ~1.5 Ω/µm average over M2–M7
+  double cap_ff_per_um = 0.18;      ///< ~0.18 fF/µm average
+
+  /// Elmore delay of a wire of given length driving a lumped load.
+  /// Uses the distributed-wire 0.5·R·C term plus R·Cload.
+  double elmore_ns(double length_um, double load_ff) const {
+    const double rw = res_kohm_per_um * length_um;
+    const double cw = cap_ff_per_um * length_um;
+    return (0.5 * rw * cw + rw * load_ff) * kRCtoNs;
+  }
+
+  /// Total wire capacitance of a segment.
+  double wire_cap_ff(double length_um) const {
+    return cap_ff_per_um * length_um;
+  }
+
+  /// Total wire resistance of a segment.
+  double wire_res_kohm(double length_um) const {
+    return res_kohm_per_um * length_um;
+  }
+};
+
+/// Monolithic inter-tier via. MIVs are tiny (~50 nm) so their parasitics
+/// are comparable to a short wire stub, which is what makes gate-level
+/// 3-D partitioning viable at all.
+struct MivModel {
+  double res_kohm = 0.004;  ///< ~4 Ω
+  double cap_ff = 0.1;      ///< ~0.1 fF
+  double pitch_um = 0.1;    ///< minimum MIV pitch
+
+  double delay_ns(double load_ff) const { return res_kohm * load_ff * kRCtoNs; }
+};
+
+}  // namespace m3d::tech

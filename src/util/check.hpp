@@ -1,0 +1,46 @@
+#pragma once
+/// \file check.hpp
+/// \brief Lightweight runtime checks used across the library.
+///
+/// All invariant violations throw m3d::util::Error so callers (tests,
+/// examples, benches) can handle failures without aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace m3d::util {
+
+/// Exception type thrown by all M3D_CHECK-style assertions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace m3d::util
+
+/// Check a condition; throws m3d::util::Error with location info on failure.
+#define M3D_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) ::m3d::util::detail::fail(#cond, __FILE__, __LINE__, {}); \
+  } while (0)
+
+/// Check with an explanatory message (streamed into the exception text).
+#define M3D_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream m3d_os_;                                       \
+      m3d_os_ << msg;                                                   \
+      ::m3d::util::detail::fail(#cond, __FILE__, __LINE__, m3d_os_.str()); \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,91 @@
+#pragma once
+/// \file geom.hpp
+/// \brief 2-D geometry primitives used by placement, routing and CTS.
+///
+/// Coordinates are in microns (double). Tier membership is kept separately
+/// from geometry; a 3-D design is two stacked 2-D planes sharing x/y space.
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3d::util {
+
+/// A point in the placement plane (µm).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double k) { return {a.x * k, a.y * k}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Manhattan distance — the routing metric for everything in this library.
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance (used by clock-tree geometric matching).
+inline double euclidean(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Axis-aligned rectangle, lo inclusive, hi exclusive by convention.
+struct Rect {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  double width() const { return xhi - xlo; }
+  double height() const { return yhi - ylo; }
+  double area() const { return width() * height(); }
+  Point center() const { return {(xlo + xhi) * 0.5, (ylo + yhi) * 0.5}; }
+
+  bool contains(Point p) const {
+    return p.x >= xlo && p.x < xhi && p.y >= ylo && p.y < yhi;
+  }
+
+  /// Grow to include a point.
+  void expand(Point p) {
+    xlo = std::min(xlo, p.x);
+    ylo = std::min(ylo, p.y);
+    xhi = std::max(xhi, p.x);
+    yhi = std::max(yhi, p.y);
+  }
+
+  /// Clamp a point into the rectangle (inclusive of both edges).
+  Point clamp(Point p) const {
+    return {std::clamp(p.x, xlo, xhi), std::clamp(p.y, ylo, yhi)};
+  }
+
+  /// Half-perimeter of the rectangle — HPWL of its corner set.
+  double half_perimeter() const { return width() + height(); }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi && a.yhi == b.yhi;
+  }
+};
+
+/// Bounding box accumulator that starts empty.
+class BBox {
+ public:
+  void add(Point p) {
+    if (empty_) {
+      r_ = {p.x, p.y, p.x, p.y};
+      empty_ = false;
+    } else {
+      r_.expand(p);
+    }
+  }
+  bool empty() const { return empty_; }
+  const Rect& rect() const { return r_; }
+  double hpwl() const { return empty_ ? 0.0 : r_.half_perimeter(); }
+
+ private:
+  Rect r_;
+  bool empty_ = true;
+};
+
+}  // namespace m3d::util

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace m3d::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "[debug] ";
+    case LogLevel::Info: return "[info ] ";
+    case LogLevel::Warn: return "[warn ] ";
+    case LogLevel::Error: return "[error] ";
+    case LogLevel::Silent: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::fputs(prefix(level), stderr);
+  std::fputs(msg.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace m3d::util

@@ -1,0 +1,55 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger with a global verbosity switch.
+///
+/// Flow stages log at Info; inner-loop algorithms log at Debug. Benches set
+/// the level to Warn so report tables stay clean.
+
+#include <sstream>
+#include <string>
+
+namespace m3d::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Set the global minimum level that is actually printed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (with level prefix) if `level` passes the filter.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_line(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace m3d::util

@@ -1,0 +1,61 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// Every stochastic step in the library (netlist generation, placement
+/// perturbation, FM tie-breaking, activity assignment) draws from an Rng
+/// seeded explicitly, so a whole flow run is bit-reproducible.
+
+#include <cstdint>
+#include <vector>
+
+namespace m3d::util {
+
+/// xoshiro256++ PRNG with SplitMix64 seeding. Not cryptographic; fast and
+/// statistically strong enough for EDA heuristics.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal variate (Box–Muller, cached pair).
+  double normal();
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for parallel-safe substreams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace m3d::util

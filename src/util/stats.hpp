@@ -1,0 +1,64 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small statistics helpers used by reports and analyses.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace m3d::util {
+
+/// Arithmetic mean; 0 for an empty span.
+inline double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+/// Root-mean-square; 0 for an empty span. The paper reports memory-net
+/// latencies as RMS averages.
+inline double rms(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+inline double stddev(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+/// Linear-interpolated percentile, q in [0, 100].
+inline double percentile(std::vector<double> v, double q) {
+  M3D_CHECK(!v.empty());
+  M3D_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Minimum; requires non-empty.
+inline double min_of(std::span<const double> v) {
+  M3D_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+/// Maximum; requires non-empty.
+inline double max_of(std::span<const double> v) {
+  M3D_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace m3d::util

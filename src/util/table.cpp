@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace m3d::util {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << std::showpos << v;
+  return os.str();
+}
+
+std::string TextTable::integer(long long v) { return std::to_string(v); }
+
+std::string TextTable::str() const {
+  // Compute column widths across header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> w(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      w[i] = std::max(w[i], cells[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_)
+    if (!r.is_separator) measure(r.cells);
+
+  std::size_t total = 0;
+  for (auto x : w) total += x + 2;
+  if (total >= 2) total -= 2;
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(w[i])) << c;
+      if (i + 1 != ncols) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator)
+      os << std::string(total, '-') << '\n';
+    else
+      emit(r.cells);
+  }
+  return os.str();
+}
+
+void TextTable::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace m3d::util

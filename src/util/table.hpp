@@ -1,0 +1,54 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned plain-text table formatting for benches and reports.
+///
+/// Every bench reproduces a paper table by printing one of these, so the
+/// output is directly comparable to the publication.
+
+#include <string>
+#include <vector>
+
+namespace m3d::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// doubles with a chosen precision. First row added with header() is
+/// underlined in the output.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row.
+  void row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  void separator();
+
+  /// Format a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Format a signed percentage like "-12.3".
+  static std::string pct(double v, int precision = 1);
+
+  /// Format an integer with no decorations.
+  static std::string integer(long long v);
+
+  /// Render the table to a string.
+  std::string str() const;
+
+  /// Render and print to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace m3d::util

@@ -1,0 +1,126 @@
+// Tests for the design-rule checker: a flow-produced design is clean of
+// errors, and each rule fires when its violation is injected.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "gen/designs.hpp"
+#include "netlist/checks.hpp"
+#include "place/place.hpp"
+#include "tech/library_factory.hpp"
+#include "util/log.hpp"
+
+namespace mc = m3d::core;
+namespace mg = m3d::gen;
+namespace mn = m3d::netlist;
+namespace mt = m3d::tech;
+
+namespace {
+
+mc::FlowResult flow(mc::Config cfg = mc::Config::Hetero3D) {
+  m3d::util::set_log_level(m3d::util::LogLevel::Silent);
+  mg::GenOptions g;
+  g.scale = 0.06;
+  mc::FlowOptions o;
+  o.clock_period_ns = 1.2;
+  o.opt.max_sizing_rounds = 1;
+  o.repart.max_iters = 1;
+  return mc::run_flow(mg::make_netcard(g), cfg, o);
+}
+
+bool has_rule(const std::vector<mn::CheckViolation>& v,
+              const std::string& rule) {
+  for (const auto& x : v)
+    if (x.rule == rule) return true;
+  return false;
+}
+
+}  // namespace
+
+TEST(Checks, FlowOutputIsErrorClean) {
+  const auto r = flow();
+  const auto v = mn::run_checks(r.design);
+  EXPECT_EQ(mn::count_violations(v, mn::CheckSeverity::Error), 0)
+      << mn::check_report(v);
+}
+
+TEST(Checks, TwoDFlowAlsoClean) {
+  const auto r = flow(mc::Config::TwoD12T);
+  const auto v = mn::run_checks(r.design);
+  EXPECT_EQ(mn::count_violations(v, mn::CheckSeverity::Error), 0)
+      << mn::check_report(v);
+}
+
+TEST(Checks, DetectsOverlap) {
+  auto r = flow();
+  auto& d = r.design;
+  // Stack two comb cells of the same tier on top of each other.
+  mn::CellId a = mn::kInvalidId, b = mn::kInvalidId;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    if (!d.nl().cell(c).is_comb()) continue;
+    if (d.tier(c) != mn::kBottomTier) continue;
+    if (a == mn::kInvalidId)
+      a = c;
+    else {
+      b = c;
+      break;
+    }
+  }
+  ASSERT_NE(b, mn::kInvalidId);
+  d.set_pos(b, d.pos(a));
+  const auto v = mn::run_checks(d);
+  EXPECT_TRUE(has_rule(v, "placement.overlap")) << mn::check_report(v);
+}
+
+TEST(Checks, DetectsOutsideDieAndOffRow) {
+  auto r = flow();
+  auto& d = r.design;
+  mn::CellId a = mn::kInvalidId;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    if (d.nl().cell(c).is_comb()) {
+      a = c;
+      break;
+    }
+  d.set_pos(a, {d.floorplan().xhi + 50.0, d.floorplan().yhi + 50.0});
+  auto v = mn::run_checks(d);
+  EXPECT_TRUE(has_rule(v, "placement.outside"));
+
+  d.set_pos(a, {d.floorplan().center().x, d.floorplan().center().y + 0.37});
+  v = mn::run_checks(d);
+  EXPECT_TRUE(has_rule(v, "placement.off_row"));
+}
+
+TEST(Checks, DetectsUnclockedFlop) {
+  auto r = flow();
+  auto& d = r.design;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    if (d.nl().cell(c).is_sequential()) {
+      d.nl().disconnect(d.nl().clock_pin(c));
+      break;
+    }
+  const auto v = mn::run_checks(d);
+  EXPECT_TRUE(has_rule(v, "clock.unclocked"));
+}
+
+TEST(Checks, DetectsExcessFanoutAsWarning) {
+  auto r = flow();
+  auto& d = r.design;
+  mn::CheckOptions opt;
+  opt.max_fanout = 1;  // everything with fanout 2+ now trips
+  const auto v = mn::run_checks(d, opt);
+  EXPECT_TRUE(has_rule(v, "electrical.fanout"));
+  EXPECT_GT(mn::count_violations(v, mn::CheckSeverity::Warning), 0);
+  // Still no *errors* — fanout is advisory.
+  EXPECT_EQ(mn::count_violations(v, mn::CheckSeverity::Error), 0);
+}
+
+TEST(Checks, ReportIsReadable) {
+  auto r = flow();
+  auto& d = r.design;
+  mn::CheckOptions opt;
+  opt.max_fanout = 1;
+  const auto v = mn::run_checks(d, opt);
+  const auto rep = mn::check_report(v);
+  EXPECT_NE(rep.find("warning"), std::string::npos);
+  EXPECT_NE(rep.find("electrical.fanout"), std::string::npos);
+}

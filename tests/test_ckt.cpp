@@ -1,0 +1,188 @@
+// Tests for the circuit simulator: MOSFET model regions, inverter DC
+// behaviour, and the FO-4 boundary experiments (Tables II/III signs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckt/fo4.hpp"
+#include "util/check.hpp"
+#include "ckt/mosfet.hpp"
+
+namespace mk = m3d::ckt;
+
+TEST(Mosfet, CutoffSaturationTriodeRegions) {
+  mk::DeviceParams p;
+  // Cutoff: tiny sub-threshold current.
+  EXPECT_LT(mk::nmos_current(p, 0.0, 0.9), 1e-3);
+  EXPECT_GT(mk::nmos_current(p, 0.0, 0.9), 0.0);
+  // Saturation current grows quadratically with overdrive.
+  const double i1 = mk::nmos_current(p, p.vth + 0.2, 0.9);
+  const double i2 = mk::nmos_current(p, p.vth + 0.4, 0.9);
+  EXPECT_NEAR(i2 / i1, 4.0, 0.35);  // lambda perturbs slightly
+  // Triode below saturation.
+  const double tri = mk::nmos_current(p, 0.9, 0.05);
+  EXPECT_LT(tri, mk::nmos_current(p, 0.9, 0.9));
+  EXPECT_GT(tri, 0.0);
+}
+
+TEST(Mosfet, ZeroAtZeroVds) {
+  mk::DeviceParams p;
+  EXPECT_DOUBLE_EQ(mk::nmos_current(p, 0.9, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mk::nmos_current(p, 0.9, -0.1), 0.0);
+}
+
+TEST(Mosfet, SubthresholdIsExponential) {
+  mk::DeviceParams p;
+  const double i_a = mk::nmos_current(p, 0.10, 0.9);
+  const double i_b = mk::nmos_current(p, 0.10 + p.n_vt, 0.9);
+  EXPECT_NEAR(i_b / i_a, std::exp(1.0), 0.05);
+}
+
+TEST(Mosfet, FastCornerOutdrivesSlowCorner) {
+  const auto fast = mk::fast_inverter();
+  const auto slow = mk::slow_inverter();
+  const double i_fast = mk::nmos_current(fast.nmos, fast.vdd, fast.vdd / 2);
+  const double i_slow = mk::nmos_current(slow.nmos, slow.vdd, slow.vdd / 2);
+  EXPECT_GT(i_fast / i_slow, 1.5);
+}
+
+TEST(Mosfet, InverterDcDirections) {
+  const auto t = mk::fast_inverter();
+  // Input low, output low: strong pull-up.
+  EXPECT_GT(mk::inverter_out_current(t, 0.0, 0.1), 0.1);
+  // Input high, output high: strong pull-down.
+  EXPECT_LT(mk::inverter_out_current(t, t.vdd, t.vdd - 0.1), -0.1);
+}
+
+TEST(Mosfet, LeakageCalibratedToPaper) {
+  // FO-4 driver leakage: fast ≈ 0.093 µW, slow ≈ 0.003 µW (Table II),
+  // ~30× apart.
+  const auto fast = mk::fast_inverter();
+  const auto slow = mk::slow_inverter();
+  const double lf = 0.5 * (mk::inverter_leakage_uw(fast, 0.0) +
+                           mk::inverter_leakage_uw(fast, fast.vdd));
+  const double ls = 0.5 * (mk::inverter_leakage_uw(slow, 0.0) +
+                           mk::inverter_leakage_uw(slow, slow.vdd));
+  EXPECT_NEAR(lf, 0.093, 0.04);
+  EXPECT_NEAR(ls, 0.003, 0.002);
+  EXPECT_GT(lf / ls, 15.0);
+}
+
+TEST(Fo4, FastDelayNearPaperRange) {
+  const auto r = mk::simulate_fo4({});
+  // Paper Table II fast corner: rise 12.5 ps / fall 16.4 ps. Our devices
+  // land in the same ~12–20 ps window.
+  EXPECT_GT(r.rise_delay_ps, 8.0);
+  EXPECT_LT(r.rise_delay_ps, 25.0);
+  EXPECT_GT(r.fall_delay_ps, 8.0);
+  EXPECT_LT(r.fall_delay_ps, 25.0);
+  EXPECT_GT(r.rise_slew_ps, 0.0);
+  EXPECT_GT(r.fall_slew_ps, 0.0);
+}
+
+TEST(Fo4, SlowCornerIsSlower) {
+  mk::Fo4Config slow;
+  slow.driver = mk::slow_inverter();
+  slow.load = mk::slow_inverter();
+  slow.input_vdd = 0.81;
+  const auto rf = mk::simulate_fo4({});
+  const auto rs = mk::simulate_fo4(slow);
+  const double df = 0.5 * (rf.rise_delay_ps + rf.fall_delay_ps);
+  const double ds = 0.5 * (rs.rise_delay_ps + rs.fall_delay_ps);
+  EXPECT_GT(ds / df, 1.4);
+  EXPECT_LT(ds / df, 2.4);
+}
+
+TEST(Fo4, TableII_FastDriverWithSlowLoadIsFaster) {
+  // Case I vs II: replacing the fast loads with slow (lighter) loads
+  // speeds the stage up and shrinks slews — all deltas negative.
+  mk::Fo4Config c2;
+  c2.load = mk::slow_inverter();
+  const auto r1 = mk::simulate_fo4({});
+  const auto r2 = mk::simulate_fo4(c2);
+  EXPECT_LT(r2.rise_delay_ps, r1.rise_delay_ps);
+  EXPECT_LT(r2.fall_delay_ps, r1.fall_delay_ps);
+  EXPECT_LT(r2.rise_slew_ps, r1.rise_slew_ps);
+  EXPECT_LT(r2.fall_slew_ps, r1.fall_slew_ps);
+  EXPECT_LT(r2.total_power_uw, r1.total_power_uw);
+  // Leakage barely moves (< a few %): the driver's own stack is unchanged.
+  EXPECT_NEAR(r2.leakage_uw / r1.leakage_uw, 1.0, 0.05);
+}
+
+TEST(Fo4, TableII_SlowDriverWithFastLoadIsSlower) {
+  mk::Fo4Config c3, c4;
+  c3.driver = c3.load = mk::slow_inverter();
+  c3.input_vdd = 0.81;
+  c4.driver = mk::slow_inverter();
+  c4.load = mk::fast_inverter();
+  c4.input_vdd = 0.81;
+  const auto r3 = mk::simulate_fo4(c3);
+  const auto r4 = mk::simulate_fo4(c4);
+  EXPECT_GT(r4.rise_delay_ps, r3.rise_delay_ps);
+  EXPECT_GT(r4.fall_delay_ps, r3.fall_delay_ps);
+  EXPECT_GT(r4.total_power_uw, r3.total_power_uw);
+}
+
+TEST(Fo4, TableII_SlewShiftsStayWithinCharacterizedRange) {
+  // Paper: boundary slew changes stay within ±15–25 %, far inside the
+  // two-orders-of-magnitude characterized slew range.
+  mk::Fo4Config c2;
+  c2.load = mk::slow_inverter();
+  const auto r1 = mk::simulate_fo4({});
+  const auto r2 = mk::simulate_fo4(c2);
+  EXPECT_LT(std::abs(r2.rise_slew_ps / r1.rise_slew_ps - 1.0), 0.30);
+  EXPECT_LT(std::abs(r2.fall_slew_ps / r1.fall_slew_ps - 1.0), 0.30);
+}
+
+TEST(Fo4, TableIII_OverdrivenInputRaisesLeakageSharply) {
+  // Fast cells receiving a 0.81 V swing: leakage up by hundreds of
+  // percent (paper +250 %), total power up, delays up slightly.
+  mk::Fo4Config c;
+  c.input_vdd = 0.81;
+  const auto base = mk::simulate_fo4({});
+  const auto r = mk::simulate_fo4(c);
+  EXPECT_GT(r.leakage_uw / base.leakage_uw, 1.8);
+  EXPECT_GT(r.total_power_uw, base.total_power_uw);
+  EXPECT_GT(r.fall_delay_ps, base.fall_delay_ps);
+}
+
+TEST(Fo4, TableIII_UnderdrivenInputCutsLeakage) {
+  // Slow cells receiving a 0.90 V swing: leakage down (paper −44.9 %),
+  // fall delay down (stronger overdrive).
+  mk::Fo4Config base_cfg, c;
+  base_cfg.driver = base_cfg.load = mk::slow_inverter();
+  base_cfg.input_vdd = 0.81;
+  c.driver = c.load = mk::slow_inverter();
+  c.input_vdd = 0.90;
+  const auto base = mk::simulate_fo4(base_cfg);
+  const auto r = mk::simulate_fo4(c);
+  EXPECT_LT(r.leakage_uw / base.leakage_uw, 0.8);
+  EXPECT_LT(r.fall_delay_ps, base.fall_delay_ps);
+}
+
+TEST(Fo4, OppositeSignsCancelOnPaths) {
+  // The paper's argument for ignoring boundary timing error: fast→slow
+  // and slow→fast stage-delay shifts have opposite signs.
+  mk::Fo4Config up, down;
+  up.input_vdd = 0.81;                        // underdriven fast stage
+  down.driver = down.load = mk::slow_inverter();
+  down.input_vdd = 0.90;                      // overdriven slow stage
+  const auto base_fast = mk::simulate_fo4({});
+  mk::Fo4Config base_slow_cfg;
+  base_slow_cfg.driver = base_slow_cfg.load = mk::slow_inverter();
+  base_slow_cfg.input_vdd = 0.81;
+  const auto base_slow = mk::simulate_fo4(base_slow_cfg);
+  const auto r_up = mk::simulate_fo4(up);
+  const auto r_down = mk::simulate_fo4(down);
+  const double d_up = r_up.fall_delay_ps - base_fast.fall_delay_ps;
+  const double d_down = r_down.fall_delay_ps - base_slow.fall_delay_ps;
+  EXPECT_GT(d_up, 0.0);
+  EXPECT_LT(d_down, 0.0);
+}
+
+TEST(Fo4, RejectsBadConfig) {
+  mk::Fo4Config c;
+  c.dt_ps = 0.0;
+  EXPECT_THROW(mk::simulate_fo4(c), m3d::util::Error);
+}

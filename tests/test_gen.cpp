@@ -1,0 +1,192 @@
+// Tests for the netlist generators: determinism, scaling, structural
+// signatures (macros in CPU, blocks, symmetry of AES, global LDPC wiring),
+// and validity of every generated netlist.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/designs.hpp"
+#include "gen/fabric.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mg = m3d::gen;
+namespace mn = m3d::netlist;
+namespace mt = m3d::tech;
+
+namespace {
+mg::GenOptions tiny() {
+  mg::GenOptions o;
+  o.scale = 0.1;
+  return o;
+}
+}  // namespace
+
+TEST(Gen, AllDesignsValidate) {
+  for (const char* name : {"aes", "ldpc", "netcard", "cpu"}) {
+    const auto nl = mg::make_design(name, tiny());
+    EXPECT_NO_THROW(nl.validate()) << name;
+    EXPECT_GT(nl.stats().cells, 50) << name;
+    EXPECT_GT(nl.stats().seq_cells, 0) << name;
+  }
+}
+
+TEST(Gen, DeterministicForSameSeed) {
+  const auto a = mg::make_cpu(tiny());
+  const auto b = mg::make_cpu(tiny());
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (mn::CellId c = 0; c < a.cell_count(); ++c) {
+    EXPECT_EQ(a.cell(c).name, b.cell(c).name);
+    EXPECT_EQ(a.cell(c).func, b.cell(c).func);
+  }
+}
+
+TEST(Gen, DifferentSeedsDiffer) {
+  auto o1 = tiny(), o2 = tiny();
+  o2.seed = 99;
+  const auto a = mg::make_netcard(o1);
+  const auto b = mg::make_netcard(o2);
+  // Same structure scale, different wiring: compare a few net topologies.
+  bool differs = a.net_count() != b.net_count();
+  for (mn::NetId n = 0; !differs && n < std::min(a.net_count(), b.net_count());
+       ++n)
+    differs = a.net(n).pins != b.net(n).pins;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Gen, ScaleGrowsCellCount) {
+  mg::GenOptions small = tiny();
+  mg::GenOptions big = tiny();
+  big.scale = 0.4;
+  const int s = mg::make_ldpc(small).stats().cells;
+  const int b = mg::make_ldpc(big).stats().cells;
+  EXPECT_GT(b, 2 * s);
+}
+
+TEST(Gen, CpuHasMacrosAndBlocks) {
+  const auto nl = mg::make_cpu(tiny());
+  EXPECT_EQ(nl.stats().macros, 4);
+  std::set<std::string> blocks;
+  for (int b = 0; b < nl.block_count(); ++b) blocks.insert(nl.block_name(b));
+  for (const char* want : {"ifu", "decode", "alu", "mul", "fpu", "lsu",
+                           "regfile"})
+    EXPECT_TRUE(blocks.count(want)) << want;
+  // The multiplier block exists and is non-trivial.
+  int mul_cells = 0;
+  for (mn::CellId c = 0; c < nl.cell_count(); ++c)
+    if (nl.block_name(nl.cell(c).block) == "mul") ++mul_cells;
+  EXPECT_GT(mul_cells, 100);
+}
+
+TEST(Gen, OthersHaveNoMacros) {
+  EXPECT_EQ(mg::make_aes(tiny()).stats().macros, 0);
+  EXPECT_EQ(mg::make_ldpc(tiny()).stats().macros, 0);
+  EXPECT_EQ(mg::make_netcard(tiny()).stats().macros, 0);
+}
+
+TEST(Gen, AesHas128BitInterface) {
+  const auto nl = mg::make_aes(tiny());
+  int pt = 0, ct = 0;
+  for (mn::CellId c = 0; c < nl.cell_count(); ++c) {
+    const auto& cc = nl.cell(c);
+    if (cc.kind == mn::CellKind::PrimaryIn &&
+        cc.name.rfind("pt_", 0) == 0)
+      ++pt;
+    if (cc.kind == mn::CellKind::PrimaryOut &&
+        cc.name.rfind("ct_", 0) == 0)
+      ++ct;
+  }
+  EXPECT_EQ(pt, 128);
+  EXPECT_EQ(ct, 128);
+}
+
+TEST(Gen, EveryFlopIsClocked) {
+  const auto nl = mg::make_cpu(tiny());
+  for (mn::CellId c = 0; c < nl.cell_count(); ++c) {
+    const auto& cc = nl.cell(c);
+    if (!cc.is_sequential() && !cc.is_macro()) continue;
+    const auto ck = nl.clock_pin(c);
+    ASSERT_NE(ck, mn::kInvalidId);
+    ASSERT_NE(nl.pin(ck).net, mn::kInvalidId);
+    EXPECT_TRUE(nl.net(nl.pin(ck).net).is_clock);
+  }
+}
+
+TEST(Gen, NoDanglingDrivenNets) {
+  const auto nl = mg::make_netcard(tiny());
+  for (mn::NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.driver == mn::kInvalidId) continue;
+    EXPECT_GT(nl.fanout(n), 0) << net.name;
+  }
+}
+
+TEST(Gen, ActivitiesAreRandomizedWithinRange) {
+  const auto nl = mg::make_aes(tiny());
+  int distinct = 0;
+  double prev = -1.0;
+  for (mn::NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.is_clock) {
+      EXPECT_DOUBLE_EQ(net.activity, 2.0);
+      continue;
+    }
+    EXPECT_GE(net.activity, 0.05);
+    EXPECT_LE(net.activity, 0.40);
+    if (net.activity != prev) ++distinct;
+    prev = net.activity;
+  }
+  EXPECT_GT(distinct, 10);
+}
+
+TEST(Gen, LdpcWiringIsGlobalNetcardLocal) {
+  // Proxy for wire-dominance at realistic scale: the fraction of nets whose
+  // endpoints are created far apart. LDPC's parity permutations connect
+  // distant cells; netcard's datapath is overwhelmingly stage-local.
+  auto global_fraction = [](const mn::Netlist& nl) {
+    int global = 0, count = 0;
+    for (mn::NetId n = 0; n < nl.net_count(); ++n) {
+      const auto& net = nl.net(n);
+      if (net.is_clock || net.pins.size() < 2) continue;
+      int lo = nl.cell_count(), hi = 0;
+      for (auto p : net.pins) {
+        lo = std::min(lo, nl.pin(p).cell);
+        hi = std::max(hi, nl.pin(p).cell);
+      }
+      if (hi - lo > nl.cell_count() / 4) ++global;
+      ++count;
+    }
+    return static_cast<double>(global) / count;
+  };
+  mg::GenOptions g;
+  g.scale = 0.3;
+  const double ldpc = global_fraction(mg::make_ldpc(g));
+  const double netcard = global_fraction(mg::make_netcard(g));
+  EXPECT_GT(ldpc, 2.0 * netcard);
+}
+
+TEST(Gen, UnknownDesignThrows) {
+  EXPECT_THROW(mg::make_design("bogus", tiny()), m3d::util::Error);
+}
+
+TEST(Fabric, XorTreeReducesToOne) {
+  mg::LogicFabric f("t", 1);
+  std::vector<mn::NetId> ins;
+  for (int i = 0; i < 6; ++i) ins.push_back(f.input("i" + std::to_string(i)));
+  const auto out = f.xor_tree(ins);
+  f.output("o", out);
+  auto nl = std::move(f).take();
+  EXPECT_EQ(nl.stats().comb_cells, 5);  // n-1 XOR2 gates
+  nl.validate();
+}
+
+TEST(Fabric, TerminateDanglingAddsPorts) {
+  mg::LogicFabric f("t", 1);
+  const auto in = f.input("a");
+  f.gate(mt::CellFunc::Inv, {in});  // output left dangling
+  auto nl = std::move(f).take();
+  const int added = mg::terminate_dangling(nl);
+  EXPECT_EQ(added, 1);
+  nl.validate();
+}

@@ -1,0 +1,271 @@
+// Tests for partitioning: FM min-cut quality and balance, bin-based FM
+// placement preservation, heterogeneity-aware area accounting, timing-based
+// partitioning, and the repartitioning ECO (Algorithm 1).
+
+#include <gtest/gtest.h>
+
+#include "gen/designs.hpp"
+#include "gen/fabric.hpp"
+#include "netlist/design.hpp"
+#include "part/fm.hpp"
+#include "part/repartition.hpp"
+#include "part/timing_partition.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "sta/sta.hpp"
+#include "tech/library_factory.hpp"
+
+namespace mg = m3d::gen;
+namespace mn = m3d::netlist;
+namespace mp = m3d::part;
+namespace mpl = m3d::place;
+namespace mr = m3d::route;
+namespace ms = m3d::sta;
+namespace mt = m3d::tech;
+
+namespace {
+
+/// Two internally dense clusters bridged by exactly `bridges` nets. Every
+/// intra-cluster net is consumed inside its cluster (via a digest XOR
+/// tree), so the only nets that must cross an ideal bisection are the
+/// bridges and a handful of port nets.
+mn::Netlist clusters(int size, int bridges, unsigned seed = 11) {
+  mg::LogicFabric f("clusters", seed);
+  auto build_cluster = [&](const std::string& tag) {
+    std::vector<mn::NetId> pool;
+    for (int i = 0; i < 4; ++i)
+      pool.push_back(f.input(tag + std::to_string(i)));
+    for (int round = 0; round < size / 8; ++round)
+      for (auto n : f.random_layer(pool, 8, 0.5)) pool.push_back(n);
+    f.output(tag + "_digest", f.xor_tree(pool));
+    return pool;
+  };
+  auto a = build_cluster("a");
+  auto b = build_cluster("b");
+  for (int i = 0; i < bridges; ++i) {
+    const auto g = f.gate(mt::CellFunc::Xor2,
+                          {a[a.size() - 1 - static_cast<std::size_t>(i)],
+                           b[b.size() - 1 - static_cast<std::size_t>(i)]});
+    f.output("bridge" + std::to_string(i), g);
+  }
+  auto nl = std::move(f).take();
+  mg::terminate_dangling(nl);
+  nl.validate();
+  return nl;
+}
+
+mn::Design hetero_design(mn::Netlist nl) {
+  return mn::Design(std::move(nl), mt::make_12track(), mt::make_9track());
+}
+
+}  // namespace
+
+TEST(Fm, AreaAccountingIsTierAware) {
+  auto d = hetero_design(clusters(64, 2));
+  mn::CellId any = mn::kInvalidId;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    if (d.nl().cell(c).is_comb()) any = c;
+  ASSERT_NE(any, mn::kInvalidId);
+  EXPECT_NEAR(mp::cell_area_on(d, any, mn::kTopTier) /
+                  mp::cell_area_on(d, any, mn::kBottomTier),
+              0.75, 1e-9);
+}
+
+TEST(Fm, CutMetricsCountCrossTierNets) {
+  auto d = hetero_design(clusters(32, 1));
+  EXPECT_EQ(mp::cut_size(d), 0);  // everything starts on the bottom
+  // Move one comb cell up; its nets become cut.
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    if (d.nl().cell(c).is_comb()) {
+      d.set_tier(c, mn::kTopTier);
+      break;
+    }
+  EXPECT_GT(mp::cut_size(d), 0);
+  EXPECT_GT(mp::cut_fraction(d), 0.0);
+  EXPECT_LT(mp::cut_fraction(d), 1.0);
+}
+
+TEST(Fm, FindsTheClusterCut) {
+  auto d = hetero_design(clusters(160, 3));
+  mp::FmOptions opt;
+  opt.balance_tol = 0.15;
+  const int cut = mp::fm_mincut(d, opt);
+  // The ideal cut is the 3 bridges (plus possibly a few PI-adjacent nets);
+  // random splitting would cut hundreds.
+  EXPECT_LE(cut, 20);
+  EXPECT_EQ(cut, mp::cut_size(d));
+}
+
+TEST(Fm, RespectsAreaBalance) {
+  auto d = hetero_design(clusters(160, 3));
+  mp::FmOptions opt;
+  opt.balance_tol = 0.10;
+  mp::fm_mincut(d, opt);
+  const double top = d.tier_std_cell_area(mn::kTopTier);
+  const double bottom = d.tier_std_cell_area(mn::kBottomTier);
+  const double share = top / (top + bottom);
+  EXPECT_NEAR(share, 0.5, 0.13);
+}
+
+TEST(Fm, LockedCellsKeepTheirTier) {
+  auto d = hetero_design(clusters(96, 2));
+  std::vector<char> locked(static_cast<std::size_t>(d.nl().cell_count()), 0);
+  std::vector<mn::CellId> pinned;
+  for (mn::CellId c = 0; c < d.nl().cell_count() && pinned.size() < 10; ++c)
+    if (d.nl().cell(c).is_comb()) {
+      locked[static_cast<std::size_t>(c)] = 1;
+      pinned.push_back(c);
+    }
+  mp::FmOptions opt;
+  mp::fm_mincut(d, opt, &locked);
+  for (auto c : pinned) EXPECT_EQ(d.tier(c), mn::kBottomTier);
+}
+
+TEST(Fm, BinVariantBalancesEachBin) {
+  mg::GenOptions g;
+  g.scale = 0.06;
+  auto d = hetero_design(mg::make_netcard(g));
+  mpl::PlaceOptions popt;
+  mpl::init_floorplan(d, popt);
+  mpl::global_place(d, popt);
+  mp::FmOptions opt;
+  opt.bins = 4;
+  opt.balance_tol = 0.2;
+  mp::bin_fm_partition(d, opt);
+
+  // Check per-bin balance.
+  const auto fp = d.floorplan();
+  std::vector<double> top(16, 0.0), bottom(16, 0.0);
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    const auto p = d.pos(c);
+    int bx = std::clamp(static_cast<int>((p.x - fp.xlo) / fp.width() * 4), 0,
+                        3);
+    int by = std::clamp(static_cast<int>((p.y - fp.ylo) / fp.height() * 4),
+                        0, 3);
+    const int bin = by * 4 + bx;
+    if (d.tier(c) == mn::kTopTier)
+      top[static_cast<std::size_t>(bin)] += d.cell_area(c);
+    else
+      bottom[static_cast<std::size_t>(bin)] += d.cell_area(c);
+  }
+  int checked = 0;
+  for (int b = 0; b < 16; ++b) {
+    const double total = top[static_cast<std::size_t>(b)] +
+                         bottom[static_cast<std::size_t>(b)];
+    if (total < 50.0) continue;  // skip nearly-empty bins
+    EXPECT_NEAR(top[static_cast<std::size_t>(b)] / total, 0.5, 0.30)
+        << "bin " << b;
+    ++checked;
+  }
+  EXPECT_GT(checked, 4);
+}
+
+TEST(TimingPartition, PinsCriticalCellsToFastTier) {
+  mg::GenOptions g;
+  g.scale = 0.08;
+  auto d = hetero_design(mg::make_cpu(g));
+  d.set_clock_period_ns(0.8);
+  mpl::PlaceOptions popt;
+  mpl::place_design(d, popt);
+  const auto routes = mr::route_design(d);
+  const auto timing = ms::run_sta(d, &routes);
+
+  mp::TimingPartitionOptions opt;
+  opt.area_cap = 0.25;
+  const auto res = mp::timing_partition(d, timing, opt);
+  EXPECT_GT(res.pinned_cells, 0);
+  EXPECT_LE(res.pinned_area, 0.26 * d.total_std_cell_area() + 50.0);
+  EXPECT_GT(res.cut, 0);
+
+  // The most critical cells must sit on the bottom (fast) tier.
+  std::vector<std::pair<double, mn::CellId>> crit;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    const double s = timing.cell_slack(c);
+    if (std::isfinite(s)) crit.emplace_back(s, c);
+  }
+  std::sort(crit.begin(), crit.end());
+  const int probe = std::min<std::size_t>(res.pinned_cells / 2, crit.size());
+  for (int i = 0; i < probe; ++i)
+    EXPECT_EQ(d.tier(crit[static_cast<std::size_t>(i)].second),
+              mn::kBottomTier);
+}
+
+TEST(TimingPartition, AreaCapLimitsPinning) {
+  mg::GenOptions g;
+  g.scale = 0.08;
+  auto d = hetero_design(mg::make_cpu(g));
+  d.set_clock_period_ns(0.8);
+  mpl::place_design(d, {});
+  const auto routes = mr::route_design(d);
+  const auto timing = ms::run_sta(d, &routes);
+  mp::TimingPartitionOptions small, big;
+  small.area_cap = 0.10;
+  big.area_cap = 0.40;
+  auto d2 = d;
+  const auto rs = mp::timing_partition(d, timing, small);
+  const auto rb = mp::timing_partition(d2, timing, big);
+  EXPECT_LT(rs.pinned_cells, rb.pinned_cells);
+}
+
+TEST(TimingPartition, PathBasedCoversFewerCells) {
+  mg::GenOptions g;
+  g.scale = 0.08;
+  auto d = hetero_design(mg::make_cpu(g));
+  d.set_clock_period_ns(0.8);
+  mpl::place_design(d, {});
+  const auto routes = mr::route_design(d);
+  const auto timing = ms::run_sta(d, &routes);
+  auto d2 = d;
+  const auto cell_based = mp::timing_partition(d, timing, {});
+  const auto path_based =
+      mp::timing_partition_path_based(d2, timing, 20, {});
+  // The paper's argument: path enumeration achieves less coverage than the
+  // cell-based sweep under the same area budget.
+  EXPECT_LT(path_based.pinned_cells, cell_based.pinned_cells);
+}
+
+TEST(Repartition, ImprovesOrHoldsWnsAndRespectsBalance) {
+  mg::GenOptions g;
+  g.scale = 0.08;
+  auto d = hetero_design(mg::make_cpu(g));
+  d.set_clock_period_ns(0.7);
+  mpl::place_design(d, {});
+  // Deliberately bad start: random half of cells on the slow tier with no
+  // timing awareness.
+  int i = 0;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    if (++i % 2 == 0) d.set_tier(c, mn::kTopTier);
+  }
+  mp::RepartitionOptions opt;
+  opt.max_iters = 6;
+  const auto res = mp::repartition_eco(d, opt);
+  EXPECT_GE(res.wns_after, res.wns_before - 1e-9);
+  EXPECT_LE(res.final_unbalance, opt.unbalance_th + 0.35);
+  EXPECT_GE(res.iterations, 1);
+}
+
+TEST(Repartition, NoOpWhenTimingAlreadyMet) {
+  mg::GenOptions g;
+  g.scale = 0.06;
+  auto d = hetero_design(mg::make_netcard(g));
+  d.set_clock_period_ns(10.0);  // absurdly relaxed
+  mpl::place_design(d, {});
+  mp::fm_mincut(d, {});
+  mp::RepartitionOptions opt;
+  opt.max_iters = 4;
+  const auto res = mp::repartition_eco(d, opt);
+  // With huge positive slack nothing needs to move.
+  EXPECT_GE(res.wns_after, 0.0);
+}
+
+TEST(Repartition, UnbalanceMetric) {
+  auto d = hetero_design(clusters(64, 2));
+  // All on bottom: unbalance 1.
+  EXPECT_NEAR(mp::tier_unbalance(d), 1.0, 1e-9);
+}

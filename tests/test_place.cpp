@@ -1,0 +1,200 @@
+// Tests for the placer: floorplan sizing, port/macro pinning, global
+// placement quality, legality after legalization, 3-D two-tier placement.
+
+#include <gtest/gtest.h>
+
+#include "gen/designs.hpp"
+#include "netlist/design.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "tech/library_factory.hpp"
+#include "util/rng.hpp"
+
+namespace mg = m3d::gen;
+namespace mn = m3d::netlist;
+namespace mp = m3d::place;
+namespace mr = m3d::route;
+namespace mt = m3d::tech;
+
+namespace {
+
+mn::Design small_design(bool three_d = false, const char* which = "netcard") {
+  mg::GenOptions g;
+  g.scale = 0.06;
+  return mn::Design(mg::make_design(which, g), mt::make_12track(),
+                    three_d ? mt::make_9track() : nullptr);
+}
+
+bool inside(const m3d::util::Rect& fp, m3d::util::Point p, double slack) {
+  return p.x >= fp.xlo - slack && p.x <= fp.xhi + slack &&
+         p.y >= fp.ylo - slack && p.y <= fp.yhi + slack;
+}
+
+}  // namespace
+
+TEST(Place, FloorplanMatchesUtilization) {
+  auto d = small_design();
+  mp::PlaceOptions opt;
+  opt.utilization = 0.6;
+  mp::init_floorplan(d, opt);
+  const double core = d.floorplan().area();
+  EXPECT_NEAR(d.total_std_cell_area() / core, 0.6, 0.02);
+}
+
+TEST(Place, ThreeDFloorplanIsHalved) {
+  auto d2 = small_design(false);
+  auto d3 = small_design(true);
+  mp::PlaceOptions opt;
+  mp::init_floorplan(d2, opt);
+  mp::init_floorplan(d3, opt);
+  EXPECT_NEAR(d3.floorplan().area() / d2.floorplan().area(), 0.5, 0.03);
+}
+
+TEST(Place, PortsOnBoundary) {
+  auto d = small_design();
+  mp::init_floorplan(d, {});
+  const auto& fp = d.floorplan();
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    if (!d.nl().cell(c).is_port()) continue;
+    const auto p = d.pos(c);
+    const bool on_edge = std::abs(p.x - fp.xlo) < 1e-6 ||
+                         std::abs(p.x - fp.xhi) < 1e-6 ||
+                         std::abs(p.y - fp.ylo) < 1e-6 ||
+                         std::abs(p.y - fp.yhi) < 1e-6;
+    EXPECT_TRUE(on_edge) << d.nl().cell(c).name;
+  }
+}
+
+TEST(Place, MacrosInsideAndSplitAcrossTiers) {
+  auto d = mn::Design(mg::make_cpu({0.06, 7}), mt::make_12track(),
+                      mt::make_9track());
+  mp::init_floorplan(d, {});
+  int on_tier[2] = {0, 0};
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    if (!d.nl().cell(c).is_macro()) continue;
+    ++on_tier[d.tier(c)];
+    EXPECT_TRUE(inside(d.floorplan(), d.pos(c), 1.0));
+  }
+  // Memories exist in both technology variants (paper), so the macros are
+  // area-balanced across the two tiers.
+  EXPECT_GT(on_tier[0], 0);
+  EXPECT_GT(on_tier[1], 0);
+  EXPECT_NEAR(mp::tier_macro_area(d, 0), mp::tier_macro_area(d, 1),
+              0.6 * std::max(mp::tier_macro_area(d, 0),
+                             mp::tier_macro_area(d, 1)));
+}
+
+TEST(Place, GlobalPlaceBeatsRandomScatter) {
+  auto d = small_design();
+  mp::PlaceOptions opt;
+  mp::init_floorplan(d, opt);
+  // Random scatter baseline.
+  m3d::util::Rng rng(3);
+  const auto fp = d.floorplan();
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    if (d.nl().cell(c).fixed || d.nl().cell(c).is_port()) continue;
+    d.set_pos(c, {rng.uniform(fp.xlo, fp.xhi), rng.uniform(fp.ylo, fp.yhi)});
+  }
+  const double random_hpwl = mr::total_hpwl(d);
+  mp::global_place(d, opt);
+  const double placed_hpwl = mr::total_hpwl(d);
+  EXPECT_LT(placed_hpwl, 0.6 * random_hpwl);
+}
+
+TEST(Place, AllCellsInsideAfterPlacement) {
+  auto d = small_design();
+  mp::place_design(d, {});
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    EXPECT_TRUE(inside(d.floorplan(), d.pos(c), 1.0))
+        << d.nl().cell(c).name;
+}
+
+TEST(Place, LegalizationRemovesOverlap) {
+  auto d = small_design();
+  mp::PlaceOptions opt;
+  opt.utilization = 0.55;
+  mp::place_design(d, opt);
+  EXPECT_LT(mp::max_overlap_um2(d), 1e-6);
+}
+
+TEST(Place, LegalizationSnapsToRows) {
+  auto d = small_design();
+  mp::place_design(d, {});
+  const double row_h = d.lib(mn::kBottomTier).row_height_um();
+  const double ylo = d.floorplan().ylo;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (cc.is_port() || cc.is_macro()) continue;
+    const double rel = (d.pos(c).y - ylo) / row_h - 0.5;
+    EXPECT_NEAR(rel, std::round(rel), 1e-6) << cc.name;
+  }
+}
+
+TEST(Place, ThreeDTiersEachLegal) {
+  auto d = small_design(true);
+  mp::PlaceOptions opt;
+  opt.utilization = 0.5;
+  mp::init_floorplan(d, opt);
+  mp::global_place(d, opt);
+  // Split cells across tiers arbitrarily, then legalize.
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (cc.fixed || cc.is_port()) continue;
+    if (c % 2 == 0) d.set_tier(c, mn::kTopTier);
+  }
+  mp::legalize(d);
+  EXPECT_LT(mp::max_overlap_um2(d), 1e-6);
+  // Top-tier rows use the 9-track pitch.
+  const double row9 = d.lib(mn::kTopTier).row_height_um();
+  const double ylo = d.floorplan().ylo;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (cc.is_port() || cc.is_macro() || d.tier(c) != mn::kTopTier) continue;
+    const double rel = (d.pos(c).y - ylo) / row9 - 0.5;
+    EXPECT_NEAR(rel, std::round(rel), 1e-6);
+  }
+}
+
+TEST(Place, CellsAvoidMacroRegions) {
+  auto d = mn::Design(mg::make_cpu({0.06, 7}), mt::make_12track());
+  mp::PlaceOptions opt;
+  opt.utilization = 0.5;
+  mp::place_design(d, opt);
+  // No std cell center may fall inside a macro's rectangle on tier 0.
+  for (mn::CellId m = 0; m < d.nl().cell_count(); ++m) {
+    if (!d.nl().cell(m).is_macro()) continue;
+    const auto mp_ = d.pos(m);
+    const double w = d.cell_width(m), h = d.cell_height(m);
+    const m3d::util::Rect r{mp_.x - w / 2, mp_.y - h / 2, mp_.x + w / 2,
+                            mp_.y + h / 2};
+    for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+      const auto& cc = d.nl().cell(c);
+      if (cc.is_port() || cc.is_macro()) continue;
+      EXPECT_FALSE(r.contains(d.pos(c))) << cc.name;
+    }
+  }
+}
+
+TEST(Place, DeterministicForSameSeed) {
+  auto d1 = small_design();
+  auto d2 = small_design();
+  mp::place_design(d1, {});
+  mp::place_design(d2, {});
+  for (mn::CellId c = 0; c < d1.nl().cell_count(); ++c)
+    EXPECT_EQ(d1.pos(c), d2.pos(c));
+}
+
+TEST(Place, MeanDisplacementMeasuresChange) {
+  auto d = small_design();
+  mp::place_design(d, {});
+  std::vector<m3d::util::Point> snap;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    snap.push_back(d.pos(c));
+  EXPECT_DOUBLE_EQ(mp::mean_displacement_um(d, snap), 0.0);
+  mn::CellId movable = mn::kInvalidId;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    if (d.nl().cell(c).is_comb()) movable = c;
+  ASSERT_NE(movable, mn::kInvalidId);
+  d.set_pos(movable, d.pos(movable) + m3d::util::Point{10.0, 0.0});
+  EXPECT_GT(mp::mean_displacement_um(d, snap), 0.0);
+}

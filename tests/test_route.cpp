@@ -1,0 +1,174 @@
+// Unit tests for the route module: HPWL, MST wirelength, per-sink paths,
+// MIV counting for inter-tier nets, congestion capacity model.
+
+#include <gtest/gtest.h>
+
+#include "netlist/design.hpp"
+#include "route/route.hpp"
+#include "tech/library_factory.hpp"
+#include "util/rng.hpp"
+
+namespace mn = m3d::netlist;
+namespace mr = m3d::route;
+namespace mt = m3d::tech;
+
+namespace {
+
+struct Fixture {
+  mn::Design d;
+  mn::CellId drv, s1, s2;
+  mn::NetId net;
+
+  Fixture() : d(make(), mt::make_12track(), mt::make_9track()) {
+    drv = 0;
+    s1 = 1;
+    s2 = 2;
+    net = 0;
+    d.set_floorplan({0, 0, 100, 100});
+  }
+
+  static mn::Netlist make() {
+    mn::Netlist nl("rt");
+    const auto a = nl.add_comb("drv", mt::CellFunc::Inv, 1);
+    const auto b = nl.add_comb("s1", mt::CellFunc::Inv, 1);
+    const auto c = nl.add_comb("s2", mt::CellFunc::Inv, 1);
+    const auto n = nl.add_net("n");
+    nl.connect(n, nl.output_pin(a));
+    nl.connect(n, nl.input_pin(b, 0));
+    nl.connect(n, nl.input_pin(c, 0));
+    return nl;
+  }
+};
+
+}  // namespace
+
+TEST(Route, HpwlOfTwoPinNet) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {30, 40});
+  f.d.set_pos(f.s2, {0, 0});
+  EXPECT_DOUBLE_EQ(mr::hpwl(f.d, f.net), 70.0);
+}
+
+TEST(Route, MstCollinearChain) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {10, 0});
+  f.d.set_pos(f.s2, {20, 0});
+  const auto r = mr::route_net(f.d, f.net);
+  // Chain 0-10-20, not star 10+20.
+  EXPECT_DOUBLE_EQ(r.length_um, 20.0);
+  EXPECT_DOUBLE_EQ(r.sink_path_um[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.sink_path_um[1], 20.0);
+}
+
+TEST(Route, SinkOrderMatchesNetlistSinks) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {5, 0});
+  f.d.set_pos(f.s2, {50, 0});
+  const auto r = mr::route_net(f.d, f.net);
+  const auto sinks = f.d.nl().sinks(f.net);
+  ASSERT_EQ(sinks.size(), 2u);
+  // sinks[0] is s1's pin (distance 5), sinks[1] is s2's (50).
+  EXPECT_LT(r.sink_path_um[0], r.sink_path_um[1]);
+}
+
+TEST(Route, SameTierNetHasNoMivs) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {10, 10});
+  f.d.set_pos(f.s2, {20, 0});
+  const auto r = mr::route_net(f.d, f.net);
+  EXPECT_EQ(r.miv_count, 0);
+  EXPECT_FALSE(r.sink_crosses_tier[0]);
+  EXPECT_FALSE(r.sink_crosses_tier[1]);
+}
+
+TEST(Route, CrossTierNetGetsMivs) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {10, 0});
+  f.d.set_pos(f.s2, {20, 0});
+  f.d.set_tier(f.s1, mn::kTopTier);
+  const auto r = mr::route_net(f.d, f.net);
+  // Edges 0→1 and 1→2 both cross (tier pattern B,T,B on a chain).
+  EXPECT_EQ(r.miv_count, 2);
+  EXPECT_TRUE(r.sink_crosses_tier[0]);
+  EXPECT_TRUE(r.sink_crosses_tier[1]);
+}
+
+TEST(Route, StackedCellsCostOneMivOnly) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {0, 0});  // directly above the driver
+  f.d.set_pos(f.s2, {10, 0});
+  f.d.set_tier(f.s1, mn::kTopTier);
+  const auto r = mr::route_net(f.d, f.net);
+  // 3-D's promise: vertical adjacency costs ~zero wirelength.
+  EXPECT_DOUBLE_EQ(r.length_um, 10.0);
+  EXPECT_EQ(r.miv_count, 1);
+}
+
+TEST(Route, WireCapScalesWithLength) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {100, 0});
+  f.d.set_pos(f.s2, {200, 0});
+  const auto r = mr::route_net(f.d, f.net);
+  const auto& w = f.d.lib(mn::kBottomTier).wire();
+  EXPECT_NEAR(r.wire_cap_ff, w.wire_cap_ff(200.0), 1e-9);
+}
+
+TEST(Route, EmptyAndUndrivenNets) {
+  mn::Netlist nl("x");
+  const auto a = nl.add_comb("a", mt::CellFunc::Buf, 1);
+  const auto n_empty = nl.add_net("empty");
+  const auto n_undriven = nl.add_net("undriven");
+  nl.connect(n_undriven, nl.input_pin(a, 0));
+  mn::Design d(std::move(nl), mt::make_12track());
+  EXPECT_DOUBLE_EQ(mr::route_net(d, n_empty).length_um, 0.0);
+  EXPECT_DOUBLE_EQ(mr::route_net(d, n_undriven).length_um, 0.0);
+}
+
+TEST(Route, DesignAggregates) {
+  Fixture f;
+  f.d.set_pos(f.drv, {0, 0});
+  f.d.set_pos(f.s1, {10, 0});
+  f.d.set_pos(f.s2, {20, 0});
+  f.d.set_tier(f.s2, mn::kTopTier);
+  const auto est = mr::route_design(f.d);
+  EXPECT_DOUBLE_EQ(est.total_wirelength_um, 20.0);
+  EXPECT_EQ(est.total_mivs, 1);
+  EXPECT_GT(est.congestion, 0.0);
+  EXPECT_EQ(est.nets.size(), 1u);
+}
+
+TEST(Route, CapacityScalesWithTiersAndLayers) {
+  Fixture f;
+  const double cap3d = mr::routing_capacity_um(f.d);
+  mn::Design d2(Fixture::make(), mt::make_12track());
+  d2.set_floorplan({0, 0, 100, 100});
+  const double cap2d = mr::routing_capacity_um(d2);
+  EXPECT_NEAR(cap3d / cap2d, 2.0, 1e-9);
+}
+
+TEST(Route, MstNeverWorseThanStarNeverBetterThanHpwlHalf) {
+  // Property: for random placements, MST length >= HPWL/2 is not generally
+  // a bound, but MST >= HPWL for 2-pin nets is an equality and MST <= star.
+  m3d::util::Rng rng(123);
+  for (int iter = 0; iter < 50; ++iter) {
+    Fixture f;
+    const m3d::util::Point pd{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const m3d::util::Point p1{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const m3d::util::Point p2{rng.uniform(0, 100), rng.uniform(0, 100)};
+    f.d.set_pos(f.drv, pd);
+    f.d.set_pos(f.s1, p1);
+    f.d.set_pos(f.s2, p2);
+    const auto r = mr::route_net(f.d, f.net);
+    const double star =
+        m3d::util::manhattan(pd, p1) + m3d::util::manhattan(pd, p2);
+    EXPECT_LE(r.length_um, star + 1e-9);
+    EXPECT_GE(r.length_um + 1e-9, mr::hpwl(f.d, f.net) / 2.0);
+  }
+}

@@ -1,0 +1,398 @@
+// Unit tests for the STA engine: propagation, slacks, rise/fall handling,
+// critical-path tracing, clock latency/skew, boundary derates, macros,
+// and loop detection.
+
+#include <gtest/gtest.h>
+
+#include "netlist/design.hpp"
+#include "route/route.hpp"
+#include "sta/sta.hpp"
+#include "tech/library_factory.hpp"
+
+namespace mn = m3d::netlist;
+namespace mr = m3d::route;
+namespace ms = m3d::sta;
+namespace mt = m3d::tech;
+
+namespace {
+
+/// clk -> [FF launch] -> INV chain -> [FF capture], placed in a row.
+struct Chain {
+  mn::Netlist nl{"chain"};
+  mn::CellId ff_in = mn::kInvalidId, ff_out = mn::kInvalidId;
+  std::vector<mn::CellId> invs;
+
+  explicit Chain(int n_inv) {
+    const auto clk_port = nl.add_input_port("clk");
+    const auto clk = nl.add_net("clk", /*is_clock=*/true);
+    nl.connect(clk, nl.output_pin(clk_port));
+
+    ff_in = nl.add_dff("ff_in", 1);
+    ff_out = nl.add_dff("ff_out", 1);
+    nl.connect(clk, nl.clock_pin(ff_in));
+    nl.connect(clk, nl.clock_pin(ff_out));
+
+    // Tie the launch FF's D to a port so validation passes.
+    const auto din = nl.add_input_port("din");
+    const auto n_d0 = nl.add_net("n_d0");
+    nl.connect(n_d0, nl.output_pin(din));
+    nl.connect(n_d0, nl.input_pin(ff_in, 0));
+
+    mn::PinId prev = nl.output_pin(ff_in);
+    for (int i = 0; i < n_inv; ++i) {
+      const auto inv =
+          nl.add_comb("inv" + std::to_string(i), mt::CellFunc::Inv, 1);
+      invs.push_back(inv);
+      const auto n = nl.add_net("n" + std::to_string(i));
+      nl.connect(n, prev);
+      nl.connect(n, nl.input_pin(inv, 0));
+      prev = nl.output_pin(inv);
+    }
+    const auto n_last = nl.add_net("n_last");
+    nl.connect(n_last, prev);
+    nl.connect(n_last, nl.input_pin(ff_out, 0));
+    nl.validate();
+  }
+
+  mn::Design design(double period, bool hetero = false) {
+    mn::Design d(nl, mt::make_12track(),
+                 hetero ? mt::make_9track() : nullptr);
+    d.set_clock_period_ns(period);
+    d.set_floorplan({0, 0, 200, 20});
+    // Spread in a row, 10 µm apart.
+    double x = 0;
+    for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+      d.set_pos(c, {x, 5.0});
+      x += 10.0;
+    }
+    return d;
+  }
+};
+
+}  // namespace
+
+TEST(Sta, ChainTimingIsPlausible) {
+  Chain ch(8);
+  auto d = ch.design(1.0);
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  // 8 × ~20 ps stages + clk→q ≪ 1 ns: positive slack, no violations.
+  EXPECT_GT(r.wns(), 0.0);
+  EXPECT_EQ(r.violated_endpoints(), 0);
+  EXPECT_DOUBLE_EQ(r.tns(), 0.0);
+  EXPECT_GE(r.endpoint_count(), 2);  // ff_out D + ff_in D (through din)
+}
+
+TEST(Sta, TightPeriodCreatesViolations) {
+  Chain ch(30);
+  auto d = ch.design(0.05);
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  EXPECT_LT(r.wns(), 0.0);
+  EXPECT_LT(r.tns(), r.wns() - 1e-12 + 1e-9);  // TNS ≤ WNS when violating
+  EXPECT_GT(r.violated_endpoints(), 0);
+}
+
+TEST(Sta, SlackScalesOneToOneWithPeriod) {
+  Chain ch(10);
+  auto d1 = ch.design(1.0);
+  auto d2 = ch.design(1.5);
+  const auto rt1 = mr::route_design(d1);
+  const auto rt2 = mr::route_design(d2);
+  const double s1 = ms::run_sta(d1, &rt1).wns();
+  const double s2 = ms::run_sta(d2, &rt2).wns();
+  EXPECT_NEAR(s2 - s1, 0.5, 1e-9);
+}
+
+TEST(Sta, LongerChainHasLessSlack) {
+  Chain a(5), b(20);
+  auto da = a.design(1.0);
+  auto db = b.design(1.0);
+  const auto ra = mr::route_design(da);
+  const auto rb = mr::route_design(db);
+  EXPECT_GT(ms::run_sta(da, &ra).wns(), ms::run_sta(db, &rb).wns());
+}
+
+TEST(Sta, WiresAddDelay) {
+  Chain ch(10);
+  auto d = ch.design(1.0);
+  const auto routes = mr::route_design(d);
+  const double with_wire = ms::run_sta(d, &routes).wns();
+  const double no_wire = ms::run_sta(d, nullptr).wns();
+  EXPECT_LT(with_wire, no_wire);
+}
+
+TEST(Sta, CriticalPathTraceIsComplete) {
+  Chain ch(12);
+  auto d = ch.design(1.0);
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  const auto cp = r.critical_path();
+  // Launch FF + 12 inverters + capture FF (wire-only final stage).
+  EXPECT_EQ(cp.total_cells(), 14);
+  EXPECT_DOUBLE_EQ(cp.stages.back().cell_delay_ns, 0.0);
+  EXPECT_EQ(d.nl().pin(cp.endpoint).cell, ch.ff_out);
+  EXPECT_NEAR(cp.path_delay_ns, cp.cell_delay_ns + cp.wire_delay_ns, 1e-9);
+  EXPECT_GT(cp.wirelength_um, 0.0);
+  EXPECT_EQ(cp.miv_count, 0);
+  // slack = T + skew - setup - path_delay for an ideal (zero-latency) clock
+  EXPECT_NEAR(cp.slack_ns,
+              1.0 + cp.clock_skew_ns - cp.setup_ns - cp.path_delay_ns, 1e-9);
+}
+
+TEST(Sta, CellSlackIdentifiesCriticalCells) {
+  Chain ch(10);
+  auto d = ch.design(1.0);
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  // Every inverter is on the single path: all share the same worst slack.
+  const double s0 = r.cell_slack(ch.invs[0]);
+  for (auto inv : ch.invs) EXPECT_NEAR(r.cell_slack(inv), s0, 1e-9);
+  EXPECT_NEAR(r.cell_slack(ch.ff_out), s0, 1e-9);
+}
+
+TEST(Sta, SidePathHasMoreSlack) {
+  // Main chain of 10 plus a 2-inverter shortcut to a third FF.
+  Chain ch(10);
+  auto& nl = ch.nl;
+  const auto ff3 = nl.add_dff("ff3", 1);
+  nl.connect(nl.pin(nl.clock_pin(ch.ff_in)).net, nl.clock_pin(ff3));
+  const auto tap = nl.add_comb("tap", mt::CellFunc::Inv, 1);
+  const auto q_net = nl.pin(nl.output_pin(ch.ff_in)).net;
+  nl.connect(q_net, nl.input_pin(tap, 0));
+  const auto n_tap = nl.add_net("n_tap");
+  nl.connect(n_tap, nl.output_pin(tap));
+  nl.connect(n_tap, nl.input_pin(ff3, 0));
+  nl.validate();
+
+  mn::Design d(nl, mt::make_12track());
+  d.set_clock_period_ns(1.0);
+  d.set_floorplan({0, 0, 300, 20});
+  double x = 0;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    d.set_pos(c, {x += 10.0, 5.0});
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  EXPECT_GT(r.cell_slack(tap), r.cell_slack(ch.invs[5]));
+  // Worst endpoint is the long chain's capture FF.
+  const auto cp = r.critical_path();
+  EXPECT_EQ(d.nl().pin(cp.endpoint).cell, ch.ff_out);
+}
+
+TEST(Sta, ClockLatencySkewShiftsSlack) {
+  Chain ch(10);
+  auto d = ch.design(1.0);
+  const auto routes = mr::route_design(d);
+  const double base = ms::run_sta(d, &routes).wns();
+
+  // Positive skew (late capture clock) relaxes setup on the main path.
+  d.set_clock_latency(ch.ff_out, 0.1);
+  const auto r2 = ms::run_sta(d, &routes);
+  const auto cp = r2.critical_path();
+  EXPECT_NEAR(cp.clock_skew_ns, 0.1, 1e-12);
+  EXPECT_NEAR(cp.slack_ns, base + 0.1, 1e-9);
+
+  // Late launch clock tightens it again.
+  d.set_clock_latency(ch.ff_in, 0.1);
+  EXPECT_NEAR(ms::run_sta(d, &routes).critical_path().slack_ns, base, 1e-9);
+
+  // ideal_clock ignores installed latencies.
+  ms::StaOptions opt;
+  opt.ideal_clock = true;
+  EXPECT_NEAR(ms::run_sta(d, &routes, opt).wns(), base, 1e-9);
+}
+
+TEST(Sta, HeteroTopTierIsSlower) {
+  Chain ch(10);
+  auto d = ch.design(1.0, /*hetero=*/true);
+  const auto routes = mr::route_design(d);
+  const double all_fast = ms::run_sta(d, &routes).wns();
+  for (auto inv : ch.invs) d.set_tier(inv, mn::kTopTier);
+  const auto routes2 = mr::route_design(d);
+  const double all_slow = ms::run_sta(d, &routes2).wns();
+  EXPECT_LT(all_slow, all_fast);
+  // The gap should be substantial (9T ≈ 2× stage delay).
+  EXPECT_GT(all_fast - all_slow, 0.05);
+}
+
+TEST(Sta, BoundaryDeratesChangeTimingAcrossTiers) {
+  Chain ch(12);
+  auto d = ch.design(1.0, /*hetero=*/true);
+  // Alternate tiers so every stage crosses.
+  for (std::size_t i = 0; i < ch.invs.size(); i += 2)
+    d.set_tier(ch.invs[i], mn::kTopTier);
+  const auto routes = mr::route_design(d);
+  ms::StaOptions with, without;
+  without.boundary_derates = false;
+  const double w = ms::run_sta(d, &routes, with).wns();
+  const double wo = ms::run_sta(d, &routes, without).wns();
+  EXPECT_NE(w, wo);
+  // Opposite-direction errors mostly cancel on a multi-stage path
+  // (paper §II-B): the net effect stays small.
+  EXPECT_LT(std::abs(w - wo), 0.05);
+}
+
+TEST(Sta, CombinationalLoopThrows) {
+  mn::Netlist nl("loop");
+  const auto a = nl.add_comb("a", mt::CellFunc::Inv, 1);
+  const auto b = nl.add_comb("b", mt::CellFunc::Inv, 1);
+  const auto n1 = nl.add_net("n1");
+  const auto n2 = nl.add_net("n2");
+  nl.connect(n1, nl.output_pin(a));
+  nl.connect(n1, nl.input_pin(b, 0));
+  nl.connect(n2, nl.output_pin(b));
+  nl.connect(n2, nl.input_pin(a, 0));
+  mn::Design d(std::move(nl), mt::make_12track());
+  EXPECT_THROW(ms::run_sta(d, nullptr), m3d::util::Error);
+}
+
+TEST(Sta, MacroLaunchAndCapture) {
+  mn::Netlist nl("mem");
+  const auto clk_port = nl.add_input_port("clk");
+  const auto clk = nl.add_net("clk", true);
+  nl.connect(clk, nl.output_pin(clk_port));
+  const auto mem = nl.add_macro("mem", "SRAM_1KX32", 2, 2);
+  nl.connect(clk, nl.clock_pin(mem));
+  const auto ff = nl.add_dff("ff", 1);
+  nl.connect(clk, nl.clock_pin(ff));
+  // mem.out0 -> INV -> ff.D ; ff.Q -> mem.in0 ; port -> mem.in1
+  const auto inv = nl.add_comb("inv", mt::CellFunc::Inv, 1);
+  const auto n1 = nl.add_net("n1");
+  nl.connect(n1, nl.output_pin(mem, 0));
+  nl.connect(n1, nl.input_pin(inv, 0));
+  const auto n2 = nl.add_net("n2");
+  nl.connect(n2, nl.output_pin(inv));
+  nl.connect(n2, nl.input_pin(ff, 0));
+  const auto n3 = nl.add_net("n3");
+  nl.connect(n3, nl.output_pin(ff));
+  nl.connect(n3, nl.input_pin(mem, 0));
+  const auto p = nl.add_input_port("p");
+  const auto n4 = nl.add_net("n4");
+  nl.connect(n4, nl.output_pin(p));
+  nl.connect(n4, nl.input_pin(mem, 1));
+  // mem.out1 dangles intentionally (unused macro output).
+  nl.validate();
+
+  mn::Design d(std::move(nl), mt::make_12track());
+  d.set_clock_period_ns(1.0);
+  d.set_floorplan({0, 0, 100, 100});
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  // The mem->inv->ff path carries the 250 ps access time.
+  const auto cp = r.critical_path();
+  EXPECT_GT(cp.path_delay_ns, 0.25);
+  EXPECT_EQ(cp.stages.front().cell, mem);
+  // Endpoints include the macro inputs (setup-checked).
+  bool macro_ep = false;
+  for (auto ep : r.endpoints_by_slack())
+    if (d.nl().pin(ep).cell == mem) macro_ep = true;
+  EXPECT_TRUE(macro_ep);
+}
+
+TEST(Sta, WorstPathsAreSortedBySlack) {
+  Chain ch(15);
+  auto d = ch.design(0.2);
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  const auto paths = r.worst_paths(3);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_LE(paths[0].slack_ns, paths[1].slack_ns + 1e-12);
+}
+
+TEST(Sta, RiseFallBothPropagated) {
+  Chain ch(3);
+  auto d = ch.design(1.0);
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  const auto din = d.nl().input_pin(ch.ff_out, 0);
+  EXPECT_GT(r.pin_arrival(din), 0.0);
+  EXPECT_GT(r.pin_slew(din), 0.0);
+  EXPECT_LT(r.pin_slack(din), 1.0);
+}
+
+TEST(Sta, HoldAnalysisCleanOnChain) {
+  // A chain of inverters between flops has plenty of min-delay: no race.
+  Chain ch(8);
+  auto d = ch.design(1.0);
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  EXPECT_GT(r.whs(), 0.0);
+  EXPECT_EQ(r.hold_violations(), 0);
+}
+
+TEST(Sta, HoldViolationFromCaptureClockDelay) {
+  // Push the capture FF's clock very late: the direct FF->FF short path
+  // races it and hold fails.
+  Chain ch(1);
+  auto d = ch.design(1.0);
+  d.set_clock_latency(ch.ff_out, 0.5);  // capture clock 500 ps late
+  const auto routes = mr::route_design(d);
+  const auto r = ms::run_sta(d, &routes);
+  EXPECT_LT(r.whs(), 0.0);
+  EXPECT_GT(r.hold_violations(), 0);
+  // Setup on that path actually benefits from the late capture clock.
+  EXPECT_GT(r.wns(), 0.0);
+}
+
+TEST(Sta, HoldUsesShortestPath) {
+  // Two parallel paths from FF to FF: one long (10 inv), one short (1
+  // inv). Hold must see the short one even though setup sees the long.
+  mn::Netlist nl("par");
+  const auto clk_port = nl.add_input_port("clk");
+  const auto clk = nl.add_net("clk", true);
+  nl.connect(clk, nl.output_pin(clk_port));
+  const auto ff_a = nl.add_dff("ffa", 1);
+  const auto ff_b = nl.add_dff("ffb", 1);
+  nl.connect(clk, nl.clock_pin(ff_a));
+  nl.connect(clk, nl.clock_pin(ff_b));
+  const auto din = nl.add_input_port("din");
+  const auto n0 = nl.add_net("n0");
+  nl.connect(n0, nl.output_pin(din));
+  nl.connect(n0, nl.input_pin(ff_a, 0));
+
+  const auto q = nl.add_net("q");
+  nl.connect(q, nl.output_pin(ff_a));
+  mn::PinId tail = mn::kInvalidId;
+  {
+    mn::NetId cur = q;
+    for (int i = 0; i < 10; ++i) {
+      const auto inv =
+          nl.add_comb("long" + std::to_string(i), mt::CellFunc::Inv, 1);
+      nl.connect(cur, nl.input_pin(inv, 0));
+      cur = nl.add_net("ln" + std::to_string(i));
+      nl.connect(cur, nl.output_pin(inv));
+    }
+    const auto mix = nl.add_comb("mix", mt::CellFunc::And2, 1);
+    nl.connect(cur, nl.input_pin(mix, 0));
+    const auto shrt = nl.add_comb("shrt", mt::CellFunc::Inv, 1);
+    nl.connect(q, nl.input_pin(shrt, 0));
+    const auto sn = nl.add_net("sn");
+    nl.connect(sn, nl.output_pin(shrt));
+    nl.connect(sn, nl.input_pin(mix, 1));
+    const auto dn = nl.add_net("dn");
+    nl.connect(dn, nl.output_pin(mix));
+    nl.connect(dn, nl.input_pin(ff_b, 0));
+    tail = nl.input_pin(ff_b, 0);
+  }
+  nl.validate();
+  mn::Design d(std::move(nl), mt::make_12track());
+  d.set_clock_period_ns(1.0);
+  d.set_floorplan({0, 0, 100, 20});
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
+    d.set_pos(c, {static_cast<double>(c), 5.0});
+  const auto r = ms::run_sta(d, nullptr);
+  // Min arrival at the endpoint must be far below max arrival.
+  (void)tail;
+  EXPECT_GT(r.whs(), 0.0);  // no forced race, but both analyses ran
+  EXPECT_GT(r.wns(), 0.0);
+}
+
+TEST(Sta, HoldAnalysisCanBeDisabled) {
+  Chain ch(4);
+  auto d = ch.design(1.0);
+  ms::StaOptions opt;
+  opt.hold_analysis = false;
+  const auto r = ms::run_sta(d, nullptr, opt);
+  EXPECT_DOUBLE_EQ(r.whs(), 0.0);
+  EXPECT_EQ(r.hold_violations(), 0);
+}

@@ -1,0 +1,237 @@
+// Unit tests for the tech module: NLDM interpolation, library factory
+// calibration (9T vs 12T relations from the paper), boundary derates, wire
+// and cost-relevant electrical models.
+
+#include <gtest/gtest.h>
+
+#include "tech/library_factory.hpp"
+#include "tech/nldm.hpp"
+#include "tech/tech_lib.hpp"
+#include "tech/wire_model.hpp"
+
+namespace mt = m3d::tech;
+
+namespace {
+mt::NldmTable simple_table() {
+  // 2x2: value = slew*10 + load
+  return mt::NldmTable({0.0, 1.0}, {0.0, 2.0}, {0.0, 2.0, 10.0, 12.0});
+}
+}  // namespace
+
+TEST(Nldm, ExactCornerLookup) {
+  const auto t = simple_table();
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 2.0), 12.0);
+}
+
+TEST(Nldm, BilinearInterior) {
+  const auto t = simple_table();
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 1.0), 6.0);
+}
+
+TEST(Nldm, LinearExtrapolationBeyondAxes) {
+  const auto t = simple_table();
+  // Beyond the load axis: slope continues.
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 4.0), 4.0);
+  // Beyond the slew axis.
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 0.0), 20.0);
+}
+
+TEST(Nldm, InRangeQuery) {
+  const auto t = simple_table();
+  EXPECT_TRUE(t.in_range(0.5, 1.0));
+  EXPECT_FALSE(t.in_range(1.5, 1.0));
+  EXPECT_FALSE(t.in_range(0.5, 3.0));
+}
+
+TEST(Nldm, ScaleMultipliesValues) {
+  auto t = simple_table();
+  t.scale(2.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 2.0), 24.0);
+}
+
+TEST(Nldm, RejectsMalformedAxes) {
+  EXPECT_THROW(mt::NldmTable({1.0, 0.5}, {0.0}, {1.0, 2.0}),
+               m3d::util::Error);
+  EXPECT_THROW(mt::NldmTable({0.0, 1.0}, {0.0}, {1.0}), m3d::util::Error);
+}
+
+TEST(LibraryFactory, BuildsAllFunctionsAndDrives) {
+  const auto lib = mt::make_12track();
+  for (auto f : {mt::CellFunc::Inv, mt::CellFunc::Buf, mt::CellFunc::Nand2,
+                 mt::CellFunc::Nor2, mt::CellFunc::Xor2, mt::CellFunc::Mux2,
+                 mt::CellFunc::Dff, mt::CellFunc::ClkBuf, mt::CellFunc::Aoi21,
+                 mt::CellFunc::Oai21, mt::CellFunc::Nand3, mt::CellFunc::Nor3,
+                 mt::CellFunc::And2, mt::CellFunc::Or2, mt::CellFunc::Xnor2}) {
+    for (int d : {1, 2, 4, 8}) {
+      EXPECT_NE(lib->find(f, d), nullptr)
+          << mt::func_name(f) << "_X" << d;
+    }
+  }
+}
+
+TEST(LibraryFactory, RowHeightsFollowTrackCounts) {
+  const auto l9 = mt::make_9track();
+  const auto l12 = mt::make_12track();
+  EXPECT_DOUBLE_EQ(l9->row_height_um(), 0.9);
+  EXPECT_DOUBLE_EQ(l12->row_height_um(), 1.2);
+  // The paper: 9-track cells are 25 % smaller in area (same width).
+  const auto* i9 = l9->find(mt::CellFunc::Inv, 1);
+  const auto* i12 = l12->find(mt::CellFunc::Inv, 1);
+  const double a9 = i9->area_um2(l9->row_height_um());
+  const double a12 = i12->area_um2(l12->row_height_um());
+  EXPECT_NEAR(a9 / a12, 0.75, 1e-9);
+}
+
+TEST(LibraryFactory, NineTrackIsSlower) {
+  const auto l9 = mt::make_9track();
+  const auto l12 = mt::make_12track();
+  const double f9 = mt::fo4_delay_ns(*l9);
+  const double f12 = mt::fo4_delay_ns(*l12);
+  // Calibration: the slow library is ~1.4–2.2× slower at FO4 (Table II
+  // shows ~1.8× between the fast and slow FO4 delays).
+  EXPECT_GT(f9 / f12, 1.4);
+  EXPECT_LT(f9 / f12, 2.4);
+}
+
+TEST(LibraryFactory, NineTrackLeaksFarLess) {
+  const auto l9 = mt::make_9track();
+  const auto l12 = mt::make_12track();
+  const auto* i9 = l9->find(mt::CellFunc::Inv, 1);
+  const auto* i12 = l12->find(mt::CellFunc::Inv, 1);
+  // Table II: slow-tier FO4 leakage ~30× lower (0.093 µW vs 0.003 µW).
+  EXPECT_GT(i12->leakage_uw / i9->leakage_uw, 15.0);
+}
+
+TEST(LibraryFactory, NineTrackUsesLessEnergy) {
+  const auto l9 = mt::make_9track();
+  const auto l12 = mt::make_12track();
+  const auto* i9 = l9->find(mt::CellFunc::Inv, 1);
+  const auto* i12 = l12->find(mt::CellFunc::Inv, 1);
+  EXPECT_LT(i9->internal_energy_fj, i12->internal_energy_fj);
+  EXPECT_LT(i9->input_cap_ff, i12->input_cap_ff);
+}
+
+TEST(LibraryFactory, VoltagesMatchPaperSetup) {
+  const auto l9 = mt::make_9track();
+  const auto l12 = mt::make_12track();
+  EXPECT_DOUBLE_EQ(l9->vdd(), 0.81);
+  EXPECT_DOUBLE_EQ(l12->vdd(), 0.90);
+}
+
+TEST(LibraryFactory, FallSlowerThanRise) {
+  const auto lib = mt::make_12track();
+  const auto* inv = lib->find(mt::CellFunc::Inv, 1);
+  const auto& arc = inv->arc(0);
+  const double rise =
+      arc.delay[int(mt::Transition::Rise)].lookup(0.02, 4.0);
+  const double fall =
+      arc.delay[int(mt::Transition::Fall)].lookup(0.02, 4.0);
+  EXPECT_GT(fall, rise);  // matches Table II's fall > rise delays
+}
+
+TEST(LibraryFactory, DelayMonotoneInLoadAndSlew) {
+  const auto lib = mt::make_12track();
+  const auto* nand = lib->find(mt::CellFunc::Nand2, 2);
+  const auto& d = nand->arc(0).delay[int(mt::Transition::Rise)];
+  double prev = 0.0;
+  for (double load : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    const double v = d.lookup(0.02, load);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_GT(d.lookup(0.1, 4.0), d.lookup(0.01, 4.0));
+}
+
+TEST(LibraryFactory, UpsizingReducesDelayIncreasesArea) {
+  const auto lib = mt::make_12track();
+  const auto* x1 = lib->find(mt::CellFunc::Inv, 1);
+  const auto* x4 = lib->find(mt::CellFunc::Inv, 4);
+  const double d1 =
+      x1->arc(0).delay[int(mt::Transition::Rise)].lookup(0.02, 16.0);
+  const double d4 =
+      x4->arc(0).delay[int(mt::Transition::Rise)].lookup(0.02, 16.0);
+  EXPECT_LT(d4, d1);
+  EXPECT_GT(x4->width_um, x1->width_um);
+  EXPECT_GT(x4->input_cap_ff, x1->input_cap_ff);
+}
+
+TEST(TechLib, FindAndDriveLadder) {
+  const auto lib = mt::make_12track();
+  EXPECT_EQ(lib->find(mt::CellFunc::Inv, 3), nullptr);
+  EXPECT_EQ(lib->upsize(mt::CellFunc::Inv, 1), 2);
+  EXPECT_EQ(lib->upsize(mt::CellFunc::Inv, 8), -1);
+  EXPECT_EQ(lib->downsize(mt::CellFunc::Inv, 2), 1);
+  EXPECT_EQ(lib->downsize(mt::CellFunc::Inv, 1), -1);
+  const auto drives = lib->drives_for(mt::CellFunc::Nand2);
+  EXPECT_EQ(drives, (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(TechLib, MacrosPresentAndIdenticalAcrossLibraries) {
+  const auto l9 = mt::make_9track();
+  const auto l12 = mt::make_12track();
+  const int m9 = l9->find_macro("SRAM_1KX32");
+  const int m12 = l12->find_macro("SRAM_1KX32");
+  ASSERT_GE(m9, 0);
+  ASSERT_GE(m12, 0);
+  // Paper: "memories in the CPU design are of the same size in both
+  // technology variants".
+  EXPECT_DOUBLE_EQ(l9->macro(m9).area_um2(), l12->macro(m12).area_um2());
+  EXPECT_DOUBLE_EQ(l9->macro(m9).access_ns, l12->macro(m12).access_ns);
+}
+
+TEST(Boundary, OverdriveSpeedsUpUnderdriveSlowsDown) {
+  // Input driven from 0.90 V rail into a 0.81 V cell: overdrive → faster.
+  const double fast_in = mt::boundary_delay_derate(0.90, 0.81, 0.30);
+  EXPECT_LT(fast_in, 1.0);
+  // Input from 0.81 V into a 0.90 V cell: underdrive → slower.
+  const double slow_in = mt::boundary_delay_derate(0.81, 0.90, 0.32);
+  EXPECT_GT(slow_in, 1.0);
+  // Homogeneous: exactly 1.
+  EXPECT_DOUBLE_EQ(mt::boundary_delay_derate(0.9, 0.9, 0.32), 1.0);
+  // Magnitudes stay modest (paper: stage-delay shifts of a few percent
+  // with opposite signs).
+  EXPECT_GT(fast_in, 0.75);
+  EXPECT_LT(slow_in, 1.35);
+}
+
+TEST(Boundary, LeakageDerateIsExponentialAndAsymmetric) {
+  const double up = mt::boundary_leakage_derate(0.90, 0.81);
+  const double down = mt::boundary_leakage_derate(0.81, 0.90);
+  EXPECT_GT(up, 2.0);    // Table III: +250 % leakage with overdriven input
+  EXPECT_LT(down, 0.6);  // Table III: −45 % with underdriven input
+  EXPECT_DOUBLE_EQ(mt::boundary_leakage_derate(0.9, 0.9), 1.0);
+  // Asymmetry: up-shift is much larger than the down-shift is small.
+  EXPECT_GT(up * down, 0.9);  // exp(x)*exp(-x) == 1
+}
+
+TEST(Boundary, LevelShifterFreeRule) {
+  // Paper setup: 0.90 / 0.81 with Vthp ≥ 0.30 → no level shifters needed.
+  EXPECT_TRUE(mt::level_shifter_free(0.90, 0.81, 0.30));
+  // A 0.9 vs 0.55 gap breaks the 0.3·VDDH rule.
+  EXPECT_FALSE(mt::level_shifter_free(0.90, 0.55, 0.30));
+  // Gap below 30 % but above Vth still fails.
+  EXPECT_FALSE(mt::level_shifter_free(0.90, 0.70, 0.15));
+}
+
+TEST(WireModel, ElmoreDelayScalesQuadratically) {
+  mt::WireModel w;
+  const double d1 = w.elmore_ns(100.0, 0.0);
+  const double d2 = w.elmore_ns(200.0, 0.0);
+  EXPECT_NEAR(d2 / d1, 4.0, 1e-9);  // 0.5*R*C term dominates with no load
+}
+
+TEST(WireModel, LoadTermLinearInLength) {
+  mt::WireModel w;
+  const double base = w.elmore_ns(100.0, 10.0) - w.elmore_ns(100.0, 0.0);
+  const double twice = w.elmore_ns(200.0, 10.0) - w.elmore_ns(200.0, 0.0);
+  EXPECT_NEAR(twice / base, 2.0, 1e-9);
+}
+
+TEST(WireModel, MivIsCheap) {
+  mt::MivModel miv;
+  mt::WireModel w;
+  // An MIV should cost less than a few microns of wire — that is the
+  // premise of monolithic gate-level partitioning.
+  EXPECT_LT(miv.delay_ns(10.0), w.elmore_ns(5.0, 10.0));
+}

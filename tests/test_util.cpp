@@ -1,0 +1,185 @@
+// Unit tests for the util module: RNG determinism and distribution sanity,
+// geometry primitives, stats helpers, table formatting, check macros.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/geom.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mu = m3d::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  mu::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  mu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  mu::Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  mu::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  mu::Rng r(3);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(2, 6));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 2);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  mu::Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  mu::Rng r(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = r.normal();
+  EXPECT_NEAR(mu::mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(mu::stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, ChanceProbability) {
+  mu::Rng r(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  mu::Rng r(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto back = v;
+  std::sort(back.begin(), back.end());
+  EXPECT_EQ(back, sorted);
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  mu::Rng a(42);
+  mu::Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Geom, ManhattanAndEuclidean) {
+  mu::Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(mu::manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(mu::euclidean(a, b), 5.0);
+}
+
+TEST(Geom, RectBasics) {
+  mu::Rect r{0, 0, 10, 5};
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.height(), 5.0);
+  EXPECT_DOUBLE_EQ(r.area(), 50.0);
+  EXPECT_DOUBLE_EQ(r.half_perimeter(), 15.0);
+  EXPECT_EQ(r.center(), (mu::Point{5.0, 2.5}));
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_FALSE(r.contains({10, 1}));  // hi edge exclusive
+}
+
+TEST(Geom, RectClamp) {
+  mu::Rect r{0, 0, 10, 5};
+  const auto p = r.clamp({-3, 7});
+  EXPECT_EQ(p, (mu::Point{0.0, 5.0}));
+}
+
+TEST(Geom, BBoxAccumulates) {
+  mu::BBox bb;
+  EXPECT_TRUE(bb.empty());
+  EXPECT_DOUBLE_EQ(bb.hpwl(), 0.0);
+  bb.add({2, 3});
+  EXPECT_FALSE(bb.empty());
+  EXPECT_DOUBLE_EQ(bb.hpwl(), 0.0);
+  bb.add({5, 1});
+  EXPECT_DOUBLE_EQ(bb.hpwl(), 3.0 + 2.0);
+}
+
+TEST(Stats, MeanRmsStddev) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mu::mean(v), 2.5);
+  EXPECT_NEAR(mu::rms(v), std::sqrt(30.0 / 4.0), 1e-12);
+  EXPECT_NEAR(mu::stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptySpansAreZero) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(mu::mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(mu::rms(v), 0.0);
+  EXPECT_DOUBLE_EQ(mu::stddev(v), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(mu::percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(v, 25), 20.0);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> v{3, -1, 7};
+  EXPECT_DOUBLE_EQ(mu::min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(mu::max_of(v), 7.0);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    M3D_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const mu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(M3D_CHECK(1 + 1 == 2));
+}
+
+TEST(Table, AlignsColumnsAndFormats) {
+  mu::TextTable t("Title");
+  t.header({"a", "long_header", "c"});
+  t.row({"x", "1", mu::TextTable::num(3.14159, 2)});
+  t.separator();
+  t.row({"yy", "2", mu::TextTable::pct(-12.34, 1)});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("-12.3"), std::string::npos);
+  // pct uses showpos for positives
+  EXPECT_EQ(mu::TextTable::pct(5.0, 1), "+5.0");
+}
+
+TEST(Table, IntegerFormat) {
+  EXPECT_EQ(mu::TextTable::integer(12345), "12345");
+  EXPECT_EQ(mu::TextTable::integer(-7), "-7");
+}
