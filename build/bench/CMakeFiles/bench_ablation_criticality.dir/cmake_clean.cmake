@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_criticality.dir/bench_ablation_criticality.cpp.o"
+  "CMakeFiles/bench_ablation_criticality.dir/bench_ablation_criticality.cpp.o.d"
+  "bench_ablation_criticality"
+  "bench_ablation_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

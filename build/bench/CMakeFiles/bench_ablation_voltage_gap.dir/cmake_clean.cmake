@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_voltage_gap.dir/bench_ablation_voltage_gap.cpp.o"
+  "CMakeFiles/bench_ablation_voltage_gap.dir/bench_ablation_voltage_gap.cpp.o.d"
+  "bench_ablation_voltage_gap"
+  "bench_ablation_voltage_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_voltage_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

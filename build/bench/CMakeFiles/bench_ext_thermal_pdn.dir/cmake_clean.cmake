@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_thermal_pdn.dir/bench_ext_thermal_pdn.cpp.o"
+  "CMakeFiles/bench_ext_thermal_pdn.dir/bench_ext_thermal_pdn.cpp.o.d"
+  "bench_ext_thermal_pdn"
+  "bench_ext_thermal_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_thermal_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_overlays.dir/bench_fig4_overlays.cpp.o"
+  "CMakeFiles/bench_fig4_overlays.dir/bench_fig4_overlays.cpp.o.d"
+  "bench_fig4_overlays"
+  "bench_fig4_overlays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_overlays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_qualitative.dir/bench_table1_qualitative.cpp.o"
+  "CMakeFiles/bench_table1_qualitative.dir/bench_table1_qualitative.cpp.o.d"
+  "bench_table1_qualitative"
+  "bench_table1_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fo4_output.dir/bench_table2_fo4_output.cpp.o"
+  "CMakeFiles/bench_table2_fo4_output.dir/bench_table2_fo4_output.cpp.o.d"
+  "bench_table2_fo4_output"
+  "bench_table2_fo4_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fo4_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

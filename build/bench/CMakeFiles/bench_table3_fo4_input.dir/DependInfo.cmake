@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_fo4_input.cpp" "bench/CMakeFiles/bench_table3_fo4_input.dir/bench_table3_fo4_input.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_fo4_input.dir/bench_table3_fo4_input.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/m3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/m3d_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/m3d_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckt/CMakeFiles/m3d_ckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/m3d_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/m3d_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/m3d_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/m3d_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/m3d_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/m3d_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/m3d_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/m3d_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/m3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fo4_input.dir/bench_table3_fo4_input.cpp.o"
+  "CMakeFiles/bench_table3_fo4_input.dir/bench_table3_fo4_input.cpp.o.d"
+  "bench_table3_fo4_input"
+  "bench_table3_fo4_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fo4_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_fo4_input.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_flow_improvements.dir/bench_table5_flow_improvements.cpp.o"
+  "CMakeFiles/bench_table5_flow_improvements.dir/bench_table5_flow_improvements.cpp.o.d"
+  "bench_table5_flow_improvements"
+  "bench_table5_flow_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_flow_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

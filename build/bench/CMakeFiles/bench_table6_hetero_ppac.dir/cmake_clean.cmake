@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_hetero_ppac.dir/bench_table6_hetero_ppac.cpp.o"
+  "CMakeFiles/bench_table6_hetero_ppac.dir/bench_table6_hetero_ppac.cpp.o.d"
+  "bench_table6_hetero_ppac"
+  "bench_table6_hetero_ppac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hetero_ppac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

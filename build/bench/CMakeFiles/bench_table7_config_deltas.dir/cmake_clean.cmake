@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_config_deltas.dir/bench_table7_config_deltas.cpp.o"
+  "CMakeFiles/bench_table7_config_deltas.dir/bench_table7_config_deltas.cpp.o.d"
+  "bench_table7_config_deltas"
+  "bench_table7_config_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_config_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_deepdive.dir/bench_table8_deepdive.cpp.o"
+  "CMakeFiles/bench_table8_deepdive.dir/bench_table8_deepdive.cpp.o.d"
+  "bench_table8_deepdive"
+  "bench_table8_deepdive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_deepdive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

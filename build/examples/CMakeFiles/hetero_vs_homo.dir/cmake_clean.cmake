@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_vs_homo.dir/hetero_vs_homo.cpp.o"
+  "CMakeFiles/hetero_vs_homo.dir/hetero_vs_homo.cpp.o.d"
+  "hetero_vs_homo"
+  "hetero_vs_homo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_vs_homo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

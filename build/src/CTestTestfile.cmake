@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tech")
+subdirs("netlist")
+subdirs("gen")
+subdirs("sta")
+subdirs("place")
+subdirs("route")
+subdirs("part")
+subdirs("cts")
+subdirs("opt")
+subdirs("power")
+subdirs("cost")
+subdirs("ckt")
+subdirs("thermal")
+subdirs("pdn")
+subdirs("core")
+subdirs("io")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_ckt.dir/fo4.cpp.o"
+  "CMakeFiles/m3d_ckt.dir/fo4.cpp.o.d"
+  "CMakeFiles/m3d_ckt.dir/mosfet.cpp.o"
+  "CMakeFiles/m3d_ckt.dir/mosfet.cpp.o.d"
+  "libm3d_ckt.a"
+  "libm3d_ckt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_ckt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

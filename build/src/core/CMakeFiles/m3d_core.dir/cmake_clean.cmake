@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_core.dir/flow.cpp.o"
+  "CMakeFiles/m3d_core.dir/flow.cpp.o.d"
+  "CMakeFiles/m3d_core.dir/metrics.cpp.o"
+  "CMakeFiles/m3d_core.dir/metrics.cpp.o.d"
+  "libm3d_core.a"
+  "libm3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

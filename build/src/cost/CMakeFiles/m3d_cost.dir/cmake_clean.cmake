@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_cost.dir/cost.cpp.o"
+  "CMakeFiles/m3d_cost.dir/cost.cpp.o.d"
+  "libm3d_cost.a"
+  "libm3d_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_cts.dir/cts.cpp.o"
+  "CMakeFiles/m3d_cts.dir/cts.cpp.o.d"
+  "libm3d_cts.a"
+  "libm3d_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_gen.dir/designs.cpp.o"
+  "CMakeFiles/m3d_gen.dir/designs.cpp.o.d"
+  "CMakeFiles/m3d_gen.dir/fabric.cpp.o"
+  "CMakeFiles/m3d_gen.dir/fabric.cpp.o.d"
+  "libm3d_gen.a"
+  "libm3d_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_io.dir/reports.cpp.o"
+  "CMakeFiles/m3d_io.dir/reports.cpp.o.d"
+  "CMakeFiles/m3d_io.dir/svg.cpp.o"
+  "CMakeFiles/m3d_io.dir/svg.cpp.o.d"
+  "libm3d_io.a"
+  "libm3d_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/checks.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/checks.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/checks.cpp.o.d"
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_reader.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/verilog_reader.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/verilog_reader.cpp.o.d"
+  "/root/repo/src/netlist/writer.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/writer.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

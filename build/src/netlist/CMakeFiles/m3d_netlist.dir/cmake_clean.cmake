@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_netlist.dir/checks.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/checks.cpp.o.d"
+  "CMakeFiles/m3d_netlist.dir/design.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/m3d_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/m3d_netlist.dir/verilog_reader.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/verilog_reader.cpp.o.d"
+  "CMakeFiles/m3d_netlist.dir/writer.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/writer.cpp.o.d"
+  "libm3d_netlist.a"
+  "libm3d_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_part.dir/fm.cpp.o"
+  "CMakeFiles/m3d_part.dir/fm.cpp.o.d"
+  "CMakeFiles/m3d_part.dir/repartition.cpp.o"
+  "CMakeFiles/m3d_part.dir/repartition.cpp.o.d"
+  "CMakeFiles/m3d_part.dir/timing_partition.cpp.o"
+  "CMakeFiles/m3d_part.dir/timing_partition.cpp.o.d"
+  "libm3d_part.a"
+  "libm3d_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_pdn.dir/pdn.cpp.o"
+  "CMakeFiles/m3d_pdn.dir/pdn.cpp.o.d"
+  "libm3d_pdn.a"
+  "libm3d_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_place.dir/place.cpp.o"
+  "CMakeFiles/m3d_place.dir/place.cpp.o.d"
+  "libm3d_place.a"
+  "libm3d_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

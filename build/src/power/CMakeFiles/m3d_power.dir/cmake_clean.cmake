@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_power.dir/power.cpp.o"
+  "CMakeFiles/m3d_power.dir/power.cpp.o.d"
+  "libm3d_power.a"
+  "libm3d_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

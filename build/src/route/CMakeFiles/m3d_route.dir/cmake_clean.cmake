@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_route.dir/route.cpp.o"
+  "CMakeFiles/m3d_route.dir/route.cpp.o.d"
+  "libm3d_route.a"
+  "libm3d_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/liberty.cpp" "src/tech/CMakeFiles/m3d_tech.dir/liberty.cpp.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/liberty.cpp.o.d"
+  "/root/repo/src/tech/library_factory.cpp" "src/tech/CMakeFiles/m3d_tech.dir/library_factory.cpp.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/library_factory.cpp.o.d"
+  "/root/repo/src/tech/nldm.cpp" "src/tech/CMakeFiles/m3d_tech.dir/nldm.cpp.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/nldm.cpp.o.d"
+  "/root/repo/src/tech/tech_lib.cpp" "src/tech/CMakeFiles/m3d_tech.dir/tech_lib.cpp.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/tech_lib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_tech.dir/liberty.cpp.o"
+  "CMakeFiles/m3d_tech.dir/liberty.cpp.o.d"
+  "CMakeFiles/m3d_tech.dir/library_factory.cpp.o"
+  "CMakeFiles/m3d_tech.dir/library_factory.cpp.o.d"
+  "CMakeFiles/m3d_tech.dir/nldm.cpp.o"
+  "CMakeFiles/m3d_tech.dir/nldm.cpp.o.d"
+  "CMakeFiles/m3d_tech.dir/tech_lib.cpp.o"
+  "CMakeFiles/m3d_tech.dir/tech_lib.cpp.o.d"
+  "libm3d_tech.a"
+  "libm3d_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_thermal.dir/thermal.cpp.o"
+  "CMakeFiles/m3d_thermal.dir/thermal.cpp.o.d"
+  "libm3d_thermal.a"
+  "libm3d_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

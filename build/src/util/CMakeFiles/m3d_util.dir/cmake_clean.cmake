@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_util.dir/log.cpp.o"
+  "CMakeFiles/m3d_util.dir/log.cpp.o.d"
+  "CMakeFiles/m3d_util.dir/rng.cpp.o"
+  "CMakeFiles/m3d_util.dir/rng.cpp.o.d"
+  "CMakeFiles/m3d_util.dir/table.cpp.o"
+  "CMakeFiles/m3d_util.dir/table.cpp.o.d"
+  "libm3d_util.a"
+  "libm3d_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

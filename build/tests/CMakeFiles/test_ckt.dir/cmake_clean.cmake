@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckt.dir/test_ckt.cpp.o"
+  "CMakeFiles/test_ckt.dir/test_ckt.cpp.o.d"
+  "test_ckt"
+  "test_ckt.pdb"
+  "test_ckt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_opt_cts.dir/test_power_opt_cts.cpp.o"
+  "CMakeFiles/test_power_opt_cts.dir/test_power_opt_cts.cpp.o.d"
+  "test_power_opt_cts"
+  "test_power_opt_cts.pdb"
+  "test_power_opt_cts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_opt_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

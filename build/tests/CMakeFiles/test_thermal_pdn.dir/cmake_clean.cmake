@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_pdn.dir/test_thermal_pdn.cpp.o"
+  "CMakeFiles/test_thermal_pdn.dir/test_thermal_pdn.cpp.o.d"
+  "test_thermal_pdn"
+  "test_thermal_pdn.pdb"
+  "test_thermal_pdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

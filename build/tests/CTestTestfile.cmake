@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_route[1]_include.cmake")
+include("/root/repo/build/tests/test_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_place[1]_include.cmake")
+include("/root/repo/build/tests/test_part[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_ckt[1]_include.cmake")
+include("/root/repo/build/tests/test_power_opt_cts[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_thermal_pdn[1]_include.cmake")
+include("/root/repo/build/tests/test_interchange[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_checks[1]_include.cmake")
