@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "exec/flow_cache.hpp"
 #include "gen/designs.hpp"
 #include "netlist/netlist.hpp"
 
@@ -44,11 +45,52 @@ core::FlowOptions flow_options_for(const std::string& netlist_name,
 /// implementation to its maximum achievable frequency (WNS within ~7 % of
 /// the period) and use that as the iso-performance target for every other
 /// configuration of the same netlist. Returns the target period (ns).
-double target_period_ns(const netlist::Netlist& nl);
+/// `ctx` selects the pool/cache (nullptr = process-wide defaults).
+double target_period_ns(const netlist::Netlist& nl,
+                        const exec::Ctx* ctx = nullptr);
 
-/// Run one configuration at the given period.
+/// Run one configuration at the given period, memoized in the context's
+/// flow cache (a repeated (netlist, config, period) run is a lookup).
+exec::FlowCache::ResultPtr run_config_cached(const netlist::Netlist& nl,
+                                             core::Config cfg,
+                                             double period_ns,
+                                             const exec::Ctx* ctx = nullptr);
+
+/// Run one configuration at the given period (value-returning wrapper
+/// around run_config_cached, kept for the simpler benches).
 core::FlowResult run_config(const netlist::Netlist& nl, core::Config cfg,
                             double period_ns);
+
+/// One cell of a sweep: a (netlist, config) pair evaluated at that
+/// netlist's iso-performance period.
+struct SweepItem {
+  std::string netlist;
+  core::Config cfg = core::Config::Hetero3D;
+  double period_ns = 0.0;
+  int cells = 0;  ///< std-cell count of the *input* netlist
+  exec::FlowCache::ResultPtr result;
+
+  const core::DesignMetrics& metrics() const { return result->metrics; }
+};
+
+/// Sweep shape and execution knobs for run_sweep.
+struct SweepOptions {
+  std::vector<std::string> netlists;  ///< empty → netlist_names()
+  std::vector<core::Config> configs;  ///< empty → all five (paper order)
+  /// Period for every run (>0), or 0 for the paper's per-netlist
+  /// iso-performance target (12-track 2-D maximum frequency).
+  double fixed_period_ns = 0.0;
+  int threads = 0;                    ///< >0: private pool of that size
+  exec::FlowCache* cache = nullptr;   ///< nullptr → FlowCache::global()
+};
+
+/// Fan a netlist × config grid across the pool as a task graph: each
+/// netlist's build feeds its frequency-search node, which feeds that
+/// netlist's per-config flows — so flows of a fast netlist start while a
+/// slow netlist is still searching. Results come back in deterministic
+/// (netlist-major, config-minor) order and are bit-identical at any
+/// thread count.
+std::vector<SweepItem> run_sweep(const SweepOptions& opt = {});
 
 /// Silence the flow logs (benches print tables, not logs).
 void quiet_logs();

@@ -1,12 +1,16 @@
 #include "core/flow.hpp"
 
+#include <memory>
+
 #include "cost/cost.hpp"
+#include "exec/flow_cache.hpp"
 #include "part/fm.hpp"
 #include "power/power.hpp"
 #include "route/route.hpp"
 #include "sta/sta.hpp"
 #include "tech/library_factory.hpp"
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::core {
 
@@ -53,6 +57,7 @@ Design make_design(const Netlist& nl, Config cfg) {
 /// Final analysis common to all flows: route, time, power, metrics.
 void finalize(FlowResult& res, const cts::ClockTreeReport& clock,
               const std::string& nl_name, Config cfg) {
+  util::TraceSpan span("finalize", nl_name);
   Design& d = res.design;
   const auto routes = route::route_design(d);
   const auto timing = sta::run_sta(d, &routes);
@@ -80,6 +85,8 @@ part::FmOptions macro_aware_fm(const Design& d, part::FmOptions fm,
 }  // namespace
 
 FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
+  util::TraceSpan flow_span(
+      "flow", std::string(config_name(cfg)) + " " + nl.name());
   util::log_info("=== flow ", config_name(cfg), " on ", nl.name(), " @ ",
                  1.0 / opt.clock_period_ns, " GHz ===");
   FlowResult res(make_design(nl, cfg));
@@ -95,16 +102,21 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
   // area (paper §IV-A2). Driving the slow 9-track library to a 12-track
   // frequency target over-corrects here, inflating its chip area.
   {
+    util::TraceSpan span("synth", nl.name());
     opt::OptOptions synth = opt.opt;
     synth.routed = false;
     res.opt = opt::optimize_timing(d, synth);
   }
 
   // ---- pseudo-3-D / 2-D placement stage ----------------------------------
-  place::init_floorplan(d, popt);
-  place::global_place(d, popt);
+  {
+    util::TraceSpan span("place", nl.name());
+    place::init_floorplan(d, popt);
+    place::global_place(d, popt);
+  }
 
   if (config_is_3d(cfg)) {
+    util::TraceSpan span("partition", nl.name());
     const part::FmOptions fm = macro_aware_fm(d, opt.fm, opt.utilization);
     if (cfg == Config::Hetero3D) {
       // Pseudo-3-D knows only the 12-track bottom technology. Partition
@@ -138,6 +150,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
 
   // ---- post-placement timing optimization ---------------------------------
   {
+    util::TraceSpan span("post_place_opt", nl.name());
     opt::OptOptions oopt = opt.opt;
     oopt.routed = true;
     // The heterogeneous design is accepted at WNS within ~5-7 % of the
@@ -166,15 +179,20 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
     copt.mode = cts::Mode3D::CoverCell;
     copt.prefer_low_power_trunk = false;  // homogeneous: no power asymmetry
   }
-  cts::build_clock_tree(d, copt);
-  place::legalize(d);
-  cts::ClockTreeReport clock = cts::annotate_clock_latencies(d);
+  cts::ClockTreeReport clock;
+  {
+    util::TraceSpan span("cts", nl.name());
+    cts::build_clock_tree(d, copt);
+    place::legalize(d);
+    clock = cts::annotate_clock_latencies(d);
+  }
 
   // ---- post-CTS optimization ----------------------------------------------
   // The pre-CTS power recovery ran against stale wire loads (the floorplan
   // rescale and the clock tree both moved things); repair slew and setup
   // without further recovery, as commercial flows do after CTS.
   {
+    util::TraceSpan span("post_cts_opt", nl.name());
     opt::OptOptions post = opt.opt;
     post.routed = true;
     post.max_sizing_rounds = 2;
@@ -191,6 +209,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
 
   // ---- repartitioning ECO (hetero only) -----------------------------------
   if (cfg == Config::Hetero3D && opt.enable_repartition) {
+    util::TraceSpan span("repartition_eco", nl.name());
     res.repart = part::repartition_eco(d, opt.repart);
     // Counter-move: park slack-rich bottom cells on the 9-track tier so
     // the fast die does not balloon the footprint (and the slow die does
@@ -227,21 +246,61 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
 
 double find_max_frequency(const Netlist& nl, Config cfg, FlowOptions opt,
                           double lo_ghz, double hi_ghz, int iters,
-                          double wns_budget_frac) {
+                          double wns_budget_frac, const exec::Ctx* ctx) {
   M3D_CHECK(lo_ghz > 0.0 && hi_ghz > lo_ghz);
+  util::TraceSpan search_span("find_max_frequency", nl.name());
+  const exec::Ctx defaults;
+  if (!ctx) ctx = &defaults;
+  exec::Pool& pool = ctx->pool_or_global();
+  exec::FlowCache& cache = ctx->cache_or_global();
+
+  auto eval = [&](double ghz) {
+    FlowOptions o = opt;
+    o.clock_period_ns = 1.0 / ghz;
+    const auto res = cache.get_or_run(nl, cfg, o);
+    return -res->metrics.wns_ns <= wns_budget_frac * o.clock_period_ns;
+  };
+
   // The paper sweeps 12-track 2-D frequencies and accepts designs whose
   // WNS stays within ~5–7 % of the period. Binary search on that rule.
+  // With spare workers the two possible *next* midpoints are evaluated
+  // speculatively: one of them is on the search path whatever this step
+  // decides, so the next eval collapses into a cache hit (or joins the
+  // in-flight run). The off-path task is cancelled if it has not started.
+  const bool speculate = pool.size() > 1 && iters > 1;
+  auto shared_nl = std::make_shared<const Netlist>(nl);
   double lo = lo_ghz, hi = hi_ghz;
   for (int i = 0; i < iters; ++i) {
     const double mid = 0.5 * (lo + hi);
-    opt.clock_period_ns = 1.0 / mid;
-    const auto res = run_flow(nl, cfg, opt);
-    const bool met =
-        -res.metrics.wns_ns <= wns_budget_frac * opt.clock_period_ns;
-    if (met)
+    auto spec_lo = std::make_shared<std::atomic<bool>>(false);
+    auto spec_hi = std::make_shared<std::atomic<bool>>(false);
+    if (speculate && i + 1 < iters) {
+      auto speculate_at = [&](double ghz,
+                              std::shared_ptr<std::atomic<bool>> cancel) {
+        FlowOptions o = opt;
+        o.clock_period_ns = 1.0 / ghz;
+        pool.post([shared_nl, cfg, o, cancel, &cache] {
+          if (cancel->load()) return;
+          util::TraceSpan span("speculative_flow", shared_nl->name());
+          try {
+            cache.get_or_run(*shared_nl, cfg, o);
+          } catch (...) {
+            // A failed speculative run is dropped from the cache; the
+            // on-path evaluation will surface the error if it matters.
+          }
+        });
+      };
+      speculate_at(0.5 * (lo + mid), spec_lo);   // "mid failed" branch
+      speculate_at(0.5 * (mid + hi), spec_hi);   // "mid met" branch
+    }
+    const bool met = eval(mid);
+    if (met) {
       lo = mid;
-    else
+      spec_lo->store(true);  // search went up; the low candidate is off-path
+    } else {
       hi = mid;
+      spec_hi->store(true);
+    }
   }
   return lo;
 }

@@ -23,12 +23,19 @@
 #include <string>
 
 #include "core/metrics.hpp"
+// NOTE: when adding a field to FlowOptions (or any nested options struct),
+// extend exec::FlowCache::options_hash so cached flows keyed on the old
+// field set cannot be served for the new one.
 #include "cts/cts.hpp"
 #include "netlist/netlist.hpp"
 #include "opt/opt.hpp"
 #include "part/repartition.hpp"
 #include "part/timing_partition.hpp"
 #include "place/place.hpp"
+
+namespace m3d::exec {
+struct Ctx;  // exec/flow_cache.hpp — pool + cache execution context
+}
 
 namespace m3d::core {
 
@@ -83,8 +90,17 @@ FlowResult run_flow(const netlist::Netlist& nl, Config cfg,
 /// highest frequency whose flow lands with |WNS| below `wns_budget_frac`
 /// of the period (the paper's "timing met" rule: WNS ≲ 5–7 % of period).
 /// Returns GHz.
+///
+/// Candidate flows are memoized in the context's FlowCache, and when the
+/// context's pool has more than one worker the two possible next midpoints
+/// of each step are evaluated *speculatively* in parallel — whichever
+/// branch the search takes, the next candidate is already computed (or
+/// computing) and collapses into a cache hit. The search path and result
+/// are identical to the serial search at any thread count.
+/// `ctx == nullptr` uses the process-wide pool and cache.
 double find_max_frequency(const netlist::Netlist& nl, Config cfg,
                           FlowOptions opt, double lo_ghz, double hi_ghz,
-                          int iters = 5, double wns_budget_frac = 0.05);
+                          int iters = 5, double wns_budget_frac = 0.05,
+                          const exec::Ctx* ctx = nullptr);
 
 }  // namespace m3d::core

@@ -1,0 +1,276 @@
+#include "exec/flow_cache.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+#include "util/check.hpp"
+#include "util/trace.hpp"
+
+namespace m3d::exec {
+
+namespace {
+
+/// FNV-1a-style 64-bit accumulator with a SplitMix64 finisher per word —
+/// cheap, deterministic across platforms, and good enough for cache keys
+/// (a collision needs two *different* 64-bit digests to collide, and keys
+/// also separate by config and netlist fingerprint).
+struct Hasher {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void mix(std::uint64_t v) {
+    // splitmix64 round over (h ^ v).
+    std::uint64_t z = h ^ v;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    h = z ^ (z >> 31);
+  }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void mix(unsigned v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    std::uint64_t word = 0;
+    int n = 0;
+    for (unsigned char c : s) {
+      word = (word << 8) | c;
+      if (++n == 8) {
+        mix(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    if (n > 0) mix(word);
+  }
+};
+
+void mix_sta(Hasher& h, const sta::StaOptions& o) {
+  h.mix(o.input_slew_ns);
+  h.mix(o.input_delay_ns);
+  h.mix(o.output_margin_ns);
+  h.mix(o.boundary_derates);
+  h.mix(o.ideal_clock);
+  h.mix(o.hold_analysis);
+  h.mix(o.compensate_port_latency);
+}
+
+void mix_fm(Hasher& h, const part::FmOptions& o) {
+  h.mix(o.target_top_share);
+  h.mix(o.balance_tol);
+  h.mix(o.max_passes);
+  h.mix(o.bins);
+  h.mix(o.seed);
+}
+
+}  // namespace
+
+std::uint64_t FlowCache::fingerprint(const netlist::Netlist& nl) {
+  Hasher h;
+  h.mix(nl.name());
+  h.mix(nl.block_count());
+  for (netlist::BlockId b = 0; b < nl.block_count(); ++b)
+    h.mix(nl.block_name(b));
+  h.mix(nl.cell_count());
+  for (netlist::CellId c = 0; c < nl.cell_count(); ++c) {
+    const netlist::Cell& cell = nl.cell(c);
+    h.mix(cell.name);
+    h.mix(static_cast<int>(cell.kind));
+    h.mix(static_cast<int>(cell.func));
+    h.mix(cell.drive);
+    h.mix(cell.macro_name);
+    h.mix(cell.block);
+    h.mix(cell.fixed);
+    h.mix(static_cast<std::uint64_t>(cell.pins.size()));
+  }
+  h.mix(nl.net_count());
+  for (netlist::NetId n = 0; n < nl.net_count(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    h.mix(net.name);
+    h.mix(net.driver);
+    h.mix(net.activity);
+    h.mix(net.is_clock);
+    for (netlist::PinId p : net.pins) h.mix(p);
+  }
+  h.mix(nl.pin_count());
+  for (netlist::PinId p = 0; p < nl.pin_count(); ++p) {
+    const netlist::Pin& pin = nl.pin(p);
+    h.mix(pin.cell);
+    h.mix(static_cast<int>(pin.dir));
+    h.mix(pin.index);
+    h.mix(pin.is_clock);
+    h.mix(pin.net);
+  }
+  return h.h;
+}
+
+std::uint64_t FlowCache::options_hash(const core::FlowOptions& o) {
+  Hasher h;
+  h.mix(o.clock_period_ns);
+  h.mix(o.utilization);
+  // place
+  h.mix(o.place.utilization);
+  h.mix(o.place.aspect);
+  h.mix(o.place.relax_iters);
+  h.mix(o.place.spread_iters);
+  h.mix(o.place.grid);
+  h.mix(o.place.seed);
+  // opt
+  h.mix(o.opt.max_sizing_rounds);
+  h.mix(o.opt.power_recovery_rounds);
+  h.mix(o.opt.target_slack_ns);
+  h.mix(o.opt.recovery_slack_frac);
+  h.mix(o.opt.max_fanout);
+  h.mix(o.opt.buffer_drive);
+  h.mix(o.opt.max_wire_um);
+  h.mix(o.opt.max_transition_fo4);
+  mix_sta(h, o.opt.sta);
+  h.mix(o.opt.routed);
+  // partitioning
+  h.mix(o.timing_part.area_cap);
+  mix_fm(h, o.timing_part.fm);
+  mix_fm(h, o.fm);
+  // repartitioning ECO
+  h.mix(o.repart.unbalance_th);
+  h.mix(o.repart.d0);
+  h.mix(o.repart.n_paths);
+  h.mix(o.repart.crit_th);
+  h.mix(o.repart.alpha);
+  h.mix(o.repart.wns_th);
+  h.mix(o.repart.tns_th);
+  h.mix(o.repart.max_iters);
+  mix_sta(h, o.repart.sta);
+  // cts
+  h.mix(o.cts.max_sinks_per_buffer);
+  h.mix(o.cts.leaf_drive);
+  h.mix(o.cts.trunk_drive);
+  h.mix(static_cast<int>(o.cts.mode));
+  h.mix(o.cts.prefer_low_power_trunk);
+  h.mix(o.cts.balance_skew);
+  h.mix(o.cts.max_pad_buffers);
+  // hetero enhancements
+  h.mix(o.enable_timing_partition);
+  h.mix(o.enable_repartition);
+  h.mix(o.enable_cover_cts);
+  h.mix(o.path_based_criticality);
+  h.mix(o.path_based_paths);
+  return h.h;
+}
+
+std::size_t FlowCache::default_capacity() {
+  if (const char* s = std::getenv("M3D_FLOW_CACHE_CAP")) {
+    const long n = std::atol(s);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 64;
+}
+
+FlowCache::FlowCache(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+FlowCache& FlowCache::global() {
+  static FlowCache cache;
+  return cache;
+}
+
+FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
+                                           core::Config cfg,
+                                           const core::FlowOptions& opt) {
+  const Key key{fingerprint(nl), static_cast<int>(cfg), options_hash(opt)};
+
+  std::promise<ResultPtr> promise;
+  std::shared_future<ResultPtr> existing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.ready) {
+        ++stats_.hits;
+        it->second.last_used = ++use_counter_;
+        util::trace_instant("flow_cache_hit");
+      } else {
+        ++stats_.joins;
+        util::trace_instant("flow_cache_join");
+      }
+      existing = it->second.future;
+    } else {
+      ++stats_.misses;
+      util::trace_instant("flow_cache_miss");
+      Entry entry;
+      entry.future = promise.get_future().share();
+      entries_.emplace(key, std::move(entry));
+    }
+  }
+  // Ready entries return immediately; in-flight ones block until the
+  // computing thread resolves the promise (flows are coarse enough that
+  // parking this thread is fine — other workers keep the pool busy).
+  if (existing.valid()) return existing.get();
+
+  // Compute outside the lock; concurrent same-key requesters join on the
+  // shared future.
+  try {
+    auto result =
+        std::make_shared<core::FlowResult>(core::run_flow(nl, cfg, opt));
+    promise.set_value(result);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.ready = true;
+      it->second.last_used = ++use_counter_;
+    }
+    evict_locked();
+    util::trace_counter(
+        "flow_cache_entries", static_cast<double>(entries_.size()));
+    return result;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key);
+    throw;
+  }
+}
+
+FlowCache::ResultPtr FlowCache::lookup(const netlist::Netlist& nl,
+                                       core::Config cfg,
+                                       const core::FlowOptions& opt) const {
+  const Key key{fingerprint(nl), static_cast<int>(cfg), options_hash(opt)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.ready) return nullptr;
+  return it->second.future.get();
+}
+
+void FlowCache::evict_locked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready) continue;  // never evict in-flight entries
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // everything in flight
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void FlowCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // In-flight computations keep their shared state alive through their
+  // own promise/future pair; dropping entries is safe.
+  entries_.clear();
+}
+
+std::size_t FlowCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+FlowCacheStats FlowCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace m3d::exec

@@ -1,0 +1,125 @@
+#pragma once
+/// \file flow_cache.hpp
+/// \brief Keyed, thread-safe memoization of core::run_flow results.
+///
+/// Every headline sweep re-runs identical flows: the iso-performance
+/// methodology runs a 12-track 2-D frequency search whose winning
+/// candidate *is* the 2D-12T data point of the comparison tables, the
+/// ablations share their baseline run, and speculative frequency-search
+/// evaluation may race ahead on flows the search then actually needs. The
+/// FlowCache turns all of those into lookups.
+///
+/// Key: (netlist fingerprint, config, options hash) — a structural hash of
+/// the full netlist (cells, nets, pins, connectivity, activities) plus a
+/// field-wise hash of every FlowOptions knob, clock period included. Flows
+/// are deterministic functions of exactly this tuple (see rng.hpp), so a
+/// hit is semantically identical to a re-run.
+///
+/// Concurrency: get_or_run() is safe from any thread. Concurrent requests
+/// for the *same* key are deduplicated — the first requester computes, the
+/// others block on a shared future of the same entry (that is what makes
+/// speculation cheap: a speculative run and the real request collapse into
+/// one flow). Distinct keys never block each other.
+///
+/// Eviction: LRU over completed entries, bounded by `capacity` entries
+/// (default M3D_FLOW_CACHE_CAP or 64). In-flight entries are never
+/// evicted. Results are handed out as shared_ptr<const FlowResult>, so an
+/// evicted result stays alive for holders.
+///
+/// NOTE: flow_cache.cpp is compiled into m3d_core (it calls run_flow);
+/// the header lives with the rest of the exec subsystem it belongs to.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/flow.hpp"
+#include "exec/pool.hpp"
+
+namespace m3d::exec {
+
+struct FlowCacheStats {
+  std::uint64_t hits = 0;        ///< served from a completed entry
+  std::uint64_t joins = 0;       ///< attached to an in-flight computation
+  std::uint64_t misses = 0;      ///< computed here
+  std::uint64_t evictions = 0;
+};
+
+class FlowCache {
+ public:
+  using ResultPtr = std::shared_ptr<const core::FlowResult>;
+
+  explicit FlowCache(std::size_t capacity = default_capacity());
+
+  /// Return the memoized flow result for (nl, cfg, opt), running the flow
+  /// on the calling thread on a miss. Exceptions from run_flow propagate
+  /// to every waiter of that key; the entry is dropped so a later call
+  /// retries.
+  ResultPtr get_or_run(const netlist::Netlist& nl, core::Config cfg,
+                       const core::FlowOptions& opt = {});
+
+  /// Completed-entry lookup without computing; nullptr on miss/in-flight.
+  ResultPtr lookup(const netlist::Netlist& nl, core::Config cfg,
+                   const core::FlowOptions& opt = {}) const;
+
+  void clear();
+  std::size_t size() const;          ///< completed + in-flight entries
+  std::size_t capacity() const { return capacity_; }
+  FlowCacheStats stats() const;
+
+  /// Process-wide cache used by core::find_max_frequency and the benches.
+  static FlowCache& global();
+
+  /// M3D_FLOW_CACHE_CAP if set and positive, else 64.
+  static std::size_t default_capacity();
+
+  /// Structural hash of a netlist: name, blocks, cells (function, drive,
+  /// kind, block), nets (pins, driver, activity, clock flag) and pins.
+  static std::uint64_t fingerprint(const netlist::Netlist& nl);
+
+  /// Field-wise hash of every FlowOptions knob (including nested place /
+  /// opt / partition / cts / sta options). Keep in sync when adding
+  /// fields to any of those structs.
+  static std::uint64_t options_hash(const core::FlowOptions& opt);
+
+ private:
+  struct Key {
+    std::uint64_t netlist_fp;
+    int config;
+    std::uint64_t opt_hash;
+    bool operator<(const Key& o) const {
+      if (netlist_fp != o.netlist_fp) return netlist_fp < o.netlist_fp;
+      if (config != o.config) return config < o.config;
+      return opt_hash < o.opt_hash;
+    }
+  };
+  struct Entry {
+    std::shared_future<ResultPtr> future;
+    bool ready = false;            ///< future resolved successfully
+    std::uint64_t last_used = 0;   ///< LRU stamp (completed entries)
+  };
+
+  void evict_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t use_counter_ = 0;
+  FlowCacheStats stats_;
+};
+
+/// Execution context threaded through flow-level APIs: which pool to fan
+/// out on and which cache to memoize in. Null members mean "use the
+/// process-wide default" — resolve through the accessors.
+struct Ctx {
+  Pool* pool = nullptr;
+  FlowCache* cache = nullptr;
+
+  Pool& pool_or_global() const { return pool ? *pool : Pool::global(); }
+  FlowCache& cache_or_global() const {
+    return cache ? *cache : FlowCache::global();
+  }
+};
+
+}  // namespace m3d::exec

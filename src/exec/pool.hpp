@@ -1,0 +1,126 @@
+#pragma once
+/// \file pool.hpp
+/// \brief Work-stealing thread pool with a futures-based submit API and a
+///        cooperative (helping) wait.
+///
+/// The pool is the execution substrate for every parallel sweep in the
+/// repository: flow fan-outs (bench::run_sweep), speculative
+/// binary-search evaluation (core::find_max_frequency) and the
+/// exec::TaskGraph scheduler all run on it. Design points, in the spirit
+/// of shared-memory runtimes like Galois:
+///
+///  * **Per-worker deques + stealing.** Each worker owns a deque; it pushes
+///    and pops its own work LIFO (cache-warm, depth-first) and steals FIFO
+///    from victims when dry (breadth-first, takes the oldest/biggest
+///    tasks). External threads submit round-robin across workers.
+///  * **Helping, not blocking.** `wait(future)` and `parallel_for` execute
+///    pending tasks while they wait. A task may therefore submit subtasks
+///    and wait on them without deadlock even on a single-worker pool —
+///    nested parallelism (a sweep task running a frequency search that
+///    itself fans out flows) just works.
+///  * **Determinism discipline.** The pool never provides randomness or
+///    ordering guarantees to tasks; results must depend only on task
+///    inputs (see rng.hpp's concurrency guarantee). Workers register the
+///    rng stream id i+1 and a trace thread name, nothing more.
+///
+/// Sizing: Pool(0) (and the process-wide Pool::global()) uses M3D_THREADS
+/// if set, else std::thread::hardware_concurrency().
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace m3d::exec {
+
+class Pool {
+ public:
+  /// Create `threads` workers; 0 means default_threads().
+  explicit Pool(int threads = 0);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Schedule a callable; returns a future for its result. Exceptions
+  /// thrown by the callable surface at future.get(). Prefer wait()/get()
+  /// below over future.get() when the caller may itself be a pool task.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    push([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Fire-and-forget variant (no future allocation).
+  void post(std::function<void()> fn) { push(std::move(fn)); }
+
+  /// Block until `fut` is ready, executing pending pool tasks meanwhile.
+  template <typename T>
+  void wait(const std::future<T>& fut) {
+    help_until([&] {
+      return fut.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    });
+  }
+
+  /// wait() + get() in one call.
+  template <typename T>
+  T get(std::future<T>&& fut) {
+    wait(fut);
+    return fut.get();
+  }
+
+  /// Run fn(i) for i in [begin, end), distributing across the pool; the
+  /// calling thread participates. Rethrows the first task exception after
+  /// all iterations finished (or were abandoned by their chunk failing).
+  void parallel_for(int begin, int end, const std::function<void(int)>& fn,
+                    int grain = 1);
+
+  /// Execute one pending task on the calling thread if any is available.
+  bool run_one();
+
+  /// Work the pool from the calling thread until `done()` returns true,
+  /// sleeping briefly when no task is runnable locally.
+  void help_until(const std::function<bool()>& done);
+
+  /// Worker index of the calling thread in *any* pool, or -1 when called
+  /// from a non-worker thread.
+  static int worker_index();
+
+  /// Process-wide shared pool (sized on first use).
+  static Pool& global();
+
+  /// M3D_THREADS if set and positive, else hardware_concurrency().
+  static int default_threads();
+
+ private:
+  struct Deque;
+
+  void push(std::function<void()> fn);
+  bool pop_or_steal(int self, std::function<void()>& out);
+  void worker_main(int index);
+
+  std::vector<std::unique_ptr<Deque>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<unsigned> next_queue_{0};
+  std::atomic<int> pending_{0};
+
+  // Sleep/wake for idle workers and helping waiters.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace m3d::exec

@@ -1,0 +1,94 @@
+#include "exec/task_graph.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "util/check.hpp"
+#include "util/trace.hpp"
+
+namespace m3d::exec {
+
+TaskGraph::NodeId TaskGraph::add(std::string label,
+                                 std::function<void()> fn,
+                                 std::vector<NodeId> deps) {
+  M3D_CHECK(!ran_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.label = std::move(label);
+  node.fn = std::move(fn);
+  node.unmet_deps = static_cast<int>(deps.size());
+  nodes_.push_back(std::move(node));
+  for (NodeId d : deps) {
+    M3D_CHECK_MSG(d >= 0 && d < id, "task dep " << d << " not added yet");
+    nodes_[static_cast<std::size_t>(d)].successors.push_back(id);
+  }
+  return id;
+}
+
+void TaskGraph::run(Pool& pool) {
+  M3D_CHECK(!ran_);
+  ran_ = true;
+  const int n = node_count();
+  if (n == 0) return;
+
+  // Shared scheduling state. Lives on the heap so node tasks holding it
+  // stay valid even while run() is unwinding on error.
+  struct Sched {
+    std::atomic<int> settled{0};  ///< nodes finished or abandoned
+    std::vector<std::atomic<int>> unmet;
+    std::mutex err_mu;
+    std::exception_ptr error;
+    Sched(std::size_t n) : unmet(n) {}
+  };
+  auto st = std::make_shared<Sched>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    st->unmet[static_cast<std::size_t>(i)].store(
+        nodes_[static_cast<std::size_t>(i)].unmet_deps);
+
+  // release(id): schedule a node whose dependencies are all met. On
+  // completion the node releases each successor whose unmet count hits 0.
+  // On failure its whole downstream cone is settled without running.
+  std::function<void(NodeId)> release = [&, st](NodeId id) {
+    Node& node = nodes_[static_cast<std::size_t>(id)];
+    pool.post([this, st, id, &node, &release] {
+      bool ok = true;
+      try {
+        util::TraceSpan span("task", node.label);
+        node.fn();
+      } catch (...) {
+        ok = false;
+        std::lock_guard<std::mutex> lock(st->err_mu);
+        if (!st->error) st->error = std::current_exception();
+      }
+      if (ok) {
+        for (NodeId s : node.successors)
+          if (st->unmet[static_cast<std::size_t>(s)].fetch_sub(1) == 1)
+            release(s);
+      } else {
+        // Abandon the downstream cone so settled still reaches n.
+        std::function<void(NodeId)> abandon = [&](NodeId a) {
+          st->settled.fetch_add(1);
+          for (NodeId s : nodes_[static_cast<std::size_t>(a)].successors)
+            if (st->unmet[static_cast<std::size_t>(s)].fetch_sub(1) == 1)
+              abandon(s);
+        };
+        for (NodeId s : node.successors)
+          if (st->unmet[static_cast<std::size_t>(s)].fetch_sub(1) == 1)
+            abandon(s);
+      }
+      st->settled.fetch_add(1);
+    });
+  };
+
+  for (int i = 0; i < n; ++i)
+    if (st->unmet[static_cast<std::size_t>(i)].load() == 0)
+      release(i);
+
+  // The calling thread works the pool until the graph drains.
+  pool.help_until([&] { return st->settled.load() >= n; });
+
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace m3d::exec

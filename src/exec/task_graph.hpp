@@ -1,0 +1,56 @@
+#pragma once
+/// \file task_graph.hpp
+/// \brief Dependency-driven task scheduling on an exec::Pool.
+///
+/// A TaskGraph lets dependent stages express *dependencies* instead of
+/// barriers: in a sweep, each per-config flow depends only on its own
+/// netlist's target-period node, so the flows of a fast netlist start
+/// while a slow netlist is still in its frequency search — a global
+/// barrier between "find periods" and "run flows" would idle the pool.
+///
+/// The graph is a DAG by construction: a node's dependencies must already
+/// have been added (ids are handed out in add() order), so cycles cannot
+/// be expressed. run() schedules every dependency-free node on the pool,
+/// releases successors as their dependencies complete, helps execute tasks
+/// from the calling thread, and rethrows the first task exception after
+/// the graph drains (downstream nodes of a failed node are not run).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/pool.hpp"
+
+namespace m3d::exec {
+
+class TaskGraph {
+ public:
+  using NodeId = int;
+
+  /// Add a node. `deps` must all be ids previously returned by add().
+  /// The label shows up in traces (one span per node execution).
+  NodeId add(std::string label, std::function<void()> fn,
+             std::vector<NodeId> deps = {});
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  /// Execute the whole graph on `pool` (Pool::global() by default).
+  /// Blocks until every runnable node finished; the calling thread helps.
+  /// Rethrows the first node exception. A TaskGraph is single-shot:
+  /// running it twice is an error.
+  void run(Pool& pool);
+  void run() { run(Pool::global()); }
+
+ private:
+  struct Node {
+    std::string label;
+    std::function<void()> fn;
+    std::vector<NodeId> successors;
+    int unmet_deps = 0;
+  };
+
+  std::vector<Node> nodes_;
+  bool ran_ = false;
+};
+
+}  // namespace m3d::exec

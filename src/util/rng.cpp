@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -72,5 +73,47 @@ double Rng::normal(double mean, double stddev) {
 bool Rng::chance(double p) { return uniform() < p; }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+Rng Rng::stream(std::uint64_t global_seed, std::uint64_t stream_id) {
+  // Two SplitMix64 rounds over the pair: the first whitens the id so
+  // consecutive ids land far apart, the second mixes in the seed. The Rng
+  // constructor runs SplitMix64 again for the four state words.
+  std::uint64_t x = stream_id;
+  const std::uint64_t a = splitmix64(x);
+  x = global_seed ^ a;
+  return Rng(splitmix64(x));
+}
+
+namespace {
+std::atomic<std::uint64_t> g_global_seed{0x9e3779b97f4a7c15ull};
+thread_local std::uint64_t t_stream_id = 0;
+}  // namespace
+
+void set_global_seed(std::uint64_t seed) { g_global_seed.store(seed); }
+
+std::uint64_t global_seed() { return g_global_seed.load(); }
+
+void set_thread_stream_id(std::uint64_t id) { t_stream_id = id; }
+
+std::uint64_t thread_stream_id() { return t_stream_id; }
+
+Rng& thread_rng() {
+  struct Cached {
+    std::uint64_t seed = 0;
+    std::uint64_t id = 0;
+    bool valid = false;
+    Rng rng;
+  };
+  thread_local Cached c;
+  const std::uint64_t seed = global_seed();
+  const std::uint64_t id = thread_stream_id();
+  if (!c.valid || c.seed != seed || c.id != id) {
+    c.rng = Rng::stream(seed, id);
+    c.seed = seed;
+    c.id = id;
+    c.valid = true;
+  }
+  return c.rng;
+}
 
 }  // namespace m3d::util

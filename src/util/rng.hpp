@@ -5,6 +5,27 @@
 /// Every stochastic step in the library (netlist generation, placement
 /// perturbation, FM tie-breaking, activity assignment) draws from an Rng
 /// seeded explicitly, so a whole flow run is bit-reproducible.
+///
+/// Concurrency guarantee
+/// ---------------------
+/// An Rng instance is plain mutable state with no internal locking: confine
+/// each instance to one thread (or one task). The library upholds this by
+/// construction — there is no shared global generator; every algorithm
+/// seeds its own Rng from options it was handed (`PlaceOptions::seed`,
+/// `FmOptions::seed`, `GenOptions::seed`, …). Because a task's random
+/// sequence therefore depends only on its *inputs*, never on which worker
+/// thread runs it or in what order tasks interleave, parallel execution
+/// (exec::Pool, bench::run_sweep) is bit-reproducible with serial
+/// execution: the same (netlist, config, options) always yields the same
+/// result at any thread count.
+///
+/// For code that does want thread-private randomness (e.g. randomized
+/// tie-breaking inside a parallel loop), use Rng::stream(global_seed, id)
+/// with a *logical* stream id — derive the id from the work item, not from
+/// the worker thread, if you need scheduling-independent results — or
+/// thread_rng(), which derives a per-worker stream from
+/// (global seed, worker stream id) and is deterministic for a fixed
+/// task→worker mapping.
 
 #include <cstdint>
 #include <vector>
@@ -52,10 +73,31 @@ class Rng {
   /// Derive an independent child stream (for parallel-safe substreams).
   Rng fork();
 
+  /// Deterministic independent stream: mixes (global_seed, stream_id)
+  /// through SplitMix64 so distinct ids give statistically independent
+  /// sequences and the same (seed, id) pair always gives the same stream.
+  static Rng stream(std::uint64_t global_seed, std::uint64_t stream_id);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };
+
+/// Process-wide seed that thread_rng() streams derive from. Set it before
+/// spawning workers; defaults to the Rng default seed.
+void set_global_seed(std::uint64_t seed);
+std::uint64_t global_seed();
+
+/// Logical stream id of the calling thread, used by thread_rng().
+/// exec::Pool assigns its worker i the id i+1; unregistered threads
+/// (including main) use id 0.
+void set_thread_stream_id(std::uint64_t id);
+std::uint64_t thread_stream_id();
+
+/// Thread-local generator seeded as Rng::stream(global_seed(),
+/// thread_stream_id()). Re-seeded automatically if either value changed
+/// since the last call on this thread.
+Rng& thread_rng();
 
 }  // namespace m3d::util

@@ -1,0 +1,178 @@
+#include "util/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace m3d::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Event {
+  const char* name;     ///< static string (span/counter name)
+  std::string detail;   ///< args.detail payload; empty = omitted
+  char ph;              ///< 'X' complete, 'C' counter, 'i' instant
+  std::int64_t ts_us;
+  std::int64_t dur_us;  ///< complete events only
+  double value;         ///< counter events only
+  int tid;
+};
+
+struct Sink {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::string path;
+  Clock::time_point origin = Clock::now();
+  std::atomic<int> next_tid{0};
+};
+
+std::atomic<bool> g_enabled{false};
+Sink& sink() {
+  static Sink s;
+  return s;
+}
+
+std::once_flag g_env_once;
+
+void check_env() {
+  std::call_once(g_env_once, [] {
+    if (const char* path = std::getenv("M3D_TRACE")) {
+      if (path[0] != '\0') {
+        trace_begin(path);
+        std::atexit(trace_end);
+      }
+    }
+  });
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               sink().origin)
+      .count();
+}
+
+struct ThreadInfo {
+  int tid = -1;
+  std::string name;
+};
+
+ThreadInfo& thread_info() {
+  thread_local ThreadInfo info;
+  if (info.tid < 0) info.tid = sink().next_tid.fetch_add(1);
+  return info;
+}
+
+void push_event(Event e) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!g_enabled.load(std::memory_order_relaxed)) return;  // racing trace_end
+  s.events.push_back(std::move(e));
+}
+
+void json_escape(std::ostream& os, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) os << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  check_env();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void trace_begin(const std::string& path) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.events.clear();
+  s.path = path;
+  s.origin = Clock::now();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_end() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  Sink& s = sink();
+  std::vector<Event> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    g_enabled.store(false, std::memory_order_relaxed);
+    events.swap(s.events);
+    path = s.path;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    log_warn("trace: cannot write ", path);
+    return;
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    json_escape(os, e.name);
+    os << "\",\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us;
+    if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
+    if (e.ph == 'C') os << ",\"args\":{\"value\":" << e.value << "}";
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    if (e.ph != 'C' && !e.detail.empty()) {
+      os << ",\"args\":{\"detail\":\"";
+      json_escape(os, e.detail);
+      os << "\"}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  log_info("trace: ", events.size(), " events written to ", path);
+}
+
+void trace_counter(const char* name, double value) {
+  if (!trace_enabled()) return;
+  push_event({name, {}, 'C', now_us(), 0, value, thread_info().tid});
+}
+
+void trace_instant(const char* name) {
+  if (!trace_enabled()) return;
+  push_event({name, {}, 'i', now_us(), 0, 0.0, thread_info().tid});
+}
+
+void trace_register_thread(const std::string& name) {
+  thread_info().name = name;
+  // Thread names are emitted as metadata the first time the thread traces;
+  // keeping it simple, we fold the name into an instant event instead.
+  if (trace_enabled())
+    push_event({"thread", name, 'i', now_us(), 0, 0.0, thread_info().tid});
+}
+
+TraceSpan::TraceSpan(const char* name, std::string detail)
+    : name_(name), detail_(std::move(detail)) {
+  if (trace_enabled()) start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0 || !g_enabled.load(std::memory_order_relaxed)) return;
+  const std::int64_t end = now_us();
+  push_event(
+      {name_, std::move(detail_), 'X', start_us_, end - start_us_, 0.0,
+       thread_info().tid});
+}
+
+}  // namespace m3d::util

@@ -1,0 +1,69 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Structured per-stage instrumentation: scoped timers, counters and
+///        a chrome://tracing-compatible JSON sink.
+///
+/// Enable by setting `M3D_TRACE=<path>.json` in the environment (picked up
+/// lazily on the first trace call) or by calling trace_begin() explicitly.
+/// The file is written on trace_end(), which is also registered with
+/// atexit() so benches and examples emit a trace just by being run under
+/// the environment variable. Load the result in chrome://tracing or
+/// https://ui.perfetto.dev.
+///
+/// Emitted event kinds (Trace Event Format):
+///  * complete events ("ph":"X") — one per TraceSpan lifetime, with the
+///    span's wall-clock duration and the emitting thread's stable id;
+///  * counter events ("ph":"C") — trace_counter(), e.g. flow-cache hits;
+///  * instant events ("ph":"i") — trace_instant(), e.g. a cache miss.
+///
+/// When tracing is disabled every call is a single relaxed atomic load, so
+/// instrumented hot paths cost nothing in normal runs. All functions are
+/// thread-safe; events carry a small per-thread id assigned on first use
+/// (worker threads of exec::Pool register their worker index).
+
+#include <cstdint>
+#include <string>
+
+namespace m3d::util {
+
+/// Start collecting trace events; the JSON file is written by trace_end().
+/// Calling trace_begin() while already tracing restarts with a fresh
+/// buffer and the new path.
+void trace_begin(const std::string& path);
+
+/// Flush collected events to the path given to trace_begin() (or
+/// M3D_TRACE) and stop tracing. No-op when tracing is off.
+void trace_end();
+
+/// Is the sink currently collecting? (Also performs the lazy M3D_TRACE
+/// environment check on first call.)
+bool trace_enabled();
+
+/// Emit a counter sample, e.g. trace_counter("flow_cache_hits", hits).
+void trace_counter(const char* name, double value);
+
+/// Emit an instant event (a zero-duration marker).
+void trace_instant(const char* name);
+
+/// Register a human-readable name and stable small id for the calling
+/// thread (used as the "tid" of its events). exec::Pool calls this for its
+/// workers; unregistered threads get an id on first use.
+void trace_register_thread(const std::string& name);
+
+/// RAII span: records a complete event covering its lifetime.
+/// Usage: { TraceSpan span("place", d.nl().name()); ... }
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::string detail = "");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::string detail_;
+  std::int64_t start_us_ = -1;  ///< -1 when tracing was off at entry
+};
+
+}  // namespace m3d::util

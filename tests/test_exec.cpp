@@ -1,0 +1,385 @@
+// Tests for the m3d::exec subsystem: work-stealing pool (stress, nested
+// submission, exceptions), task-graph dependency order, flow-cache
+// hit/join/eviction behaviour, sweep determinism across thread counts,
+// per-worker rng streams, and the chrome-trace sink.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common.hpp"  // bench helpers (run_sweep determinism test)
+#include "core/flow.hpp"
+#include "exec/flow_cache.hpp"
+#include "exec/pool.hpp"
+#include "exec/task_graph.hpp"
+#include "gen/designs.hpp"
+#include "io/reports.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace me = m3d::exec;
+namespace mc = m3d::core;
+namespace mg = m3d::gen;
+namespace mn = m3d::netlist;
+namespace mu = m3d::util;
+
+namespace {
+
+class Quiet : public ::testing::Test {
+ protected:
+  void SetUp() override { mu::set_log_level(mu::LogLevel::Silent); }
+};
+
+using ExecPool = Quiet;
+using ExecTaskGraph = Quiet;
+using ExecFlowCache = Quiet;
+using ExecSweep = Quiet;
+using ExecTrace = Quiet;
+
+mn::Netlist tiny(const char* which = "aes", double scale = 0.04) {
+  mg::GenOptions g;
+  g.scale = scale;
+  return mg::make_design(which, g);
+}
+
+mc::FlowOptions tiny_opts(double period = 1.2) {
+  mc::FlowOptions o;
+  o.clock_period_ns = period;
+  o.opt.max_sizing_rounds = 2;
+  o.repart.max_iters = 3;
+  return o;
+}
+
+}  // namespace
+
+// ---- Pool ----------------------------------------------------------------
+
+TEST_F(ExecPool, StressManyTasksManyThreads) {
+  for (int threads : {1, 2, 4, 8}) {
+    me::Pool pool(threads);
+    ASSERT_EQ(pool.size(), threads);
+    std::atomic<int> counter{0};
+    std::vector<std::future<int>> futures;
+    const int n = 2000;
+    futures.reserve(n);
+    for (int i = 0; i < n; ++i)
+      futures.push_back(pool.submit([&counter, i] {
+        counter.fetch_add(1);
+        return i;
+      }));
+    long long sum = 0;
+    for (auto& f : futures) sum += pool.get(std::move(f));
+    EXPECT_EQ(counter.load(), n);
+    EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+  }
+}
+
+TEST_F(ExecPool, ParallelForCoversRangeExactlyOnce) {
+  me::Pool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](int i) { hits[static_cast<size_t>(i)]++; },
+                    7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ExecPool, NestedSubmissionDoesNotDeadlock) {
+  // A task that fans out subtasks and waits for them — even on a
+  // single-worker pool the helping wait must make progress.
+  for (int threads : {1, 4}) {
+    me::Pool pool(threads);
+    auto outer = pool.submit([&pool] {
+      std::vector<std::future<int>> inner;
+      for (int i = 0; i < 8; ++i)
+        inner.push_back(pool.submit([i] { return i * i; }));
+      int sum = 0;
+      for (auto& f : inner) sum += pool.get(std::move(f));
+      return sum;
+    });
+    EXPECT_EQ(pool.get(std::move(outer)), 140);
+  }
+}
+
+TEST_F(ExecPool, ExceptionsPropagateThroughFutures) {
+  me::Pool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.get(std::move(f)), std::runtime_error);
+
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](int i) {
+                          if (i == 31) throw std::runtime_error("pfor");
+                        }),
+      std::runtime_error);
+}
+
+TEST_F(ExecPool, WorkerIndexAndRngStreams) {
+  me::Pool pool(3);
+  EXPECT_EQ(me::Pool::worker_index(), -1);  // not a worker thread
+  std::mutex mu;
+  std::set<int> indices;
+  std::set<std::uint64_t> streams;
+  pool.parallel_for(0, 64, [&](int) {
+    const int w = me::Pool::worker_index();
+    std::lock_guard<std::mutex> lock(mu);
+    if (w >= 0) {
+      indices.insert(w);
+      streams.insert(mu::thread_stream_id());
+    }
+  });
+  for (int w : indices) EXPECT_LT(w, 3);
+  // Worker w uses rng stream w+1 (0 is reserved for non-workers).
+  for (auto s : streams) EXPECT_GE(s, 1u);
+}
+
+// ---- rng streams ---------------------------------------------------------
+
+TEST(ExecRng, StreamsAreDeterministicAndIndependent) {
+  mu::Rng a0 = mu::Rng::stream(42, 0);
+  mu::Rng a0_again = mu::Rng::stream(42, 0);
+  mu::Rng a1 = mu::Rng::stream(42, 1);
+  mu::Rng b0 = mu::Rng::stream(43, 0);
+  const std::uint64_t x = a0.next_u64();
+  EXPECT_EQ(x, a0_again.next_u64());  // same (seed, id) → same stream
+  EXPECT_NE(x, a1.next_u64());        // different id → different stream
+  EXPECT_NE(x, b0.next_u64());        // different seed → different stream
+}
+
+// ---- TaskGraph -----------------------------------------------------------
+
+TEST_F(ExecTaskGraph, RespectsDependencyOrder) {
+  me::Pool pool(4);
+  me::TaskGraph graph;
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  // Diamond over a chain:  0 → {1, 2} → 3 → 4.
+  const auto a = graph.add("a", [&] { record(0); });
+  const auto b = graph.add("b", [&] { record(1); }, {a});
+  const auto c = graph.add("c", [&] { record(2); }, {a});
+  const auto d = graph.add("d", [&] { record(3); }, {b, c});
+  graph.add("e", [&] { record(4); }, {d});
+  graph.run(pool);
+
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](int id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+  EXPECT_LT(pos(3), pos(4));
+}
+
+TEST_F(ExecTaskGraph, WideGraphRunsEveryNode) {
+  me::Pool pool(4);
+  me::TaskGraph graph;
+  std::atomic<int> ran{0};
+  const auto root = graph.add("root", [&] { ran++; });
+  std::vector<me::TaskGraph::NodeId> mids;
+  for (int i = 0; i < 50; ++i)
+    mids.push_back(graph.add("mid", [&] { ran++; }, {root}));
+  graph.add("sink", [&] { ran++; }, mids);
+  graph.run(pool);
+  EXPECT_EQ(ran.load(), 52);
+}
+
+TEST_F(ExecTaskGraph, FailedNodeSkipsDownstreamAndRethrows) {
+  me::Pool pool(2);
+  me::TaskGraph graph;
+  std::atomic<int> ran{0};
+  const auto a = graph.add("a", [&] { ran++; });
+  const auto bad =
+      graph.add("bad", [&] { throw std::runtime_error("node"); }, {a});
+  graph.add("after_bad", [&] { ran++; }, {bad});   // must not run
+  graph.add("sibling", [&] { ran++; }, {a});       // unaffected branch
+  EXPECT_THROW(graph.run(pool), std::runtime_error);
+  EXPECT_EQ(ran.load(), 2);  // a + sibling
+}
+
+TEST_F(ExecTaskGraph, RejectsForwardDeps) {
+  me::TaskGraph graph;
+  EXPECT_THROW(graph.add("x", [] {}, {0}), mu::Error);
+}
+
+// ---- FlowCache -----------------------------------------------------------
+
+TEST_F(ExecFlowCache, HitOnIdenticalKeyMissOnDifferent) {
+  const auto nl = tiny();
+  me::FlowCache cache(8);
+  const auto opt = tiny_opts();
+
+  auto r1 = cache.get_or_run(nl, mc::Config::TwoD12T, opt);
+  auto r2 = cache.get_or_run(nl, mc::Config::TwoD12T, opt);
+  EXPECT_EQ(r1.get(), r2.get());  // same shared result object
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Any knob change is a different key.
+  auto opt2 = opt;
+  opt2.clock_period_ns *= 1.25;
+  cache.get_or_run(nl, mc::Config::TwoD12T, opt2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // A different config is a different key.
+  cache.get_or_run(nl, mc::Config::TwoD9T, opt);
+  EXPECT_EQ(cache.stats().misses, 3u);
+
+  // A structurally different netlist is a different key.
+  cache.get_or_run(tiny("ldpc", 0.04), mc::Config::TwoD12T, opt);
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST_F(ExecFlowCache, EvictsLeastRecentlyUsed) {
+  const auto nl = tiny();
+  me::FlowCache cache(2);
+  auto o1 = tiny_opts(1.0), o2 = tiny_opts(1.1), o3 = tiny_opts(1.2);
+  cache.get_or_run(nl, mc::Config::TwoD12T, o1);
+  cache.get_or_run(nl, mc::Config::TwoD12T, o2);
+  cache.get_or_run(nl, mc::Config::TwoD12T, o1);  // o1 now most recent
+  cache.get_or_run(nl, mc::Config::TwoD12T, o3);  // evicts o2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.lookup(nl, mc::Config::TwoD12T, o1), nullptr);
+  EXPECT_EQ(cache.lookup(nl, mc::Config::TwoD12T, o2), nullptr);
+  EXPECT_NE(cache.lookup(nl, mc::Config::TwoD12T, o3), nullptr);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(ExecFlowCache, ConcurrentSameKeyComputesOnce) {
+  const auto nl = tiny();
+  me::FlowCache cache(8);
+  me::Pool pool(4);
+  const auto opt = tiny_opts();
+  std::vector<std::future<me::FlowCache::ResultPtr>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(pool.submit(
+        [&] { return cache.get_or_run(nl, mc::Config::TwoD12T, opt); }));
+  std::set<const mc::FlowResult*> distinct;
+  for (auto& f : futures) distinct.insert(pool.get(std::move(f)).get());
+  EXPECT_EQ(distinct.size(), 1u);  // one computation, everyone shares it
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits + s.joins, 7u);
+}
+
+TEST_F(ExecFlowCache, FingerprintSeparatesNetlists) {
+  const auto a = tiny("aes", 0.04);
+  const auto b = tiny("ldpc", 0.04);
+  EXPECT_EQ(me::FlowCache::fingerprint(a), me::FlowCache::fingerprint(a));
+  EXPECT_NE(me::FlowCache::fingerprint(a), me::FlowCache::fingerprint(b));
+
+  auto c = a;
+  c.net(0).activity += 0.01;  // any structural/electrical change shows up
+  EXPECT_NE(me::FlowCache::fingerprint(a), me::FlowCache::fingerprint(c));
+}
+
+// ---- run_sweep determinism ----------------------------------------------
+
+TEST_F(ExecSweep, ResultsIdenticalAtOneAndManyThreads) {
+  // The acceptance property of the whole subsystem: a sweep fanned across
+  // many workers is bit-identical to the serial sweep. Uses the real
+  // bench path (build → frequency search → flows) at a tiny scale.
+  setenv("M3D_BENCH_SCALE", "0.04", 1);
+
+  m3d::bench::SweepOptions serial;
+  serial.netlists = {"aes"};
+  serial.configs = {mc::Config::TwoD12T, mc::Config::Hetero3D};
+  serial.threads = 1;
+  me::FlowCache cache_serial(16);
+  serial.cache = &cache_serial;
+
+  auto parallel = serial;
+  const int hw = me::Pool::default_threads();
+  parallel.threads = hw > 1 ? hw : 4;
+  me::FlowCache cache_parallel(16);
+  parallel.cache = &cache_parallel;
+
+  const auto a = m3d::bench::run_sweep(serial);
+  const auto b = m3d::bench::run_sweep(parallel);
+  unsetenv("M3D_BENCH_SCALE");
+
+  ASSERT_EQ(a.size(), b.size());
+  std::vector<mc::DesignMetrics> ma, mb;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].netlist, b[i].netlist);
+    EXPECT_EQ(a[i].cfg, b[i].cfg);
+    EXPECT_EQ(a[i].period_ns, b[i].period_ns);  // exact, not approximate
+    ma.push_back(a[i].metrics());
+    mb.push_back(b[i].metrics());
+  }
+  // Byte-identical CSV renderings — the strongest equality we can state.
+  EXPECT_EQ(m3d::io::metrics_csv(ma), m3d::io::metrics_csv(mb));
+}
+
+// ---- trace sink ----------------------------------------------------------
+
+TEST_F(ExecTrace, EmitsParseableChromeTrace) {
+  const std::string path = ::testing::TempDir() + "m3d_trace_test.json";
+  mu::trace_begin(path);
+  {
+    mu::TraceSpan outer("outer", "detail \"quoted\"");
+    mu::TraceSpan inner("inner");
+    mu::trace_counter("counter", 3.5);
+    mu::trace_instant("marker");
+  }
+  mu::trace_end();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaping
+  // Balanced braces/brackets — cheap structural sanity of the JSON.
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char ch : json) {
+    if (escaped) { escaped = false; continue; }
+    if (ch == '\\') { escaped = true; continue; }
+    if (ch == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (ch == '{' || ch == '[') depth++;
+    if (ch == '}' || ch == ']') depth--;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+
+  // Flow stages appear as spans when tracing wraps a flow.
+  mu::trace_begin(path);
+  { mc::run_flow(tiny(), mc::Config::Hetero3D, tiny_opts()); }
+  mu::trace_end();
+  std::ifstream in2(path);
+  ASSERT_TRUE(in2.good());
+  std::stringstream ss2;
+  ss2 << in2.rdbuf();
+  const std::string flow_json = ss2.str();
+  for (const char* stage :
+       {"\"flow\"", "\"synth\"", "\"place\"", "\"partition\"",
+        "\"post_place_opt\"", "\"cts\"", "\"post_cts_opt\"",
+        "\"repartition_eco\"", "\"finalize\""})
+    EXPECT_NE(flow_json.find(stage), std::string::npos) << stage;
+  std::remove(path.c_str());
+}
