@@ -2,10 +2,20 @@
 // routing estimation, FM partitioning, global placement and CTS. These
 // quantify the engine itself (not the paper's results) and guard against
 // performance regressions.
+//
+// Threaded variants take Args({scale_x100, threads}) and run the kernel on
+// an explicit exec::Pool of that size (NOT google-benchmark's ->Threads(),
+// which would run the *benchmark body* on several caller threads — here a
+// single caller hands work to a worker pool, which is how the flow uses
+// these kernels). Every kernel is byte-identical across pool sizes, so the
+// threaded rows measure pure scheduling/scaling behaviour.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cts/cts.hpp"
+#include "exec/pool.hpp"
 #include "gen/designs.hpp"
 #include "netlist/design.hpp"
 #include "part/fm.hpp"
@@ -95,6 +105,121 @@ void BM_ClockTree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClockTree)->Arg(10)->Arg(25);
+
+// ---- threaded variants ---------------------------------------------------
+
+void BM_StaFullThreaded(benchmark::State& state) {
+  const auto d = placed_design(state.range(0) / 100.0, false);
+  const auto routes = route::route_design(d);
+  exec::Pool pool(static_cast<int>(state.range(1)));
+  sta::StaOptions opt;
+  opt.pool = &pool;
+  for (auto _ : state) {
+    sta::Sta engine(d, &routes, opt);
+    benchmark::DoNotOptimize(engine.run().wns());
+  }
+  state.SetItemsProcessed(state.iterations() * d.nl().pin_count());
+}
+BENCHMARK(BM_StaFullThreaded)
+    ->Args({200, 1})
+    ->Args({200, 2})
+    ->Args({200, 4})
+    ->Args({400, 1})
+    ->Args({400, 4});
+
+void BM_GlobalPlaceThreaded(benchmark::State& state) {
+  util::set_log_level(util::LogLevel::Error);
+  gen::GenOptions g;
+  g.scale = state.range(0) / 100.0;
+  const auto nl = gen::make_netcard(g);
+  exec::Pool pool(static_cast<int>(state.range(1)));
+  place::PlaceOptions popt;
+  popt.pool = &pool;
+  for (auto _ : state) {
+    netlist::Design d(nl, tech::make_12track());
+    place::init_floorplan(d, popt);
+    place::global_place(d, popt);
+    benchmark::DoNotOptimize(d.pos(0).x);
+  }
+}
+BENCHMARK(BM_GlobalPlaceThreaded)
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4});
+
+void BM_BinFmThreaded(benchmark::State& state) {
+  exec::Pool pool(static_cast<int>(state.range(1)));
+  part::FmOptions fopt;
+  fopt.pool = &pool;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto d = placed_design(state.range(0) / 100.0, true);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(part::bin_fm_partition(d, fopt));
+  }
+}
+BENCHMARK(BM_BinFmThreaded)->Args({25, 1})->Args({25, 4});
+
+// ---- incremental vs full STA (the ECO inner loop) ------------------------
+
+/// One repartition-ECO-style iteration: flip K std cells to the other
+/// tier, patch the incident routes, re-time. The incremental variant
+/// retimes only the dirty cones; the full variant re-routes and re-runs
+/// STA from scratch — exactly what the ECO loop did before Sta::retime().
+void BM_EcoIterationRetime(benchmark::State& state) {
+  auto d = placed_design(state.range(0) / 100.0, true);
+  auto routes = route::route_design(d);
+  sta::Sta engine(d, &routes);
+  engine.run();
+  std::vector<netlist::CellId> movers;
+  for (netlist::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (cc.is_comb() || cc.is_sequential()) movers.push_back(c);
+  }
+  const int k = static_cast<int>(state.range(1));
+  std::size_t at = 0;
+  for (auto _ : state) {
+    std::vector<netlist::CellId> moved;
+    moved.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      const netlist::CellId c = movers[at++ % movers.size()];
+      d.set_tier(c, 1 - d.tier(c));
+      moved.push_back(c);
+    }
+    route::update_routes_for_cells(d, moved, &routes);
+    benchmark::DoNotOptimize(engine.retime(moved).wns());
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_EcoIterationRetime)
+    ->Args({25, 20})
+    ->Args({50, 20})
+    ->Args({50, 100});
+
+void BM_EcoIterationFull(benchmark::State& state) {
+  auto d = placed_design(state.range(0) / 100.0, true);
+  std::vector<netlist::CellId> movers;
+  for (netlist::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (cc.is_comb() || cc.is_sequential()) movers.push_back(c);
+  }
+  const int k = static_cast<int>(state.range(1));
+  std::size_t at = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < k; ++i) {
+      const netlist::CellId c = movers[at++ % movers.size()];
+      d.set_tier(c, 1 - d.tier(c));
+    }
+    auto routes = route::route_design(d);
+    auto r = sta::run_sta(d, &routes);
+    benchmark::DoNotOptimize(r.wns());
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_EcoIterationFull)
+    ->Args({25, 20})
+    ->Args({50, 20})
+    ->Args({50, 100});
 
 void BM_NldmLookup(benchmark::State& state) {
   const auto lib = tech::make_12track();

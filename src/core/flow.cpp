@@ -35,9 +35,7 @@ bool config_is_3d(Config c) {
          c == Config::Hetero3D;
 }
 
-namespace {
-
-Design make_design(const Netlist& nl, Config cfg) {
+Design design_for_config(const Netlist& nl, Config cfg) {
   switch (cfg) {
     case Config::TwoD9T:
       return Design(nl, tech::make_9track());
@@ -54,13 +52,29 @@ Design make_design(const Netlist& nl, Config cfg) {
   return Design(nl, tech::make_12track());
 }
 
+namespace {
+
+/// Propagate the flow-level pool into every nested options struct that
+/// carries its own, unless the caller already named one there.
+FlowOptions with_pool(FlowOptions o) {
+  if (o.pool == nullptr) return o;
+  if (o.place.pool == nullptr) o.place.pool = o.pool;
+  if (o.fm.pool == nullptr) o.fm.pool = o.pool;
+  if (o.timing_part.fm.pool == nullptr) o.timing_part.fm.pool = o.pool;
+  if (o.opt.sta.pool == nullptr) o.opt.sta.pool = o.pool;
+  if (o.repart.sta.pool == nullptr) o.repart.sta.pool = o.pool;
+  return o;
+}
+
 /// Final analysis common to all flows: route, time, power, metrics.
 void finalize(FlowResult& res, const cts::ClockTreeReport& clock,
-              const std::string& nl_name, Config cfg) {
+              const std::string& nl_name, Config cfg, exec::Pool* pool) {
   util::TraceSpan span("finalize", nl_name);
   Design& d = res.design;
   const auto routes = route::route_design(d);
-  const auto timing = sta::run_sta(d, &routes);
+  sta::StaOptions sopt;
+  sopt.pool = pool;
+  const auto timing = sta::run_sta(d, &routes, sopt);
   const auto pw =
       power::analyze_power(d, &routes, 1.0 / d.clock_period_ns());
   res.metrics = collect_metrics(d, routes, timing, pw, clock, nl_name,
@@ -84,12 +98,13 @@ part::FmOptions macro_aware_fm(const Design& d, part::FmOptions fm,
 
 }  // namespace
 
-FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
+FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
+  const FlowOptions opt = with_pool(opt_in);
   util::TraceSpan flow_span(
       "flow", std::string(config_name(cfg)) + " " + nl.name());
   util::log_info("=== flow ", config_name(cfg), " on ", nl.name(), " @ ",
                  1.0 / opt.clock_period_ns, " GHz ===");
-  FlowResult res(make_design(nl, cfg));
+  FlowResult res(design_for_config(nl, cfg));
   Design& d = res.design;
   d.set_clock_period_ns(opt.clock_period_ns);
 
@@ -127,7 +142,9 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
       // partitioning would scatter it at ~2x density and wreck the
       // placement. Legality only exists per tier, after the fold.
       const auto routes = route::route_design(d);
-      const auto timing = sta::run_sta(d, &routes);
+      sta::StaOptions sopt;
+      sopt.pool = opt.pool;
+      const auto timing = sta::run_sta(d, &routes, sopt);
       if (opt.enable_timing_partition) {
         part::TimingPartitionOptions tp = opt.timing_part;
         tp.fm = fm;
@@ -218,7 +235,9 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
     // second ECO pass pulls back anything that turned critical anyway.
     {
       const auto routes = route::route_design(d);
-      const auto timing = sta::run_sta(d, &routes);
+      sta::StaOptions sopt;
+      sopt.pool = opt.pool;
+      const auto timing = sta::run_sta(d, &routes, sopt);
       part::rebalance_to_top(d, timing, 0.05 * d.clock_period_ns(),
                              opt.utilization);
     }
@@ -236,7 +255,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt) {
     clock = cts::annotate_clock_latencies(d);
   }
 
-  finalize(res, clock, nl.name(), cfg);
+  finalize(res, clock, nl.name(), cfg, opt.pool);
   util::log_info("=== ", config_name(cfg), " done: wns ",
                  res.metrics.wns_ns, " ns, power ",
                  res.metrics.total_power_mw, " mW, WL ",

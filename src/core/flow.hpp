@@ -34,6 +34,7 @@
 #include "place/place.hpp"
 
 namespace m3d::exec {
+class Pool;
 struct Ctx;  // exec/flow_cache.hpp — pool + cache execution context
 }
 
@@ -69,6 +70,14 @@ struct FlowOptions {
   /// cell-based sweep (criticality ablation).
   bool path_based_criticality = false;
   int path_based_paths = 100;
+
+  /// Worker pool for the parallel kernels inside every stage (STA level
+  /// propagation, placement relaxation/spreading, FM gain initialization);
+  /// nullptr means exec::Pool::global(). Propagated into every nested
+  /// options struct that carries its own pool, unless that struct already
+  /// names one. Flow results are byte-identical for any pool size, so pool
+  /// fields are deliberately NOT part of exec::FlowCache::options_hash.
+  exec::Pool* pool = nullptr;
 };
 
 /// Everything a flow run produces.
@@ -81,6 +90,11 @@ struct FlowResult {
 
   FlowResult(netlist::Design d) : design(std::move(d)) {}
 };
+
+/// Construct the Design (tier count + libraries) for a configuration —
+/// exactly the mapping run_flow starts from. Exposed so the disk flow
+/// cache can rebuild a Design to deserialize cached state into.
+netlist::Design design_for_config(const netlist::Netlist& nl, Config cfg);
 
 /// Run the complete RTL-to-"GDS" flow for one configuration.
 FlowResult run_flow(const netlist::Netlist& nl, Config cfg,

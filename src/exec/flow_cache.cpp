@@ -106,6 +106,9 @@ std::uint64_t FlowCache::fingerprint(const netlist::Netlist& nl) {
 }
 
 std::uint64_t FlowCache::options_hash(const core::FlowOptions& o) {
+  // Pool pointers (FlowOptions::pool and the nested place/fm/sta pools)
+  // are deliberately NOT mixed: flow results are byte-identical for any
+  // pool size, so two runs differing only in worker pool share one entry.
   Hasher h;
   h.mix(o.clock_period_ns);
   h.mix(o.utilization);
@@ -208,12 +211,21 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
   if (existing.valid()) return existing.get();
 
   // Compute outside the lock; concurrent same-key requesters join on the
-  // shared future.
+  // shared future. The disk tier is consulted first: a persisted entry
+  // from an earlier process deserializes in a fraction of a flow run.
   try {
-    auto result =
-        std::make_shared<core::FlowResult>(core::run_flow(nl, cfg, opt));
+    ResultPtr result = disk_load(key, cfg);
+    const bool from_disk = result != nullptr;
+    bool wrote_disk = false;
+    if (!result) {
+      result =
+          std::make_shared<core::FlowResult>(core::run_flow(nl, cfg, opt));
+      wrote_disk = disk_store(key, *result);
+    }
     promise.set_value(result);
     std::lock_guard<std::mutex> lock(mu_);
+    if (from_disk) ++stats_.disk_hits;
+    if (wrote_disk) ++stats_.disk_writes;
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.ready = true;

@@ -26,6 +26,16 @@
 /// evicted. Results are handed out as shared_ptr<const FlowResult>, so an
 /// evicted result stays alive for holders.
 ///
+/// Disk tier: when M3D_FLOW_CACHE_DIR names a directory, every computed
+/// flow is also persisted there (one file per key, written atomically via
+/// temp-file + rename) and a memory miss first tries to deserialize the
+/// keyed file — so sweeps survive process restarts and parallel drivers
+/// share work. The file stores the result netlist as a replayable build
+/// script plus the design state; metrics are recomputed on load from the
+/// restored design (flows are deterministic, so they match the original
+/// run exactly). A load that fails validation (bad magic/version/key or a
+/// fingerprint mismatch after replay) falls back to computing.
+///
 /// NOTE: flow_cache.cpp is compiled into m3d_core (it calls run_flow);
 /// the header lives with the rest of the exec subsystem it belongs to.
 
@@ -44,6 +54,8 @@ struct FlowCacheStats {
   std::uint64_t joins = 0;       ///< attached to an in-flight computation
   std::uint64_t misses = 0;      ///< computed here
   std::uint64_t evictions = 0;
+  std::uint64_t disk_hits = 0;   ///< deserialized from M3D_FLOW_CACHE_DIR
+  std::uint64_t disk_writes = 0; ///< persisted to M3D_FLOW_CACHE_DIR
 };
 
 class FlowCache {
@@ -74,6 +86,9 @@ class FlowCache {
   /// M3D_FLOW_CACHE_CAP if set and positive, else 64.
   static std::size_t default_capacity();
 
+  /// M3D_FLOW_CACHE_DIR, or empty when disk persistence is disabled.
+  static std::string disk_dir();
+
   /// Structural hash of a netlist: name, blocks, cells (function, drive,
   /// kind, block), nets (pins, driver, activity, clock flag) and pins.
   static std::uint64_t fingerprint(const netlist::Netlist& nl);
@@ -101,6 +116,11 @@ class FlowCache {
   };
 
   void evict_locked();
+
+  // Disk tier (flow_cache_disk.cpp). disk_load returns nullptr on any
+  // miss/validation failure; disk_store returns whether a file landed.
+  ResultPtr disk_load(const Key& key, core::Config cfg) const;
+  bool disk_store(const Key& key, const core::FlowResult& res) const;
 
   const std::size_t capacity_;
   mutable std::mutex mu_;

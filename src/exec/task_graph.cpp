@@ -81,9 +81,15 @@ void TaskGraph::run(Pool& pool) {
     });
   };
 
+  // Seed the roots from the immutable dependency counts, NOT the live
+  // atomics: once release(0) is posted, workers may drain its whole
+  // downstream cone (decrementing successors' unmet counters to zero)
+  // while this scan is still running, and reading the live counter here
+  // would then release those nodes a second time. A node with
+  // unmet_deps == 0 is never anyone's successor-decrement target, so this
+  // releases each root exactly once.
   for (int i = 0; i < n; ++i)
-    if (st->unmet[static_cast<std::size_t>(i)].load() == 0)
-      release(i);
+    if (nodes_[static_cast<std::size_t>(i)].unmet_deps == 0) release(i);
 
   // The calling thread works the pool until the graph drains.
   pool.help_until([&] { return st->settled.load() >= n; });

@@ -113,6 +113,9 @@ int insert_wire_repeaters(Design& d, double max_seg_um, int drive) {
     const auto sinks = nl.sinks(n);
     const Point drv_pos = d.pin_pos(net.driver);
     const int drv_tier = d.tier(nl.pin(net.driver).cell);
+    // Copy before add_comb/add_net below: they may reallocate the net
+    // array and invalidate `net`.
+    const double activity = net.activity;
 
     // Collect the sinks whose tree path is too long; one repeater serves
     // all of them (placed at their centroid's midpoint toward the driver).
@@ -132,7 +135,7 @@ int insert_wire_repeaters(Design& d, double max_seg_um, int drive) {
                                    tech::CellFunc::Buf, drive,
                                    nl.cell(nl.pin(net.driver).cell).block);
     const NetId rnet = nl.add_net("wrepnet_" + std::to_string(n));
-    nl.net(rnet).activity = net.activity;
+    nl.net(rnet).activity = activity;
     for (PinId s : far) {
       nl.disconnect(s);
       nl.connect(rnet, s);

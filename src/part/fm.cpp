@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
+#include "exec/pool.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::part {
 
@@ -281,17 +284,37 @@ int FmEngine::run() {
   rebuild_counts();
   int cut = current_cut();
 
+  exec::Pool& pool =
+      opt_.pool != nullptr ? *opt_.pool : exec::Pool::global();
+  const int nc = nl_.cell_count();
+  const bool tracing = util::trace_enabled();
+  constexpr int kParallelMin = 2048;
+
   for (int pass = 0; pass < opt_.max_passes; ++pass) {
+    util::TraceSpan pass_span("fm_pass",
+                              tracing ? std::to_string(pass) : std::string());
     // Per-side gain-ordered candidate sets: (-gain, cell). Two buckets so
     // that balance saturation on one side never starves the other —
     // the classic FM arrangement.
     std::set<std::pair<int, CellId>> bucket[2];
-    std::vector<int> gain(static_cast<std::size_t>(nl_.cell_count()), 0);
+    std::vector<int> gain(static_cast<std::size_t>(nc), 0);
     std::vector<char> locked_in_pass(
-        static_cast<std::size_t>(nl_.cell_count()), 0);
-    for (CellId c = 0; c < nl_.cell_count(); ++c) {
+        static_cast<std::size_t>(nc), 0);
+    // Initial gains are independent integer computations over frozen net
+    // counts — each cell writes only its own slot, so the parallel pass is
+    // exactly the serial one. Bucket insertion stays serial and id-ordered.
+    if (nc >= kParallelMin && pool.size() > 1) {
+      pool.parallel_for(0, nc, [&](int ci) {
+        if (movable_[static_cast<std::size_t>(ci)])
+          gain[static_cast<std::size_t>(ci)] = gain_of(ci);
+      }, /*grain=*/256);
+    } else {
+      for (CellId c = 0; c < nc; ++c)
+        if (movable_[static_cast<std::size_t>(c)])
+          gain[static_cast<std::size_t>(c)] = gain_of(c);
+    }
+    for (CellId c = 0; c < nc; ++c) {
       if (!movable_[static_cast<std::size_t>(c)]) continue;
-      gain[static_cast<std::size_t>(c)] = gain_of(c);
       bucket[d_.tier(c)].insert({-gain[static_cast<std::size_t>(c)], c});
     }
 

@@ -18,6 +18,10 @@
 
 #include "netlist/design.hpp"
 
+namespace m3d::exec {
+class Pool;
+}
+
 namespace m3d::part {
 
 using netlist::CellId;
@@ -31,6 +35,11 @@ struct FmOptions {
   int max_passes = 8;             ///< FM passes (each pass visits all cells)
   int bins = 8;                   ///< bin grid per axis (bin-based variant)
   unsigned seed = 1;              ///< initial-assignment seed
+  /// Worker pool for the per-pass initial gain computation; nullptr means
+  /// exec::Pool::global(). Results are identical for any pool size (gains
+  /// are integers computed independently per cell), so this field is
+  /// excluded from flow-cache option hashes.
+  exec::Pool* pool = nullptr;
 };
 
 /// Area of a standard cell if it sat on tier `t` (heterogeneity-aware).

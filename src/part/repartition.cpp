@@ -6,6 +6,7 @@
 #include "part/fm.hpp"
 #include "route/route.hpp"
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::part {
 
@@ -45,11 +46,16 @@ int rebalance_to_top(Design& d, const sta::StaResult& timing,
 
   // Batch-verified migration: move a slack-ordered batch, re-time, undo the
   // batch if WNS degraded (the 12T→9T remap costs ~2× per stage, so the
-  // slack filter alone is not a safety proof).
-  const double wns_start = [&] {
-    const auto routes = route::route_design(d);
-    return sta::run_sta(d, &routes).wns();
-  }();
+  // slack filter alone is not a safety proof). Re-timing is incremental:
+  // one Sta instance persists across batches and only the moved cells'
+  // cones (plus their re-estimated incident nets) are re-propagated.
+  route::RoutingEstimate routes = route::route_design(d);
+  sta::Sta sta(d, &routes);
+  const double wns_start = sta.run().wns();
+  auto retime_moved = [&](const std::vector<CellId>& moved_cells) {
+    route::update_routes_for_cells(d, moved_cells, &routes);
+    return sta.retime(moved_cells).wns();
+  };
   // Migration may consume positive slack and even dip negative up to the
   // paper's own acceptance band (WNS within ~7 % of the period — its
   // hetero designs all sit a few percent below zero), but never degrade an
@@ -76,8 +82,7 @@ int rebalance_to_top(Design& d, const sta::StaResult& timing,
       moved_batch.push_back(c);
     }
     if (moved_batch.empty()) break;
-    const auto routes = route::route_design(d);
-    const double wns = sta::run_sta(d, &routes).wns();
+    const double wns = retime_moved(moved_batch);
     if (wns < wns_floor) {
       // One poisoned cell fails the whole batch: undo, shrink the batch
       // and retry from the same point to isolate it.
@@ -86,6 +91,7 @@ int rebalance_to_top(Design& d, const sta::StaResult& timing,
         bottom += cell_area_on(d, c, kBottomTier) / utilization;
         top -= cell_area_on(d, c, kTopTier) / utilization;
       }
+      retime_moved(moved_batch);
       if (batch <= 8) {
         // Skip the poisoned head cell and continue with small batches.
         i = batch_start + 1;
@@ -105,12 +111,17 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
   M3D_CHECK(d.num_tiers() == 2);
   RepartitionResult res;
 
-  auto time_design = [&] {
-    const auto routes = route::route_design(d);
-    return sta::run_sta(d, &routes, opt.sta);
+  // One routing estimate and one Sta persist across the whole ECO: every
+  // accept/reject re-times only the cone of the touched cells instead of
+  // re-routing and re-propagating the entire design (the dominant cost of
+  // Algorithm 1 as designs grow).
+  route::RoutingEstimate routes = route::route_design(d);
+  sta::Sta sta(d, &routes, opt.sta);
+  const sta::StaResult& timing = sta.run();
+  auto retime_moved = [&](const std::vector<CellId>& moved_cells) {
+    route::update_routes_for_cells(d, moved_cells, &routes);
+    sta.retime(moved_cells);
   };
-
-  sta::StaResult timing = time_design();
   res.wns_before = timing.wns();
   res.tns_before = timing.tns();
   double wns = res.wns_before;
@@ -195,10 +206,13 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
       area_removed += cell_area_on(d, c, kBottomTier);
     }
 
-    // Move to the fast die (ECO), swap counterweights up, re-time.
+    // Move to the fast die (ECO), swap counterweights up, re-time
+    // incrementally over the touched cells' cones.
+    std::vector<CellId> touched = move_list;
+    touched.insert(touched.end(), counter_list.begin(), counter_list.end());
     for (CellId c : move_list) d.set_tier(c, kBottomTier);
     for (CellId c : counter_list) d.set_tier(c, kTopTier);
-    timing = time_design();
+    retime_moved(touched);
     const double new_wns = timing.wns();
     const double new_tns = timing.tns();
 
@@ -208,7 +222,7 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
       for (CellId c : counter_list) d.set_tier(c, kBottomTier);
       res.moves_undone += static_cast<int>(move_list.size());
       d_k *= opt.alpha;
-      timing = time_design();
+      retime_moved(touched);
       util::log_debug("repartition iter ", res.iterations,
                       ": undone (wns ", new_wns, " vs ", wns, "), d_k=", d_k);
     } else {
@@ -218,6 +232,16 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
       util::log_debug("repartition iter ", res.iterations, ": moved ",
                       move_list.size(), " cells (+",
                       counter_list.size(), " counterweights up), wns=", wns);
+    }
+    if (util::trace_enabled()) {
+      // ECO convergence tracks for chrome://tracing: WNS/TNS and the
+      // cumulative accepted moves, sampled once per iteration.
+      util::trace_counter("eco_wns_ns", wns);
+      util::trace_counter("eco_tns_ns", tns);
+      util::trace_counter("eco_cells_moved",
+                          static_cast<double>(res.cells_moved));
+      util::trace_counter("eco_moves_undone",
+                          static_cast<double>(res.moves_undone));
     }
   }
 

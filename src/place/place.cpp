@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <functional>
 #include <map>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "exec/pool.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::place {
 
@@ -23,6 +27,24 @@ using util::Rect;
 namespace {
 
 bool movable(const Cell& c) { return !c.fixed && !c.is_port(); }
+
+/// Serial below this many items: the kernels are deterministic either way
+/// (single-writer slots), only the scheduling overhead differs.
+constexpr int kParallelMin = 2048;
+constexpr int kParallelGrain = 256;
+/// Histogram reductions accumulate per fixed 2048-cell chunk and combine
+/// the partials serially in chunk order, so the floating-point sum is
+/// independent of the pool size (including 1).
+constexpr int kReduceChunk = 2048;
+
+void par_for(exec::Pool& pool, int n, const std::function<void(int)>& fn,
+             int grain = kParallelGrain) {
+  if (n < kParallelMin || pool.size() <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+  } else {
+    pool.parallel_for(0, n, fn, grain);
+  }
+}
 
 /// Evenly distribute ports around the floorplan perimeter.
 void place_ports(Design& d) {
@@ -141,10 +163,15 @@ void global_place(Design& d, const PlaceOptions& opt) {
   const auto& nl = d.nl();
   const Rect fp = d.floorplan();
   util::Rng rng(opt.seed);
+  exec::Pool& pool =
+      opt.pool != nullptr ? *opt.pool : exec::Pool::global();
+  const int nc = nl.cell_count();
+  const int nn = nl.net_count();
+  const bool tracing = util::trace_enabled();
 
-  // --- initial scatter ----------------------------------------------------
-  std::vector<char> mv(static_cast<std::size_t>(nl.cell_count()), 0);
-  for (CellId c = 0; c < nl.cell_count(); ++c) {
+  // --- initial scatter (serial: one shared RNG stream) --------------------
+  std::vector<char> mv(static_cast<std::size_t>(nc), 0);
+  for (CellId c = 0; c < nc; ++c) {
     if (!movable(nl.cell(c))) continue;
     mv[static_cast<std::size_t>(c)] = 1;
     d.set_pos(c, {rng.uniform(fp.xlo, fp.xhi), rng.uniform(fp.ylo, fp.yhi)});
@@ -152,25 +179,36 @@ void global_place(Design& d, const PlaceOptions& opt) {
 
   // --- net-centroid relaxation --------------------------------------------
   // x_i <- average of centroids of nets incident to i (fixed cells anchor).
-  std::vector<double> cx(static_cast<std::size_t>(nl.net_count()));
-  std::vector<double> cy(static_cast<std::size_t>(nl.net_count()));
-  std::vector<int> cn(static_cast<std::size_t>(nl.net_count()));
+  // Both passes are single-writer — each net owns its centroid slot, each
+  // cell its position — and the update is Jacobi-style (centroids are
+  // frozen while cells move), so the parallel result is byte-identical to
+  // the serial one.
+  std::vector<double> cx(static_cast<std::size_t>(nn));
+  std::vector<double> cy(static_cast<std::size_t>(nn));
+  std::vector<int> cn(static_cast<std::size_t>(nn));
   for (int iter = 0; iter < opt.relax_iters; ++iter) {
-    std::fill(cx.begin(), cx.end(), 0.0);
-    std::fill(cy.begin(), cy.end(), 0.0);
-    std::fill(cn.begin(), cn.end(), 0);
-    for (NetId n = 0; n < nl.net_count(); ++n) {
+    util::TraceSpan pass_span("relax_pass",
+                              tracing ? std::to_string(iter) : std::string());
+    par_for(pool, nn, [&](int ni) {
+      const NetId n = ni;
+      double x = 0.0, y = 0.0;
+      int k = 0;
       const auto& net = nl.net(n);
-      if (net.is_clock) continue;  // CTS owns the clock topology
-      for (PinId p : net.pins) {
-        const Point q = d.pin_pos(p);
-        cx[static_cast<std::size_t>(n)] += q.x;
-        cy[static_cast<std::size_t>(n)] += q.y;
-        ++cn[static_cast<std::size_t>(n)];
+      if (!net.is_clock) {  // CTS owns the clock topology
+        for (PinId p : net.pins) {
+          const Point q = d.pin_pos(p);
+          x += q.x;
+          y += q.y;
+          ++k;
+        }
       }
-    }
-    for (CellId c = 0; c < nl.cell_count(); ++c) {
-      if (!mv[static_cast<std::size_t>(c)]) continue;
+      cx[static_cast<std::size_t>(n)] = x;
+      cy[static_cast<std::size_t>(n)] = y;
+      cn[static_cast<std::size_t>(n)] = k;
+    });
+    par_for(pool, nc, [&](int ci) {
+      const CellId c = ci;
+      if (!mv[static_cast<std::size_t>(c)]) return;
       double sx = 0.0, sy = 0.0;
       int k = 0;
       for (PinId p : nl.cell(c).pins) {
@@ -184,26 +222,46 @@ void global_place(Design& d, const PlaceOptions& opt) {
         sy += (cy[static_cast<std::size_t>(n)] - self.y) / (cnt - 1);
         ++k;
       }
-      if (k == 0) continue;
+      if (k == 0) return;
       d.set_pos(c, fp.clamp({sx / k, sy / k}));
-    }
+    });
   }
 
   // --- density spreading: per-axis histogram equalization ------------------
   const int g = std::max(4, opt.grid);
+  const int nchunks = (nc + kReduceChunk - 1) / kReduceChunk;
+  std::vector<std::vector<double>> chunk_mass(
+      static_cast<std::size_t>(nchunks),
+      std::vector<double>(static_cast<std::size_t>(g), 0.0));
   for (int pass = 0; pass < opt.spread_iters; ++pass) {
     for (int axis = 0; axis < 2; ++axis) {
+      util::TraceSpan pass_span(
+          "spread_pass", tracing ? std::to_string(pass) + (axis == 0 ? "/x" : "/y")
+                                 : std::string());
       const double lo = axis == 0 ? fp.xlo : fp.ylo;
       const double hi = axis == 0 ? fp.xhi : fp.yhi;
       const double span = hi - lo;
+      // Per-chunk partial histograms over fixed cell-id ranges, combined
+      // serially in chunk order: the reduction order — and therefore the
+      // floating-point result — does not depend on the pool size.
+      par_for(pool, nchunks, [&](int chunk) {
+        auto& m = chunk_mass[static_cast<std::size_t>(chunk)];
+        std::fill(m.begin(), m.end(), 0.0);
+        const int c_end = std::min(nc, (chunk + 1) * kReduceChunk);
+        for (CellId c = chunk * kReduceChunk; c < c_end; ++c) {
+          if (!mv[static_cast<std::size_t>(c)]) continue;
+          const double v = axis == 0 ? d.pos(c).x : d.pos(c).y;
+          int b = static_cast<int>((v - lo) / span * g);
+          b = std::clamp(b, 0, g - 1);
+          m[static_cast<std::size_t>(b)] += d.cell_area(c);
+        }
+      }, /*grain=*/1);
       std::vector<double> mass(static_cast<std::size_t>(g), 0.0);
-      for (CellId c = 0; c < nl.cell_count(); ++c) {
-        if (!mv[static_cast<std::size_t>(c)]) continue;
-        const double v = axis == 0 ? d.pos(c).x : d.pos(c).y;
-        int b = static_cast<int>((v - lo) / span * g);
-        b = std::clamp(b, 0, g - 1);
-        mass[static_cast<std::size_t>(b)] += d.cell_area(c);
-      }
+      for (int chunk = 0; chunk < nchunks; ++chunk)
+        for (int b = 0; b < g; ++b)
+          mass[static_cast<std::size_t>(b)] +=
+              chunk_mass[static_cast<std::size_t>(chunk)]
+                        [static_cast<std::size_t>(b)];
       std::vector<double> cum(static_cast<std::size_t>(g) + 1, 0.0);
       for (int b = 0; b < g; ++b)
         cum[static_cast<std::size_t>(b) + 1] =
@@ -211,10 +269,12 @@ void global_place(Design& d, const PlaceOptions& opt) {
             mass[static_cast<std::size_t>(b)];
       const double total = cum.back();
       if (total <= 0.0) continue;
-      // Blend toward the equalized coordinate to avoid oscillation.
+      // Blend toward the equalized coordinate to avoid oscillation. Each
+      // cell reads the frozen histogram and writes only its own position.
       const double blend = 0.5;
-      for (CellId c = 0; c < nl.cell_count(); ++c) {
-        if (!mv[static_cast<std::size_t>(c)]) continue;
+      par_for(pool, nc, [&](int ci) {
+        const CellId c = ci;
+        if (!mv[static_cast<std::size_t>(c)]) return;
         Point p = d.pos(c);
         const double v = axis == 0 ? p.x : p.y;
         double f = (v - lo) / span * g;
@@ -231,7 +291,7 @@ void global_place(Design& d, const PlaceOptions& opt) {
         else
           p.y = nv;
         d.set_pos(c, fp.clamp(p));
-      }
+      });
     }
   }
   util::log_info("global place done");

@@ -16,6 +16,10 @@
 
 #include "netlist/design.hpp"
 
+namespace m3d::exec {
+class Pool;
+}
+
 namespace m3d::place {
 
 using netlist::CellId;
@@ -29,6 +33,11 @@ struct PlaceOptions {
   int spread_iters = 3;       ///< histogram-equalization passes
   int grid = 24;              ///< spreading grid resolution per axis
   unsigned seed = 1;          ///< initial-placement scatter seed
+  /// Worker pool for the relaxation/spreading passes; nullptr means
+  /// exec::Pool::global(). Placements are byte-identical for any pool size
+  /// (single-writer updates; histogram reductions use fixed chunk
+  /// boundaries), so this field is excluded from flow-cache option hashes.
+  exec::Pool* pool = nullptr;
 };
 
 /// Size the floorplan from cell/macro area and target utilization, pin the

@@ -120,6 +120,27 @@ RoutingEstimate route_design(const Design& d) {
   return est;
 }
 
+void update_routes_for_cells(const Design& d, const std::vector<CellId>& cells,
+                             RoutingEstimate* est) {
+  const auto& nl = d.nl();
+  std::vector<char> net_seen(static_cast<std::size_t>(nl.net_count()), 0);
+  for (CellId c : cells)
+    for (PinId p : nl.cell(c).pins) {
+      const NetId n = nl.pin(p).net;
+      if (n == netlist::kInvalidId || net_seen[static_cast<std::size_t>(n)])
+        continue;
+      net_seen[static_cast<std::size_t>(n)] = 1;
+      NetRoute& slot = est->nets[static_cast<std::size_t>(n)];
+      const double old_len = slot.length_um;
+      const int old_mivs = slot.miv_count;
+      slot = route_net(d, n);
+      est->total_wirelength_um += slot.length_um - old_len;
+      est->total_mivs += slot.miv_count - old_mivs;
+    }
+  const double cap = routing_capacity_um(d);
+  est->congestion = cap > 0.0 ? est->total_wirelength_um / cap : 0.0;
+}
+
 double routing_capacity_um(const Design& d, double track_pitch_um) {
   // Each signal layer offers (area / pitch) µm of track; both tiers route
   // with the same 6-layer stack (paper §IV-A1).

@@ -54,6 +54,15 @@ NetRoute route_net(const Design& d, NetId n);
 /// Route every net and compute aggregate metrics.
 RoutingEstimate route_design(const Design& d);
 
+/// Re-route only the nets incident to `cells` — the full impact set of a
+/// tier move, since positions (and thus every other net's tree) are
+/// untouched — and patch `est` in place. Per-net entries are bitwise
+/// identical to a fresh route_design(); the aggregate wirelength is
+/// adjusted incrementally (MIV count stays integer-exact) and congestion
+/// is recomputed. The ECO loop pairs this with Sta::retime().
+void update_routes_for_cells(const Design& d, const std::vector<CellId>& cells,
+                             RoutingEstimate* est);
+
 /// Routing capacity model: total available track length across the
 /// signal layers of all tiers (µm), given the floorplan and wire pitch.
 double routing_capacity_um(const Design& d, double track_pitch_um = 0.1);

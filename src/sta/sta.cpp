@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/pool.hpp"
 #include "util/check.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::sta {
 
@@ -20,65 +22,345 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kPosInf = std::numeric_limits<double>::infinity();
 constexpr double kClockPinSlew = 0.025;  // slew asserted at FF clock pins
 
+// Below this many pins a level is propagated serially; the result is the
+// same either way (single-writer gather), only the scheduling overhead
+// differs.
+constexpr int kParallelLevelMin = 192;
+constexpr int kParallelGrain = 64;
+
 int opp(int t) { return 1 - t; }
 
 }  // namespace
 
 namespace detail {
 
-/// The working state of one STA run; converted to StaResult at the end.
+/// Level-synchronous STA engine. The timing graph's static structure
+/// (participation, pin roles, topological levels, adjacency) is built once
+/// from the netlist; forward/backward propagation then visits one level at
+/// a time, computing every pin of the level in parallel. Each pin is
+/// written by exactly one task that *gathers* from its predecessors in a
+/// fixed order, so results are bitwise-identical for any pool size.
+///
+/// retime() re-propagates only the cone of a dirty cell set using
+/// level-bucketed worklists with exact (bitwise) change detection, and is
+/// bitwise-identical to a full run() — see DESIGN.md for the invariants.
 class StaEngine {
  public:
   StaEngine(const Design& d, const route::RoutingEstimate* routes,
             const StaOptions& opt)
-      : d_(d), nl_(d.nl()), routes_(routes), opt_(opt) {}
+      : d_(d),
+        nl_(d.nl()),
+        routes_(routes),
+        opt_(opt),
+        pool_(opt.pool != nullptr ? *opt.pool : exec::Pool::global()) {
+    build_structure();
+  }
 
-  StaResult run();
+  const StaResult& run();
+  const StaResult& retime(const std::vector<CellId>& dirty);
+  const StaResult& result() const { return res_; }
+  StaResult take_result() { return std::move(res_); }
 
  private:
-  // A pin participates in the data timing graph unless it belongs to the
-  // clock network (clock pins, clock nets, and clock-buffer cells).
-  bool participates(PinId p) const;
-  bool is_clock_buffer(CellId c) const;
+  /// How a pin's forward value is produced.
+  enum class Role : unsigned char {
+    kNone,     ///< not in the data graph (clock network)
+    kLaunch,   ///< in-degree 0: PI / FF Q / macro out (or dead input)
+    kNetSink,  ///< input pin fed by a participating driver through a net
+    kCombOut,  ///< output of a combinational cell, fed by its input pins
+  };
+
+  void build_structure();
+  bool pin_participates(PinId p) const;
+
+  // Gather kernels: each writes only the state of pin `p` (and, for
+  // kCombOut/kNetSink, the stored arc delays *at* `p`), reading only
+  // lower-level pins — safe to run concurrently within one level.
+  void compute_forward(PinId p);
+  void compute_required(PinId p);
+  /// Endpoint constraint at `p`: required time, setup, slack, hold slack.
+  /// Writes only this endpoint's slots.
+  void eval_endpoint(PinId p);
 
   double net_load_ff(NetId n) const;
   void net_arc(PinId driver, int sink_ordinal, PinId sink, double* delay,
                double* slew_add, bool* via_miv, double* wirelen) const;
   double arc_derate(CellId cell, PinId in_pin) const;
-
   void init_launch(PinId p);
   void eval_cell_arc(CellId c, PinId in_pin, PinId out_pin);
+
+  void compute_port_latency();
+  void run_level(const std::vector<PinId>& pins, bool forward);
+  void aggregate();
 
   const Design& d_;
   const netlist::Netlist& nl_;
   const route::RoutingEstimate* routes_;
-  const StaOptions& opt_;
+  StaOptions opt_;
+  exec::Pool& pool_;
 
-  std::vector<double> arr_[2], slew_[2], req_[2];
+  // ---- static structure (valid across tier moves) -------------------------
+  std::vector<char> part_;        // per pin: participates in the data graph
+  std::vector<char> clkbuf_;      // per cell: is a clock buffer
+  std::vector<Role> role_;        // per pin
+  std::vector<int> level_;        // per pin: topological level (-1 if none)
+  std::vector<std::vector<PinId>> levels_;  // pins per level, id-ascending
+  std::vector<PinId> drv_pin_;    // per kNetSink pin: its net driver
+  std::vector<int> sink_ord_;     // per kNetSink pin: ordinal in sinks()
+  // Per-cell input/output pin lists (CSR; avoids per-call allocation).
+  std::vector<PinId> cell_in_, cell_out_;
+  std::vector<int> cell_in_off_, cell_out_off_;
+  // Forward successors / predecessors per pin (CSR), participating only.
+  std::vector<PinId> succ_, preds_;
+  std::vector<int> succ_off_, preds_off_;
+  std::vector<PinId> ep_pins_;    // endpoint pins, id-ascending
+  std::vector<int> ep_index_;     // per pin: index into ep arrays, -1
+  std::size_t participating_ = 0;
+
+  // ---- dynamic state (res_ holds arr/req/slew/pred) -----------------------
   std::vector<double> arr_min_[2];
-  std::vector<StaResult::Pred> pred_[2];
-  // Stored forward arc delays for the exact backward (required) pass.
-  std::vector<double> net_arc_delay_;            // per sink pin
-  std::vector<std::vector<double>> cell_arc_;    // per out pin: [in*2 + T]
-  std::vector<PinId> topo_;
+  std::vector<double> net_arc_delay_;          // per sink pin
+  std::vector<std::vector<double>> cell_arc_;  // per out pin: [in*2 + T]
+  std::vector<double> ep_slack_;     // +inf = unreachable endpoint
+  std::vector<double> ep_hold_;      // +inf = no hold check at endpoint
+  std::vector<double> ep_required_;  // capture-edge required time
+  double port_latency_ = 0.0;
+  bool has_run_ = false;
+
+  StaResult res_;
 };
 
-bool StaEngine::is_clock_buffer(CellId c) const {
-  const Cell& cc = nl_.cell(c);
-  if (!cc.is_comb()) return false;
-  for (PinId p : cc.pins) {
-    const Pin& pp = nl_.pin(p);
-    if (pp.net != kInvalidId && nl_.net(pp.net).is_clock) return true;
-  }
-  return false;
-}
-
-bool StaEngine::participates(PinId p) const {
+bool StaEngine::pin_participates(PinId p) const {
   const Pin& pp = nl_.pin(p);
   if (pp.is_clock) return false;
   if (pp.net != kInvalidId && nl_.net(pp.net).is_clock) return false;
-  if (is_clock_buffer(pp.cell)) return false;
+  if (clkbuf_[static_cast<std::size_t>(pp.cell)]) return false;
   return true;
+}
+
+void StaEngine::build_structure() {
+  const std::size_t np = static_cast<std::size_t>(nl_.pin_count());
+  const std::size_t nc = static_cast<std::size_t>(nl_.cell_count());
+
+  clkbuf_.assign(nc, 0);
+  for (CellId c = 0; c < nl_.cell_count(); ++c) {
+    const Cell& cc = nl_.cell(c);
+    if (!cc.is_comb()) continue;
+    for (PinId p : cc.pins) {
+      const Pin& pp = nl_.pin(p);
+      if (pp.net != kInvalidId && nl_.net(pp.net).is_clock) {
+        clkbuf_[static_cast<std::size_t>(c)] = 1;
+        break;
+      }
+    }
+  }
+
+  part_.assign(np, 0);
+  participating_ = 0;
+  for (PinId p = 0; p < nl_.pin_count(); ++p)
+    if (pin_participates(p)) {
+      part_[static_cast<std::size_t>(p)] = 1;
+      ++participating_;
+    }
+
+  // Per-cell pin lists in netlist pin order.
+  cell_in_off_.assign(nc + 1, 0);
+  cell_out_off_.assign(nc + 1, 0);
+  for (CellId c = 0; c < nl_.cell_count(); ++c)
+    for (PinId p : nl_.cell(c).pins) {
+      if (nl_.pin(p).dir == PinDir::Input)
+        ++cell_in_off_[static_cast<std::size_t>(c) + 1];
+      else
+        ++cell_out_off_[static_cast<std::size_t>(c) + 1];
+    }
+  for (std::size_t i = 0; i < nc; ++i) {
+    cell_in_off_[i + 1] += cell_in_off_[i];
+    cell_out_off_[i + 1] += cell_out_off_[i];
+  }
+  cell_in_.resize(static_cast<std::size_t>(cell_in_off_[nc]));
+  cell_out_.resize(static_cast<std::size_t>(cell_out_off_[nc]));
+  {
+    std::vector<int> wi(cell_in_off_.begin(), cell_in_off_.end() - 1);
+    std::vector<int> wo(cell_out_off_.begin(), cell_out_off_.end() - 1);
+    for (CellId c = 0; c < nl_.cell_count(); ++c)
+      for (PinId p : nl_.cell(c).pins) {
+        if (nl_.pin(p).dir == PinDir::Input)
+          cell_in_[static_cast<std::size_t>(
+              wi[static_cast<std::size_t>(c)]++)] = p;
+        else
+          cell_out_[static_cast<std::size_t>(
+              wo[static_cast<std::size_t>(c)]++)] = p;
+      }
+  }
+
+  // ---- pin roles, net-arc sources, in-degrees ----------------------------
+  role_.assign(np, Role::kNone);
+  drv_pin_.assign(np, kInvalidId);
+  sink_ord_.assign(np, -1);
+  std::vector<int> indeg(np, 0);
+
+  for (NetId n = 0; n < nl_.net_count(); ++n) {
+    const auto& net = nl_.net(n);
+    if (net.is_clock || net.driver == kInvalidId) continue;
+    if (!part_[static_cast<std::size_t>(net.driver)]) continue;
+    const auto sinks = nl_.sinks(n);
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const PinId s = sinks[i];
+      if (!part_[static_cast<std::size_t>(s)]) continue;
+      role_[static_cast<std::size_t>(s)] = Role::kNetSink;
+      drv_pin_[static_cast<std::size_t>(s)] = net.driver;
+      sink_ord_[static_cast<std::size_t>(s)] = static_cast<int>(i);
+      ++indeg[static_cast<std::size_t>(s)];
+    }
+  }
+  for (CellId c = 0; c < nl_.cell_count(); ++c) {
+    const Cell& cc = nl_.cell(c);
+    if (!cc.is_comb() || clkbuf_[static_cast<std::size_t>(c)]) continue;
+    const int nin = cell_in_off_[static_cast<std::size_t>(c) + 1] -
+                    cell_in_off_[static_cast<std::size_t>(c)];
+    for (int k = cell_out_off_[static_cast<std::size_t>(c)];
+         k < cell_out_off_[static_cast<std::size_t>(c) + 1]; ++k) {
+      const PinId o = cell_out_[static_cast<std::size_t>(k)];
+      // In-degree counts *all* input pins (as the original Kahn traversal
+      // did), so an output behind a never-ready input trips the loop check.
+      indeg[static_cast<std::size_t>(o)] += nin;
+      if (part_[static_cast<std::size_t>(o)])
+        role_[static_cast<std::size_t>(o)] = Role::kCombOut;
+    }
+  }
+  for (PinId p = 0; p < nl_.pin_count(); ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (part_[pi] && role_[pi] == Role::kNone) role_[pi] = Role::kLaunch;
+  }
+
+  // ---- forward successors (participating only; CSR) ----------------------
+  succ_off_.assign(np + 1, 0);
+  auto for_each_succ = [&](PinId u, auto&& fn) {
+    const Pin& up = nl_.pin(u);
+    if (up.dir == PinDir::Output) {
+      if (up.net == kInvalidId || nl_.net(up.net).is_clock) return;
+      for (PinId s : nl_.sinks(up.net))
+        if (part_[static_cast<std::size_t>(s)]) fn(s);
+    } else {
+      const Cell& cc = nl_.cell(up.cell);
+      if (!cc.is_comb() || clkbuf_[static_cast<std::size_t>(up.cell)]) return;
+      const auto ci = static_cast<std::size_t>(up.cell);
+      for (int k = cell_out_off_[ci]; k < cell_out_off_[ci + 1]; ++k)
+        fn(cell_out_[static_cast<std::size_t>(k)]);
+    }
+  };
+  for (PinId p = 0; p < nl_.pin_count(); ++p) {
+    if (!part_[static_cast<std::size_t>(p)]) continue;
+    for_each_succ(p, [&](PinId) { ++succ_off_[static_cast<std::size_t>(p) + 1]; });
+  }
+  for (std::size_t i = 0; i < np; ++i) succ_off_[i + 1] += succ_off_[i];
+  succ_.resize(static_cast<std::size_t>(succ_off_[np]));
+  {
+    std::vector<int> w(succ_off_.begin(), succ_off_.end() - 1);
+    for (PinId p = 0; p < nl_.pin_count(); ++p) {
+      if (!part_[static_cast<std::size_t>(p)]) continue;
+      for_each_succ(p, [&](PinId s) {
+        succ_[static_cast<std::size_t>(w[static_cast<std::size_t>(p)]++)] = s;
+      });
+    }
+  }
+
+  // ---- forward predecessors (participating only; CSR) --------------------
+  preds_off_.assign(np + 1, 0);
+  for (std::size_t i = 0; i < succ_.size(); ++i)
+    ++preds_off_[static_cast<std::size_t>(succ_[i]) + 1];
+  for (std::size_t i = 0; i < np; ++i) preds_off_[i + 1] += preds_off_[i];
+  preds_.resize(succ_.size());
+  {
+    std::vector<int> w(preds_off_.begin(), preds_off_.end() - 1);
+    for (PinId p = 0; p < nl_.pin_count(); ++p) {
+      if (!part_[static_cast<std::size_t>(p)]) continue;
+      for (int k = succ_off_[static_cast<std::size_t>(p)];
+           k < succ_off_[static_cast<std::size_t>(p) + 1]; ++k) {
+        const PinId s = succ_[static_cast<std::size_t>(k)];
+        preds_[static_cast<std::size_t>(w[static_cast<std::size_t>(s)]++)] = p;
+      }
+    }
+  }
+
+  // ---- Kahn leveling -----------------------------------------------------
+  level_.assign(np, -1);
+  std::vector<PinId> queue;
+  for (PinId p = 0; p < nl_.pin_count(); ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (part_[pi] && indeg[pi] == 0) {
+      level_[pi] = 0;
+      queue.push_back(p);
+    }
+  }
+  std::size_t head = 0;
+  std::size_t leveled = queue.size();
+  while (head < queue.size()) {
+    const PinId u = queue[head++];
+    const auto ui = static_cast<std::size_t>(u);
+    for (int k = succ_off_[ui]; k < succ_off_[ui + 1]; ++k) {
+      const PinId v = succ_[static_cast<std::size_t>(k)];
+      const auto vi = static_cast<std::size_t>(v);
+      level_[vi] = std::max(level_[vi], level_[ui] + 1);
+      if (--indeg[vi] == 0) {
+        queue.push_back(v);
+        ++leveled;
+      }
+    }
+  }
+  M3D_CHECK_MSG(leveled == participating_,
+                "combinational loop detected: " << participating_ - leveled
+                                                << " pins unreachable");
+
+  int max_level = -1;
+  for (PinId p = 0; p < nl_.pin_count(); ++p)
+    max_level = std::max(max_level, level_[static_cast<std::size_t>(p)]);
+  levels_.assign(static_cast<std::size_t>(max_level + 1), {});
+  for (PinId p = 0; p < nl_.pin_count(); ++p)
+    if (level_[static_cast<std::size_t>(p)] >= 0)
+      levels_[static_cast<std::size_t>(level_[static_cast<std::size_t>(p)])]
+          .push_back(p);
+  // Pin ids were visited in ascending order, so each bucket is sorted.
+
+  // ---- endpoints ---------------------------------------------------------
+  ep_index_.assign(np, -1);
+  for (PinId p = 0; p < nl_.pin_count(); ++p) {
+    if (!part_[static_cast<std::size_t>(p)]) continue;
+    const Pin& pp = nl_.pin(p);
+    if (pp.dir != PinDir::Input) continue;
+    const CellKind k = nl_.cell(pp.cell).kind;
+    if (k != CellKind::Seq && k != CellKind::Macro &&
+        k != CellKind::PrimaryOut)
+      continue;
+    ep_index_[static_cast<std::size_t>(p)] = static_cast<int>(ep_pins_.size());
+    ep_pins_.push_back(p);
+  }
+  ep_slack_.assign(ep_pins_.size(), kPosInf);
+  ep_hold_.assign(ep_pins_.size(), kPosInf);
+  ep_required_.assign(ep_pins_.size(), 0.0);
+
+  // ---- dynamic-state storage ---------------------------------------------
+  for (int t : {0, 1}) {
+    res_.arr_[t].assign(np, kNegInf);
+    res_.req_[t].assign(np, kPosInf);
+    res_.slew_[t].assign(np, 0.0);
+    res_.pred_[t].assign(np, {});
+    arr_min_[t].assign(np, kPosInf);
+  }
+  net_arc_delay_.assign(np, 0.0);
+  cell_arc_.assign(np, {});
+  for (CellId c = 0; c < nl_.cell_count(); ++c) {
+    const Cell& cc = nl_.cell(c);
+    if (!cc.is_comb() || clkbuf_[static_cast<std::size_t>(c)]) continue;
+    const auto ci = static_cast<std::size_t>(c);
+    const std::size_t nin =
+        static_cast<std::size_t>(cell_in_off_[ci + 1] - cell_in_off_[ci]);
+    for (int k = cell_out_off_[ci]; k < cell_out_off_[ci + 1]; ++k)
+      cell_arc_[static_cast<std::size_t>(cell_out_[static_cast<std::size_t>(k)])]
+          .assign(nin * 2, 0.0);
+  }
+  res_.setup_at_endpoint_.assign(np, 0.0);
+  res_.design_ = &d_;
 }
 
 double StaEngine::net_load_ff(NetId n) const {
@@ -90,8 +372,8 @@ double StaEngine::net_load_ff(NetId n) const {
 }
 
 void StaEngine::net_arc(PinId driver, int sink_ordinal, PinId sink,
-                     double* delay, double* slew_add, bool* via_miv,
-                     double* wirelen) const {
+                        double* delay, double* slew_add, bool* via_miv,
+                        double* wirelen) const {
   *delay = 0.0;
   *slew_add = 0.0;
   *via_miv = false;
@@ -135,28 +417,26 @@ double StaEngine::arc_derate(CellId cell, PinId in_pin) const {
 void StaEngine::init_launch(PinId p) {
   const Pin& pp = nl_.pin(p);
   const Cell& cc = nl_.cell(pp.cell);
-  const double lat =
-      opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
+  const double lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
   switch (cc.kind) {
     case CellKind::PrimaryIn:
       for (int t : {0, 1}) {
-        arr_[t][static_cast<std::size_t>(p)] = opt_.input_delay_ns;
+        res_.arr_[t][static_cast<std::size_t>(p)] = opt_.input_delay_ns;
         // Primary inputs do not launch hold races: port min-arrival is an
         // external constraint (set_input_delay -min) we do not model, so
         // PI-launched paths stay unconstrained for hold.
-        slew_[t][static_cast<std::size_t>(p)] = opt_.input_slew_ns;
+        res_.slew_[t][static_cast<std::size_t>(p)] = opt_.input_slew_ns;
       }
       break;
     case CellKind::Seq: {
       const tech::LibCell* lc = d_.lib_cell(pp.cell);
-      const double load =
-          pp.net == kInvalidId ? 0.0 : net_load_ff(pp.net);
+      const double load = pp.net == kInvalidId ? 0.0 : net_load_ff(pp.net);
       for (int t : {0, 1}) {
         const auto& arc = lc->arc(0);  // DFF arc 0 models CLK→Q
         const double c2q = arc.delay[t].lookup(kClockPinSlew, load);
-        arr_[t][static_cast<std::size_t>(p)] = lat + c2q;
+        res_.arr_[t][static_cast<std::size_t>(p)] = lat + c2q;
         arr_min_[t][static_cast<std::size_t>(p)] = lat + c2q;
-        slew_[t][static_cast<std::size_t>(p)] =
+        res_.slew_[t][static_cast<std::size_t>(p)] =
             arc.out_slew[t].lookup(kClockPinSlew, load);
       }
       break;
@@ -164,9 +444,9 @@ void StaEngine::init_launch(PinId p) {
     case CellKind::Macro: {
       const tech::MacroCell* mc = d_.macro(pp.cell);
       for (int t : {0, 1}) {
-        arr_[t][static_cast<std::size_t>(p)] = lat + mc->access_ns;
+        res_.arr_[t][static_cast<std::size_t>(p)] = lat + mc->access_ns;
         arr_min_[t][static_cast<std::size_t>(p)] = lat + mc->access_ns;
-        slew_[t][static_cast<std::size_t>(p)] = mc->out_slew_ns;
+        res_.slew_[t][static_cast<std::size_t>(p)] = mc->out_slew_ns;
       }
       break;
     }
@@ -186,20 +466,20 @@ void StaEngine::eval_cell_arc(CellId c, PinId in_pin, PinId out_pin) {
   const auto po = static_cast<std::size_t>(out_pin);
   for (int t : {0, 1}) {
     const int in_t = arc.inverting ? opp(t) : t;
-    const double a_in = arr_[in_t][pi];
+    const double a_in = res_.arr_[in_t][pi];
     if (a_in == kNegInf) continue;
-    const double s_in = std::max(slew_[in_t][pi], 1e-4);
+    const double s_in = std::max(res_.slew_[in_t][pi], 1e-4);
     const double dly = arc.delay[t].lookup(s_in, load) * derate;
     cell_arc_[po][static_cast<std::size_t>(ip.index * 2 + t)] = dly;
     const double cand = a_in + dly;
-    if (cand > arr_[t][po]) {
-      arr_[t][po] = cand;
-      pred_[t][po] = {in_pin, in_t, dly, 0.0, false, false};
+    if (cand > res_.arr_[t][po]) {
+      res_.arr_[t][po] = cand;
+      res_.pred_[t][po] = {in_pin, in_t, dly, 0.0, false, false};
       // Winner-slew propagation: the output edge is shaped by the input
       // that switches last. (Max-slew propagation would let one slow
       // side-input poison every downstream path — overly pessimistic in
       // the heterogeneous setting where slow-tier fan-in is routine.)
-      slew_[t][po] = arc.out_slew[t].lookup(s_in, load) * derate;
+      res_.slew_[t][po] = arc.out_slew[t].lookup(s_in, load) * derate;
     }
     // Min-delay (hold) propagation shares the same arc delays.
     const double a_in_min = arr_min_[in_t][pi];
@@ -208,125 +488,139 @@ void StaEngine::eval_cell_arc(CellId c, PinId in_pin, PinId out_pin) {
   }
 }
 
-StaResult StaEngine::run() {
-  const std::size_t np = static_cast<std::size_t>(nl_.pin_count());
+void StaEngine::compute_forward(PinId p) {
+  const auto pi = static_cast<std::size_t>(p);
   for (int t : {0, 1}) {
-    arr_[t].assign(np, kNegInf);
-    arr_min_[t].assign(np, kPosInf);
-    slew_[t].assign(np, 0.0);
-    req_[t].assign(np, kPosInf);
-    pred_[t].assign(np, {});
+    res_.arr_[t][pi] = kNegInf;
+    arr_min_[t][pi] = kPosInf;
+    res_.slew_[t][pi] = 0.0;
+    res_.pred_[t][pi] = {};
   }
-  net_arc_delay_.assign(np, 0.0);
-  cell_arc_.assign(np, {});
-
-  // ---- in-degrees over the data graph -----------------------------------
-  std::vector<int> indeg(np, 0);
-  std::vector<char> part(np, 0);
-  for (PinId p = 0; p < nl_.pin_count(); ++p)
-    part[static_cast<std::size_t>(p)] = participates(p) ? 1 : 0;
-
-  // Net arcs: driver -> sinks.
-  for (NetId n = 0; n < nl_.net_count(); ++n) {
-    const auto& net = nl_.net(n);
-    if (net.is_clock || net.driver == kInvalidId) continue;
-    if (!part[static_cast<std::size_t>(net.driver)]) continue;
-    for (PinId s : nl_.sinks(n))
-      if (part[static_cast<std::size_t>(s)])
-        ++indeg[static_cast<std::size_t>(s)];
-  }
-  // Cell arcs: inputs -> output of combinational cells.
-  for (CellId c = 0; c < nl_.cell_count(); ++c) {
-    const Cell& cc = nl_.cell(c);
-    if (!cc.is_comb() || is_clock_buffer(c)) continue;
-    const auto ins = nl_.input_pins(c);
-    for (PinId o : nl_.output_pins(c)) {
-      indeg[static_cast<std::size_t>(o)] +=
-          static_cast<int>(ins.size());
-      cell_arc_[static_cast<std::size_t>(o)].assign(ins.size() * 2, 0.0);
-    }
-  }
-
-  // ---- Kahn topological order + forward propagation ---------------------
-  std::vector<PinId> queue;
-  for (PinId p = 0; p < nl_.pin_count(); ++p) {
-    if (!part[static_cast<std::size_t>(p)]) continue;
-    if (indeg[static_cast<std::size_t>(p)] == 0) {
+  switch (role_[pi]) {
+    case Role::kLaunch:
       init_launch(p);
-      queue.push_back(p);
+      break;
+    case Role::kNetSink: {
+      const PinId u = drv_pin_[pi];
+      const auto ui = static_cast<std::size_t>(u);
+      double dly, slew_add, wlen;
+      bool via_miv;
+      net_arc(u, sink_ord_[pi], p, &dly, &slew_add, &via_miv, &wlen);
+      net_arc_delay_[pi] = dly;
+      for (int t : {0, 1}) {
+        if (arr_min_[t][ui] != kPosInf)
+          arr_min_[t][pi] = arr_min_[t][ui] + dly;
+        if (res_.arr_[t][ui] == kNegInf) continue;
+        res_.arr_[t][pi] = res_.arr_[t][ui] + dly;
+        res_.pred_[t][pi] = {u, t, dly, wlen, true, via_miv};
+        res_.slew_[t][pi] = std::hypot(res_.slew_[t][ui], slew_add);
+      }
+      break;
     }
+    case Role::kCombOut: {
+      auto& row = cell_arc_[pi];
+      std::fill(row.begin(), row.end(), 0.0);
+      const CellId c = nl_.pin(p).cell;
+      const auto ci = static_cast<std::size_t>(c);
+      for (int k = cell_in_off_[ci]; k < cell_in_off_[ci + 1]; ++k)
+        eval_cell_arc(c, cell_in_[static_cast<std::size_t>(k)], p);
+      break;
+    }
+    default:
+      break;
   }
+}
 
-  std::size_t participating = 0;
-  for (std::size_t i = 0; i < np; ++i) participating += part[i];
+void StaEngine::eval_endpoint(PinId p) {
+  const auto pi = static_cast<std::size_t>(p);
+  const int ei = ep_index_[pi];
+  const Pin& pp = nl_.pin(p);
+  const Cell& cc = nl_.cell(pp.cell);
+  double setup = 0.0;
+  double lat = 0.0;
+  double hold_req = 0.0;
+  if (cc.kind == CellKind::Seq) {
+    setup = d_.lib_cell(pp.cell)->setup_ns;
+    hold_req = d_.lib_cell(pp.cell)->hold_ns;
+    lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
+  } else if (cc.kind == CellKind::Macro) {
+    setup = d_.macro(pp.cell)->setup_ns;
+    lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
+  } else {  // PrimaryOut
+    setup = opt_.output_margin_ns;
+    lat = port_latency_;
+  }
+  // Hold check (min-delay race): earliest arrival vs capture edge.
+  ep_hold_[static_cast<std::size_t>(ei)] = kPosInf;
+  if (opt_.hold_analysis && cc.kind != CellKind::PrimaryOut) {
+    double earliest = kPosInf;
+    for (int t : {0, 1}) earliest = std::min(earliest, arr_min_[t][pi]);
+    if (earliest != kPosInf)
+      ep_hold_[static_cast<std::size_t>(ei)] = earliest - (lat + hold_req);
+  }
+  const double required = d_.clock_period_ns() + lat - setup;
+  ep_required_[static_cast<std::size_t>(ei)] = required;
+  res_.setup_at_endpoint_[pi] = setup;
+  double worst = kPosInf;
+  bool reachable = false;
+  for (int t : {0, 1}) {
+    if (res_.arr_[t][pi] == kNegInf) continue;
+    reachable = true;
+    worst = std::min(worst, required - res_.arr_[t][pi]);
+  }
+  ep_slack_[static_cast<std::size_t>(ei)] = reachable ? worst : kPosInf;
+}
 
-  topo_.clear();
-  topo_.reserve(participating);
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    const PinId u = queue[head++];
-    topo_.push_back(u);
-    const Pin& up = nl_.pin(u);
-    if (up.dir == PinDir::Output) {
-      // Net arc to each sink.
-      if (up.net != kInvalidId && !nl_.net(up.net).is_clock) {
-        const auto sinks = nl_.sinks(up.net);
-        for (std::size_t i = 0; i < sinks.size(); ++i) {
-          const PinId s = sinks[i];
-          if (!part[static_cast<std::size_t>(s)]) continue;
-          double dly, slew_add, wlen;
-          bool via_miv;
-          net_arc(u, static_cast<int>(i), s, &dly, &slew_add, &via_miv,
-                  &wlen);
-          net_arc_delay_[static_cast<std::size_t>(s)] = dly;
-          for (int t : {0, 1}) {
-            if (arr_min_[t][static_cast<std::size_t>(u)] != kPosInf)
-              arr_min_[t][static_cast<std::size_t>(s)] =
-                  std::min(arr_min_[t][static_cast<std::size_t>(s)],
-                           arr_min_[t][static_cast<std::size_t>(u)] + dly);
-            if (arr_[t][static_cast<std::size_t>(u)] == kNegInf) continue;
-            const double cand = arr_[t][static_cast<std::size_t>(u)] + dly;
-            if (cand > arr_[t][static_cast<std::size_t>(s)]) {
-              arr_[t][static_cast<std::size_t>(s)] = cand;
-              pred_[t][static_cast<std::size_t>(s)] = {u,    t,   dly,
-                                                       wlen, true, via_miv};
-            }
-            const double s_in = slew_[t][static_cast<std::size_t>(u)];
-            slew_[t][static_cast<std::size_t>(s)] =
-                std::max(slew_[t][static_cast<std::size_t>(s)],
-                         std::hypot(s_in, slew_add));
-          }
-          if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+void StaEngine::compute_required(PinId p) {
+  const auto pi = static_cast<std::size_t>(p);
+  double req[2] = {kPosInf, kPosInf};
+  const int ei = ep_index_[pi];
+  if (ei >= 0) {
+    const double required = ep_required_[static_cast<std::size_t>(ei)];
+    for (int t : {0, 1})
+      if (res_.arr_[t][pi] != kNegInf) req[t] = std::min(req[t], required);
+  }
+  const Pin& pp = nl_.pin(p);
+  if (pp.dir == PinDir::Output) {
+    // Gather through the net arcs: required at each sink minus its stored
+    // net delay (same transition).
+    for (int k = succ_off_[pi]; k < succ_off_[pi + 1]; ++k) {
+      const auto si = static_cast<std::size_t>(succ_[static_cast<std::size_t>(k)]);
+      for (int t : {0, 1}) {
+        if (res_.req_[t][si] == kPosInf) continue;
+        req[t] = std::min(req[t], res_.req_[t][si] - net_arc_delay_[si]);
+      }
+    }
+  } else {
+    const Cell& cc = nl_.cell(pp.cell);
+    if (cc.is_comb() && !clkbuf_[static_cast<std::size_t>(pp.cell)]) {
+      // Gather through this cell's arcs: required at each output minus the
+      // stored forward arc delay, with the inverting transition mapping.
+      // Arcs whose forward arrival was -inf keep their stored 0.0 delay —
+      // deliberately matching the original engine's backward pass.
+      const tech::LibCell* lc = d_.lib_cell(pp.cell);
+      const auto& arc = lc->arc(pp.index);
+      const auto ci = static_cast<std::size_t>(pp.cell);
+      for (int k = cell_out_off_[ci]; k < cell_out_off_[ci + 1]; ++k) {
+        const auto oi =
+            static_cast<std::size_t>(cell_out_[static_cast<std::size_t>(k)]);
+        for (int t : {0, 1}) {
+          if (res_.req_[t][oi] == kPosInf) continue;
+          const double dly =
+              cell_arc_[oi][static_cast<std::size_t>(pp.index * 2 + t)];
+          const int in_t = arc.inverting ? opp(t) : t;
+          req[in_t] = std::min(req[in_t], res_.req_[t][oi] - dly);
         }
       }
-    } else {
-      // Data input pin of a combinational cell: feed the cell arcs.
-      const Cell& cc = nl_.cell(up.cell);
-      if (cc.is_comb() && !is_clock_buffer(up.cell)) {
-        for (PinId o : nl_.output_pins(up.cell)) {
-          eval_cell_arc(up.cell, u, o);
-          if (--indeg[static_cast<std::size_t>(o)] == 0) queue.push_back(o);
-        }
-      }
-      // Sequential D pins / macro inputs / PO pins terminate here.
     }
   }
+  res_.req_[0][pi] = req[0];
+  res_.req_[1][pi] = req[1];
+}
 
-  M3D_CHECK_MSG(topo_.size() == participating,
-                "combinational loop detected: " << participating - topo_.size()
-                                                << " pins unreachable");
-
-  // ---- endpoints & required times ---------------------------------------
-  StaResult res;
-  res.design_ = &d_;
-  res.setup_at_endpoint_.assign(np, 0.0);
-  bool any_hold_check = false;
-  if (opt_.hold_analysis) res.whs_ = kPosInf;
-  const double period = d_.clock_period_ns();
-  std::vector<std::pair<double, PinId>> eps;
-
+void StaEngine::compute_port_latency() {
   // Virtual-clock latency for primary outputs: mean flop latency.
-  double port_latency = 0.0;
+  port_latency_ = 0.0;
   if (opt_.compensate_port_latency && !opt_.ideal_clock) {
     double sum = 0.0;
     int count = 0;
@@ -336,127 +630,249 @@ StaResult StaEngine::run() {
       sum += d_.clock_latency(c);
       ++count;
     }
-    if (count > 0) port_latency = sum / count;
+    if (count > 0) port_latency_ = sum / count;
   }
+}
 
-  for (PinId p = 0; p < nl_.pin_count(); ++p) {
-    if (!part[static_cast<std::size_t>(p)]) continue;
-    const Pin& pp = nl_.pin(p);
-    if (pp.dir != PinDir::Input) continue;
-    const Cell& cc = nl_.cell(pp.cell);
-    double setup = 0.0;
-    double lat = 0.0;
-    bool endpoint = false;
-    if (cc.kind == CellKind::Seq) {
-      setup = d_.lib_cell(pp.cell)->setup_ns;
-      lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
-      endpoint = true;
-    } else if (cc.kind == CellKind::Macro) {
-      setup = d_.macro(pp.cell)->setup_ns;
-      lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
-      endpoint = true;
-    } else if (cc.kind == CellKind::PrimaryOut) {
-      setup = opt_.output_margin_ns;
-      lat = port_latency;
-      endpoint = true;
-    }
-    if (!endpoint) continue;
-    // Hold check (min-delay race): earliest arrival vs capture edge.
-    if (opt_.hold_analysis && cc.kind != CellKind::PrimaryOut) {
-      double hold_req = 0.0;
-      if (cc.kind == CellKind::Seq) hold_req = d_.lib_cell(pp.cell)->hold_ns;
-      double earliest = kPosInf;
-      for (int t : {0, 1})
-        earliest = std::min(earliest, arr_min_[t][static_cast<std::size_t>(p)]);
-      if (earliest != kPosInf) {
-        const double hslack = earliest - (lat + hold_req);
-        res.whs_ = std::min(res.whs_, hslack);
-        any_hold_check = true;
-        if (hslack < 0.0) ++res.hold_violations_;
-      }
-    }
-    const double required = period + lat - setup;
-    res.setup_at_endpoint_[static_cast<std::size_t>(p)] = setup;
-    double worst = kPosInf;
-    bool reachable = false;
-    for (int t : {0, 1}) {
-      if (arr_[t][static_cast<std::size_t>(p)] == kNegInf) continue;
-      reachable = true;
-      req_[t][static_cast<std::size_t>(p)] =
-          std::min(req_[t][static_cast<std::size_t>(p)], required);
-      worst = std::min(worst,
-                       required - arr_[t][static_cast<std::size_t>(p)]);
-    }
-    if (reachable) eps.emplace_back(worst, p);
+void StaEngine::run_level(const std::vector<PinId>& pins, bool forward) {
+  const int n = static_cast<int>(pins.size());
+  auto kernel = [&](int i) {
+    const PinId p = pins[static_cast<std::size_t>(i)];
+    if (forward)
+      compute_forward(p);
+    else
+      compute_required(p);
+  };
+  if (n < kParallelLevelMin || pool_.size() <= 1) {
+    for (int i = 0; i < n; ++i) kernel(i);
+  } else {
+    pool_.parallel_for(0, n, kernel, kParallelGrain);
   }
+}
 
-  if (!any_hold_check) res.whs_ = 0.0;
-
-  // Backward pass in reverse topological order.
-  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
-    const PinId v = *it;
-    const auto vi = static_cast<std::size_t>(v);
-    const Pin& vp = nl_.pin(v);
-    if (vp.dir == PinDir::Input) {
-      // Push through the net arc to the driver (same transition).
-      if (vp.net == kInvalidId) continue;
-      const PinId drv = nl_.net(vp.net).driver;
-      if (drv == kInvalidId || !part[static_cast<std::size_t>(drv)]) continue;
-      for (int t : {0, 1}) {
-        if (req_[t][vi] == kPosInf) continue;
-        const double cand = req_[t][vi] - net_arc_delay_[vi];
-        req_[t][static_cast<std::size_t>(drv)] =
-            std::min(req_[t][static_cast<std::size_t>(drv)], cand);
-      }
-    } else {
-      // Comb output: push through cell arcs to each input.
-      const Cell& cc = nl_.cell(vp.cell);
-      if (!cc.is_comb() || is_clock_buffer(vp.cell)) continue;
-      const tech::LibCell* lc = d_.lib_cell(vp.cell);
-      for (PinId in : nl_.input_pins(vp.cell)) {
-        const Pin& ip = nl_.pin(in);
-        const auto& arc = lc->arc(ip.index);
-        for (int t : {0, 1}) {
-          if (req_[t][vi] == kPosInf) continue;
-          const double dly =
-              cell_arc_[vi][static_cast<std::size_t>(ip.index * 2 + t)];
-          const int in_t = arc.inverting ? opp(t) : t;
-          const double cand = req_[t][vi] - dly;
-          req_[in_t][static_cast<std::size_t>(in)] =
-              std::min(req_[in_t][static_cast<std::size_t>(in)], cand);
-        }
-      }
-    }
-  }
-
-  // ---- aggregate ----------------------------------------------------------
+void StaEngine::aggregate() {
+  std::vector<std::pair<double, PinId>> eps;
+  eps.reserve(ep_pins_.size());
+  for (std::size_t i = 0; i < ep_pins_.size(); ++i)
+    if (ep_slack_[i] != kPosInf) eps.emplace_back(ep_slack_[i], ep_pins_[i]);
   std::sort(eps.begin(), eps.end());
-  res.wns_ = eps.empty() ? 0.0 : eps.front().first;
-  res.tns_ = 0.0;
-  res.violated_ = 0;
+  res_.endpoints_.clear();
+  res_.endpoint_slack_.clear();
+  res_.wns_ = eps.empty() ? 0.0 : eps.front().first;
+  res_.tns_ = 0.0;
+  res_.violated_ = 0;
   for (const auto& [slack, pin] : eps) {
-    res.endpoints_.push_back(pin);
-    res.endpoint_slack_.push_back(slack);
+    res_.endpoints_.push_back(pin);
+    res_.endpoint_slack_.push_back(slack);
     if (slack < 0.0) {
-      res.tns_ += slack;
-      ++res.violated_;
+      res_.tns_ += slack;
+      ++res_.violated_;
     }
   }
-  for (int t : {0, 1}) {
-    res.arr_[t] = std::move(arr_[t]);
-    res.req_[t] = std::move(req_[t]);
-    res.slew_[t] = std::move(slew_[t]);
-    res.pred_[t] = std::move(pred_[t]);
+  res_.whs_ = 0.0;
+  res_.hold_violations_ = 0;
+  if (opt_.hold_analysis) {
+    double whs = kPosInf;
+    bool any = false;
+    for (std::size_t i = 0; i < ep_pins_.size(); ++i) {
+      if (ep_hold_[i] == kPosInf) continue;
+      any = true;
+      whs = std::min(whs, ep_hold_[i]);
+      if (ep_hold_[i] < 0.0) ++res_.hold_violations_;
+    }
+    res_.whs_ = any ? whs : 0.0;
   }
-  return res;
+}
+
+const StaResult& StaEngine::run() {
+  compute_port_latency();
+  const bool tracing = util::trace_enabled();
+  {
+    util::TraceSpan span("sta_forward", nl_.name());
+    for (std::size_t lv = 0; lv < levels_.size(); ++lv) {
+      if (tracing) {
+        util::TraceSpan level_span(
+            "sta_level", "fwd L" + std::to_string(lv) + " n=" +
+                             std::to_string(levels_[lv].size()));
+        run_level(levels_[lv], /*forward=*/true);
+      } else {
+        run_level(levels_[lv], /*forward=*/true);
+      }
+    }
+  }
+  {
+    // Endpoint constraints: one writer per endpoint.
+    const int n = static_cast<int>(ep_pins_.size());
+    auto kernel = [&](int i) { eval_endpoint(ep_pins_[static_cast<std::size_t>(i)]); };
+    if (n < kParallelLevelMin || pool_.size() <= 1)
+      for (int i = 0; i < n; ++i) kernel(i);
+    else
+      pool_.parallel_for(0, n, kernel, kParallelGrain);
+  }
+  {
+    util::TraceSpan span("sta_backward", nl_.name());
+    for (std::size_t lv = levels_.size(); lv-- > 0;) {
+      if (tracing) {
+        util::TraceSpan level_span(
+            "sta_level", "bwd L" + std::to_string(lv) + " n=" +
+                             std::to_string(levels_[lv].size()));
+        run_level(levels_[lv], /*forward=*/false);
+      } else {
+        run_level(levels_[lv], /*forward=*/false);
+      }
+    }
+  }
+  aggregate();
+  has_run_ = true;
+  return res_;
+}
+
+const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
+  M3D_CHECK_MSG(has_run_, "Sta::retime() requires a prior run()");
+  util::TraceSpan span("sta_retime",
+                       std::to_string(dirty.size()) + " dirty cells");
+  const std::size_t np = static_cast<std::size_t>(nl_.pin_count());
+
+  // ---- seed: pins whose *computation* changed ----------------------------
+  // A tier move of cell c changes: c's own pins (lib tables, pin caps,
+  // setup/hold, derates), the driver and every sink of each incident net
+  // (loads, re-estimated routes, per-sink crossing flags), and — because
+  // the boundary derate at a sink's input feeds its cell's output arcs —
+  // the output pins of every sink's combinational cell.
+  std::vector<char> fwd_pending(np, 0);
+  std::vector<std::vector<PinId>> wl(levels_.size());
+  auto seed = [&](PinId p) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (!part_[pi] || fwd_pending[pi]) return;
+    fwd_pending[pi] = 1;
+    wl[static_cast<std::size_t>(level_[pi])].push_back(p);
+  };
+  std::vector<char> cell_seen(static_cast<std::size_t>(nl_.cell_count()), 0);
+  std::vector<char> net_seen(static_cast<std::size_t>(nl_.net_count()), 0);
+  for (CellId c : dirty) {
+    if (cell_seen[static_cast<std::size_t>(c)]) continue;
+    cell_seen[static_cast<std::size_t>(c)] = 1;
+    for (PinId p : nl_.cell(c).pins) {
+      seed(p);
+      const NetId n = nl_.pin(p).net;
+      if (n == kInvalidId || nl_.net(n).is_clock) continue;
+      if (net_seen[static_cast<std::size_t>(n)]) continue;
+      net_seen[static_cast<std::size_t>(n)] = 1;
+      const auto& net = nl_.net(n);
+      if (net.driver != kInvalidId) seed(net.driver);
+      for (PinId s : nl_.sinks(n)) {
+        seed(s);
+        const CellId sc = nl_.pin(s).cell;
+        const Cell& scc = nl_.cell(sc);
+        if (!scc.is_comb() || clkbuf_[static_cast<std::size_t>(sc)]) continue;
+        const auto sci = static_cast<std::size_t>(sc);
+        for (int k = cell_out_off_[sci]; k < cell_out_off_[sci + 1]; ++k)
+          seed(cell_out_[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+
+  // ---- forward worklist by ascending level -------------------------------
+  std::vector<char> bwd_pending(np, 0);
+  std::vector<std::vector<PinId>> bwl(levels_.size());
+  auto bwd_seed = [&](PinId p) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (!part_[pi] || bwd_pending[pi]) return;
+    bwd_pending[pi] = 1;
+    bwl[static_cast<std::size_t>(level_[pi])].push_back(p);
+  };
+  std::vector<PinId> redo_eps;
+  std::vector<double> old_row;
+  int recomputed = 0;
+  for (std::size_t lv = 0; lv < wl.size(); ++lv) {
+    auto& bucket = wl[lv];
+    if (bucket.empty()) continue;
+    std::sort(bucket.begin(), bucket.end());
+    for (const PinId p : bucket) {
+      const auto pi = static_cast<std::size_t>(p);
+      ++recomputed;
+      const double oa0 = res_.arr_[0][pi], oa1 = res_.arr_[1][pi];
+      const double om0 = arr_min_[0][pi], om1 = arr_min_[1][pi];
+      const double os0 = res_.slew_[0][pi], os1 = res_.slew_[1][pi];
+      const double ond = net_arc_delay_[pi];
+      const bool comb_out = role_[pi] == Role::kCombOut;
+      if (comb_out) old_row = cell_arc_[pi];
+
+      compute_forward(p);
+
+      // Successors read arr/arr_min/slew; bitwise compare decides
+      // whether the change propagates.
+      const bool fwd_changed =
+          oa0 != res_.arr_[0][pi] || oa1 != res_.arr_[1][pi] ||
+          om0 != arr_min_[0][pi] || om1 != arr_min_[1][pi] ||
+          os0 != res_.slew_[0][pi] || os1 != res_.slew_[1][pi];
+      if (fwd_changed)
+        for (int k = succ_off_[pi]; k < succ_off_[pi + 1]; ++k)
+          seed(succ_[static_cast<std::size_t>(k)]);
+      // The backward pass additionally reads the stored arc delays, which
+      // can change even when the forward values do not (a non-winning arc
+      // got faster): re-gather the predecessors' required times then.
+      const bool arcs_changed =
+          (role_[pi] == Role::kNetSink && ond != net_arc_delay_[pi]) ||
+          (comb_out && old_row != cell_arc_[pi]);
+      if (fwd_changed || arcs_changed) {
+        bwd_seed(p);
+        for (int k = preds_off_[pi]; k < preds_off_[pi + 1]; ++k)
+          bwd_seed(preds_[static_cast<std::size_t>(k)]);
+      }
+      if (ep_index_[pi] >= 0) redo_eps.push_back(p);
+    }
+  }
+
+  // ---- endpoint constraints ----------------------------------------------
+  for (const PinId p : redo_eps) {
+    eval_endpoint(p);
+    bwd_seed(p);  // required time may have changed (setup remap)
+  }
+
+  // ---- backward worklist by descending level -----------------------------
+  for (std::size_t lv = bwl.size(); lv-- > 0;) {
+    auto& bucket = bwl[lv];
+    if (bucket.empty()) continue;
+    std::sort(bucket.begin(), bucket.end());
+    for (const PinId p : bucket) {
+      const auto pi = static_cast<std::size_t>(p);
+      const double or0 = res_.req_[0][pi], or1 = res_.req_[1][pi];
+      compute_required(p);
+      if (or0 != res_.req_[0][pi] || or1 != res_.req_[1][pi])
+        for (int k = preds_off_[pi]; k < preds_off_[pi + 1]; ++k)
+          bwd_seed(preds_[static_cast<std::size_t>(k)]);
+    }
+  }
+
+  if (util::trace_enabled())
+    util::trace_counter("sta_retime_pins", static_cast<double>(recomputed));
+  aggregate();
+  return res_;
 }
 
 }  // namespace detail
 
+Sta::Sta(const Design& d, const route::RoutingEstimate* routes,
+         const StaOptions& opt)
+    : eng_(std::make_unique<detail::StaEngine>(d, routes, opt)) {}
+Sta::~Sta() = default;
+Sta::Sta(Sta&&) noexcept = default;
+Sta& Sta::operator=(Sta&&) noexcept = default;
+
+const StaResult& Sta::run() { return eng_->run(); }
+
+const StaResult& Sta::retime(const std::vector<CellId>& dirty_cells) {
+  return eng_->retime(dirty_cells);
+}
+
+const StaResult& Sta::result() const { return eng_->result(); }
+
 StaResult run_sta(const Design& d, const route::RoutingEstimate* routes,
                   const StaOptions& opt) {
   detail::StaEngine eng(d, routes, opt);
-  return eng.run();
+  eng.run();
+  return eng.take_result();
 }
 
 double StaResult::pin_slack(PinId p) const {

@@ -22,10 +22,15 @@
 ///    directions so long paths largely cancel.
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "netlist/design.hpp"
 #include "route/route.hpp"
+
+namespace m3d::exec {
+class Pool;
+}
 
 namespace m3d::sta {
 
@@ -51,6 +56,10 @@ struct StaOptions {
   /// network latency). Without this every reg→port path loses the whole
   /// launch latency against an un-latencied required time.
   bool compensate_port_latency = true;
+  /// Worker pool for the level-synchronous propagation; nullptr means
+  /// exec::Pool::global(). Results are byte-identical for any pool size,
+  /// so this field is deliberately excluded from flow-cache option hashes.
+  exec::Pool* pool = nullptr;
 };
 
 /// One stage of a reported timing path (a cell traversal plus the wire
@@ -150,6 +159,50 @@ class StaResult {
   std::vector<double> slew_[2];
   std::vector<Pred> pred_[2];
   std::vector<double> setup_at_endpoint_;  // per pin; 0 if not an endpoint
+};
+
+/// A persistent timing engine bound to one design. Construction builds the
+/// static timing-graph structure (participation, topological levels,
+/// adjacency) once; run() then propagates the whole graph level by level —
+/// in parallel across each level — and retime() re-propagates only the
+/// cone of a set of touched cells.
+///
+/// Invariants:
+///  * run() and retime() produce bitwise-identical StaResults for any
+///    worker-pool size, including 1 (each pin is computed by exactly one
+///    writer that gathers its predecessors in a fixed order);
+///  * retime(dirty) after tier moves of `dirty` (with `routes` patched in
+///    place via route::update_routes_for_cells for the same cells) is
+///    bitwise-identical to a fresh full run();
+///  * the structure is only valid while the netlist topology, placement
+///    and clock latencies are unchanged — tier moves are fine, anything
+///    else needs a new Sta (or a full run() for latency/period changes
+///    is NOT enough: rebuild instead).
+///
+/// Throws util::Error from the constructor when the combinational graph
+/// has a cycle (same check run_sta used to make).
+class Sta {
+ public:
+  Sta(const Design& d, const route::RoutingEstimate* routes,
+      const StaOptions& opt = {});
+  ~Sta();
+  Sta(Sta&&) noexcept;
+  Sta& operator=(Sta&&) noexcept;
+
+  /// Full forward + backward propagation over every level.
+  const StaResult& run();
+
+  /// Incremental re-propagation after the cells in `dirty_cells` changed
+  /// tier (and the routes of their incident nets were re-estimated).
+  /// Requires a prior run(). An empty dirty set is a no-op; the full cell
+  /// set degenerates to run().
+  const StaResult& retime(const std::vector<CellId>& dirty_cells);
+
+  /// Last computed result (valid after run()).
+  const StaResult& result() const;
+
+ private:
+  std::unique_ptr<detail::StaEngine> eng_;
 };
 
 /// Run setup STA over the design. `routes` supplies wire delays; pass

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <set>
@@ -31,7 +32,23 @@ namespace mg = m3d::gen;
 namespace mn = m3d::netlist;
 namespace mu = m3d::util;
 
+// ThreadSanitizer slows the flow ~10x; shrink the widest generated netlist
+// just enough to stay above the parallel-kernel thresholds (2048 cells).
+#if defined(__SANITIZE_THREAD__)
+#define M3D_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define M3D_TEST_TSAN 1
+#endif
+#endif
+
 namespace {
+
+#ifdef M3D_TEST_TSAN
+constexpr double kWideScale = 0.06;
+#else
+constexpr double kWideScale = 0.1;
+#endif
 
 class Quiet : public ::testing::Test {
  protected:
@@ -286,6 +303,78 @@ TEST_F(ExecFlowCache, FingerprintSeparatesNetlists) {
   auto c = a;
   c.net(0).activity += 0.01;  // any structural/electrical change shows up
   EXPECT_NE(me::FlowCache::fingerprint(a), me::FlowCache::fingerprint(c));
+}
+
+TEST_F(ExecFlowCache, DiskPersistsAcrossInstances) {
+  const std::string dir = ::testing::TempDir() + "m3d_flow_cache_disk";
+  std::filesystem::remove_all(dir);
+  setenv("M3D_FLOW_CACHE_DIR", dir.c_str(), 1);
+
+  const auto nl = tiny("cpu", 0.04);
+  const auto opt = tiny_opts();
+  me::FlowCache first(8);
+  const auto computed = first.get_or_run(nl, mc::Config::Hetero3D, opt);
+  EXPECT_EQ(first.stats().misses, 1u);
+  EXPECT_EQ(first.stats().disk_writes, 1u);
+
+  // A fresh cache instance stands in for a new process: its memory miss
+  // must be served by deserializing the persisted file, and the loaded
+  // result must be indistinguishable from the computed one.
+  me::FlowCache second(8);
+  const auto loaded = second.get_or_run(nl, mc::Config::Hetero3D, opt);
+  EXPECT_EQ(second.stats().misses, 1u);
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+  EXPECT_EQ(second.stats().disk_writes, 0u);
+  EXPECT_EQ(m3d::io::metrics_csv({computed->metrics}),
+            m3d::io::metrics_csv({loaded->metrics}));
+  EXPECT_EQ(computed->repart.cells_moved, loaded->repart.cells_moved);
+  EXPECT_EQ(computed->timing_part.pinned_cells,
+            loaded->timing_part.pinned_cells);
+  EXPECT_EQ(computed->opt.buffers_added, loaded->opt.buffers_added);
+  ASSERT_EQ(computed->design.nl().cell_count(),
+            loaded->design.nl().cell_count());
+  for (mn::CellId c = 0; c < computed->design.nl().cell_count(); ++c) {
+    ASSERT_EQ(computed->design.tier(c), loaded->design.tier(c));
+    ASSERT_EQ(computed->design.pos(c).x, loaded->design.pos(c).x);
+    ASSERT_EQ(computed->design.pos(c).y, loaded->design.pos(c).y);
+  }
+
+  // A corrupted file is a miss, not an error: truncate the single entry
+  // and make sure a third instance silently recomputes.
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    std::filesystem::resize_file(e.path(),
+                                 std::filesystem::file_size(e.path()) / 2);
+  me::FlowCache third(8);
+  const auto recomputed = third.get_or_run(nl, mc::Config::Hetero3D, opt);
+  EXPECT_EQ(third.stats().disk_hits, 0u);
+  EXPECT_EQ(third.stats().disk_writes, 1u);  // rewrote a good entry
+  EXPECT_EQ(m3d::io::metrics_csv({computed->metrics}),
+            m3d::io::metrics_csv({recomputed->metrics}));
+
+  unsetenv("M3D_FLOW_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ExecSweep, RunFlowByteIdenticalAcrossPoolSizes) {
+  // The largest generated netlist, scaled to clear the parallel-kernel
+  // thresholds so the 4-thread run genuinely exercises the pooled paths
+  // in placement, FM and STA.
+  const auto nl = tiny("netcard", kWideScale);
+  me::Pool serial(1), wide(4);
+  auto o1 = tiny_opts();
+  o1.pool = &serial;
+  auto o4 = tiny_opts();
+  o4.pool = &wide;
+  const auto a = mc::run_flow(nl, mc::Config::Hetero3D, o1);
+  const auto b = mc::run_flow(nl, mc::Config::Hetero3D, o4);
+  EXPECT_EQ(m3d::io::metrics_csv({a.metrics}),
+            m3d::io::metrics_csv({b.metrics}));
+  ASSERT_EQ(a.design.nl().cell_count(), b.design.nl().cell_count());
+  for (mn::CellId c = 0; c < a.design.nl().cell_count(); ++c) {
+    ASSERT_EQ(a.design.tier(c), b.design.tier(c)) << "cell " << c;
+    ASSERT_EQ(a.design.pos(c).x, b.design.pos(c).x) << "cell " << c;
+    ASSERT_EQ(a.design.pos(c).y, b.design.pos(c).y) << "cell " << c;
+  }
 }
 
 // ---- run_sweep determinism ----------------------------------------------

@@ -396,3 +396,158 @@ TEST(Sta, HoldAnalysisCanBeDisabled) {
   EXPECT_DOUBLE_EQ(r.whs(), 0.0);
   EXPECT_EQ(r.hold_violations(), 0);
 }
+
+// ---- incremental retime + parallel determinism ---------------------------
+
+#include <random>
+
+#include "exec/pool.hpp"
+#include "gen/designs.hpp"
+#include "place/place.hpp"
+
+namespace mgen = m3d::gen;
+namespace mpl = m3d::place;
+namespace mex = m3d::exec;
+
+// ThreadSanitizer slows the flow ~10x; shrink the widest generated netlist
+// just enough to stay above the parallel-kernel thresholds (2048 cells).
+#if defined(__SANITIZE_THREAD__)
+#define M3D_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define M3D_TEST_TSAN 1
+#endif
+#endif
+
+namespace {
+
+#ifdef M3D_TEST_TSAN
+constexpr double kWideScale = 0.06;
+#else
+constexpr double kWideScale = 0.1;
+#endif
+
+/// Placed, routed hetero design from a generated netlist: the realistic
+/// substrate the retime() invariants are stated over.
+mn::Design routed_hetero(const char* which, double scale, double period) {
+  mn::Design d(mgen::make_design(which, {scale, 7}), mt::make_12track(),
+               mt::make_9track());
+  d.set_clock_period_ns(period);
+  mpl::place_design(d);
+  return d;
+}
+
+std::vector<mn::CellId> movable_std_cells(const mn::Design& d) {
+  std::vector<mn::CellId> out;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    const auto& cc = d.nl().cell(c);
+    if (cc.is_comb() || cc.is_sequential()) out.push_back(c);
+  }
+  return out;
+}
+
+/// Exact (bitwise-value) comparison of two results over every pin.
+void expect_identical(const ms::StaResult& a, const ms::StaResult& b,
+                      const mn::Design& d) {
+  ASSERT_EQ(a.wns(), b.wns());
+  ASSERT_EQ(a.tns(), b.tns());
+  ASSERT_EQ(a.whs(), b.whs());
+  ASSERT_EQ(a.violated_endpoints(), b.violated_endpoints());
+  ASSERT_EQ(a.hold_violations(), b.hold_violations());
+  for (mn::PinId p = 0; p < d.nl().pin_count(); ++p) {
+    ASSERT_EQ(a.pin_arrival(p), b.pin_arrival(p)) << "pin " << p;
+    ASSERT_EQ(a.pin_slew(p), b.pin_slew(p)) << "pin " << p;
+    ASSERT_EQ(a.pin_slack(p), b.pin_slack(p)) << "pin " << p;
+  }
+}
+
+}  // namespace
+
+TEST(StaRetime, MatchesFullRunAfterRandomTierMoves) {
+  auto d = routed_hetero("cpu", 0.05, 0.8);
+  auto routes = mr::route_design(d);
+  ms::Sta sta(d, &routes);
+  sta.run();
+
+  const auto cells = movable_std_cells(d);
+  std::mt19937 rng(11);
+  for (int round = 0; round < 6; ++round) {
+    std::uniform_int_distribution<std::size_t> pick(0, cells.size() - 1);
+    std::uniform_int_distribution<int> howmany(1, 24);
+    std::vector<mn::CellId> moved;
+    const int k = howmany(rng);
+    for (int i = 0; i < k; ++i) {
+      const mn::CellId c = cells[pick(rng)];
+      d.set_tier(c, 1 - d.tier(c));
+      moved.push_back(c);
+    }
+    mr::update_routes_for_cells(d, moved, &routes);
+    const auto& inc = sta.retime(moved);
+
+    auto fresh_routes = mr::route_design(d);
+    ms::Sta ref(d, &fresh_routes);
+    expect_identical(inc, ref.run(), d);
+  }
+}
+
+TEST(StaRetime, EmptyDirtySetKeepsResult) {
+  auto d = routed_hetero("aes", 0.05, 0.7);
+  auto routes = mr::route_design(d);
+  ms::Sta sta(d, &routes);
+  const double wns = sta.run().wns();
+  const double tns = sta.result().tns();
+  const auto& r = sta.retime({});
+  EXPECT_EQ(r.wns(), wns);
+  EXPECT_EQ(r.tns(), tns);
+  ms::Sta ref(d, &routes);
+  expect_identical(r, ref.run(), d);
+}
+
+TEST(StaRetime, FullDirtySetMatchesRun) {
+  auto d = routed_hetero("aes", 0.05, 0.7);
+  auto routes = mr::route_design(d);
+  ms::Sta sta(d, &routes);
+  sta.run();
+  // Move a cell, then hand retime() *every* cell: the worklist degenerates
+  // to a full propagation and must still agree with a fresh engine.
+  const auto cells = movable_std_cells(d);
+  d.set_tier(cells[cells.size() / 2], 1 - d.tier(cells[cells.size() / 2]));
+  std::vector<mn::CellId> all(d.nl().cell_count());
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) all[c] = c;
+  mr::update_routes_for_cells(d, all, &routes);
+  const auto& inc = sta.retime(all);
+  ms::Sta ref(d, &routes);
+  expect_identical(inc, ref.run(), d);
+}
+
+TEST(StaRetime, ThrowsBeforeFirstRun) {
+  Chain ch(4);
+  auto d = ch.design(1.0);
+  ms::Sta sta(d, nullptr);
+  EXPECT_THROW(sta.retime({}), m3d::util::Error);
+}
+
+TEST(Sta, ByteIdenticalAcrossPoolSizes) {
+  // Wide generated design so real levels clear the parallel threshold.
+  auto d = routed_hetero("netcard", kWideScale, 0.8);
+  auto routes = mr::route_design(d);
+
+  mex::Pool serial(1), wide(4);
+  ms::StaOptions o1;
+  o1.pool = &serial;
+  ms::StaOptions o4;
+  o4.pool = &wide;
+  ms::Sta a(d, &routes, o1);
+  ms::Sta b(d, &routes, o4);
+  a.run();
+  b.run();
+  expect_identical(a.result(), b.result(), d);
+
+  // And the incremental path under both pools after the same move set.
+  const auto cells = movable_std_cells(d);
+  std::vector<mn::CellId> moved = {cells[3], cells[cells.size() - 5],
+                                   cells[cells.size() / 3]};
+  for (mn::CellId c : moved) d.set_tier(c, 1 - d.tier(c));
+  mr::update_routes_for_cells(d, moved, &routes);
+  expect_identical(a.retime(moved), b.retime(moved), d);
+}
