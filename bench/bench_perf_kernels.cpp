@@ -20,6 +20,7 @@
 #include "netlist/design.hpp"
 #include "part/fm.hpp"
 #include "place/place.hpp"
+#include "power/power.hpp"
 #include "route/route.hpp"
 #include "sta/sta.hpp"
 #include "tech/library_factory.hpp"
@@ -146,6 +147,57 @@ BENCHMARK(BM_GlobalPlaceThreaded)
     ->Args({50, 1})
     ->Args({50, 2})
     ->Args({50, 4});
+
+void BM_RouteDesignThreaded(benchmark::State& state) {
+  const auto d = placed_design(state.range(0) / 100.0, false);
+  exec::Pool pool(static_cast<int>(state.range(1)));
+  route::RouteOptions opt;
+  opt.pool = &pool;
+  for (auto _ : state) {
+    auto routes = route::route_design(d, opt);
+    benchmark::DoNotOptimize(routes.total_wirelength_um);
+  }
+  state.SetItemsProcessed(state.iterations() * d.nl().net_count());
+}
+BENCHMARK(BM_RouteDesignThreaded)
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({100, 1})
+    ->Args({100, 4});
+
+void BM_ClockTreeThreaded(benchmark::State& state) {
+  exec::Pool pool(static_cast<int>(state.range(1)));
+  cts::CtsOptions opt;
+  opt.pool = &pool;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto d = placed_design(state.range(0) / 100.0, false);
+    state.ResumeTiming();
+    auto rep = cts::build_clock_tree(d, opt);
+    benchmark::DoNotOptimize(rep.buffer_count);
+  }
+}
+BENCHMARK(BM_ClockTreeThreaded)->Args({25, 1})->Args({25, 2})->Args({25, 4});
+
+void BM_PowerThreaded(benchmark::State& state) {
+  const auto d = placed_design(state.range(0) / 100.0, true);
+  const auto routes = route::route_design(d);
+  exec::Pool pool(static_cast<int>(state.range(1)));
+  power::PowerOptions opt;
+  opt.pool = &pool;
+  for (auto _ : state) {
+    auto p = power::analyze_power(d, &routes, 1.0, opt);
+    benchmark::DoNotOptimize(p.total_mw);
+  }
+  state.SetItemsProcessed(state.iterations() * d.nl().net_count());
+}
+BENCHMARK(BM_PowerThreaded)
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({100, 1})
+    ->Args({100, 4});
 
 void BM_BinFmThreaded(benchmark::State& state) {
   exec::Pool pool(static_cast<int>(state.range(1)));

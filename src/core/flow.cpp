@@ -63,6 +63,7 @@ FlowOptions with_pool(FlowOptions o) {
   if (o.timing_part.fm.pool == nullptr) o.timing_part.fm.pool = o.pool;
   if (o.opt.sta.pool == nullptr) o.opt.sta.pool = o.pool;
   if (o.repart.sta.pool == nullptr) o.repart.sta.pool = o.pool;
+  if (o.cts.pool == nullptr) o.cts.pool = o.pool;
   return o;
 }
 
@@ -71,12 +72,14 @@ void finalize(FlowResult& res, const cts::ClockTreeReport& clock,
               const std::string& nl_name, Config cfg, exec::Pool* pool) {
   util::TraceSpan span("finalize", nl_name);
   Design& d = res.design;
-  const auto routes = route::route_design(d);
+  const auto routes = route::route_design(d, {pool});
   sta::StaOptions sopt;
   sopt.pool = pool;
   const auto timing = sta::run_sta(d, &routes, sopt);
+  power::PowerOptions popt;
+  popt.pool = pool;
   const auto pw =
-      power::analyze_power(d, &routes, 1.0 / d.clock_period_ns());
+      power::analyze_power(d, &routes, 1.0 / d.clock_period_ns(), popt);
   res.metrics = collect_metrics(d, routes, timing, pw, clock, nl_name,
                                 config_name(cfg));
 }
@@ -141,7 +144,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
       // legalizing the whole netlist into the folded footprint before
       // partitioning would scatter it at ~2x density and wreck the
       // placement. Legality only exists per tier, after the fold.
-      const auto routes = route::route_design(d);
+      const auto routes = route::route_design(d, {opt.pool});
       sta::StaOptions sopt;
       sopt.pool = opt.pool;
       const auto timing = sta::run_sta(d, &routes, sopt);
@@ -201,7 +204,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
     util::TraceSpan span("cts", nl.name());
     cts::build_clock_tree(d, copt);
     place::legalize(d);
-    clock = cts::annotate_clock_latencies(d);
+    clock = cts::annotate_clock_latencies(d, copt.pool);
   }
 
   // ---- post-CTS optimization ----------------------------------------------
@@ -221,7 +224,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
     const auto fix = opt::optimize_timing(d, post);
     res.opt.cells_upsized += fix.cells_upsized;
     place::legalize(d);
-    clock = cts::annotate_clock_latencies(d);
+    clock = cts::annotate_clock_latencies(d, copt.pool);
   }
 
   // ---- repartitioning ECO (hetero only) -----------------------------------
@@ -234,7 +237,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
     // stage delay, so only cells with a comfortable margin qualify; a
     // second ECO pass pulls back anything that turned critical anyway.
     {
-      const auto routes = route::route_design(d);
+      const auto routes = route::route_design(d, {opt.pool});
       sta::StaOptions sopt;
       sopt.pool = opt.pool;
       const auto timing = sta::run_sta(d, &routes, sopt);
@@ -243,7 +246,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
     }
     place::rescale_to_utilization(d, opt.utilization);
     place::legalize(d);
-    cts::annotate_clock_latencies(d);
+    cts::annotate_clock_latencies(d, copt.pool);
     // Final ECO pass at settled positions: pull back anything the
     // migration or the rescale shake-up turned critical.
     {
@@ -252,7 +255,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
       part::repartition_eco(d, fixup);
       place::legalize(d);
     }
-    clock = cts::annotate_clock_latencies(d);
+    clock = cts::annotate_clock_latencies(d, copt.pool);
   }
 
   finalize(res, clock, nl.name(), cfg, opt.pool);

@@ -26,20 +26,22 @@ MemoryNetReport analyze_memory_nets(const netlist::Design& d,
   const auto& wire = d.lib(netlist::kBottomTier).wire();
 
   std::vector<double> in_lat, out_lat, sw;
+  std::vector<PinId> sinks;
   for (NetId n = 0; n < nl.net_count(); ++n) {
     const auto& net = nl.net(n);
     if (net.is_clock || net.driver == kInvalidId) continue;
 
     const bool from_macro = nl.cell(nl.pin(net.driver).cell).is_macro();
     bool to_macro = false;
-    for (PinId s : nl.sinks(n))
+    nl.for_each_sink(n, [&](PinId s) {
       if (nl.cell(nl.pin(s).cell).is_macro()) to_macro = true;
+    });
     if (!from_macro && !to_macro) continue;
 
     // Net wire latency: worst sink path delay on this net.
     const auto& nr = routes.nets[static_cast<std::size_t>(n)];
     double worst = 0.0;
-    const auto sinks = nl.sinks(n);
+    nl.sinks_into(n, sinks);
     for (std::size_t i = 0;
          i < sinks.size() && i < nr.sink_path_um.size(); ++i) {
       worst = std::max(worst, wire.elmore_ns(nr.sink_path_um[i],

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/pool.hpp"
 #include "route/route.hpp"
 #include "util/geom.hpp"
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::cts {
 
@@ -27,7 +29,29 @@ struct Sink {
   int tier;
 };
 
-/// Recursive geometric bisection builder.
+/// Geometric-bisection clock-tree builder, split into a *plan* phase and a
+/// *materialize* phase so the planning can run task-parallel while the
+/// netlist mutation stays serial — and bitwise identical to the old
+/// recursive builder:
+///
+///  * The serial builder numbered buffers in post-order (left subtree,
+///    right subtree, self). The number of buffers a subtree over m sinks
+///    produces is a pure function of m — cnt(m) = 1 for a leaf cluster,
+///    else cnt(⌊m/2⌋) + cnt(m−⌊m/2⌋) + 1 — so every subtree can be handed
+///    a deterministic counter range up front: a subtree based at b over m
+///    sinks owns counters [b, b+cnt(m)), its left child [b, b+cnt(l)), its
+///    right child [b+cnt(l), b+cnt(m)−1), and its own buffer is counter
+///    b+cnt(m)−1. Ascending counter order IS the serial post-order.
+///  * Planning runs level-synchronously: each level's nodes sort disjoint
+///    subranges of one shared sink array in parallel (`cts_level` spans).
+///    std::sort over an identical subsequence with an identical comparator
+///    reproduces the serial builder's per-subtree sort exactly.
+///  * Buffer tiers/positions are computed bottom-up in ascending counter
+///    order (children always precede parents), replicating the serial
+///    centroid accumulation term-for-term.
+///  * Materialization replays the exact netlist op sequence of the old
+///    make_buffer in ascending counter order, so cell/pin/net ids and
+///    names are bitwise identical to the serial build.
 class TreeBuilder {
  public:
   TreeBuilder(Design& d, const CtsOptions& opt, int counter_start)
@@ -37,71 +61,184 @@ class TreeBuilder {
   /// connects that buffer's input.
   CellId build(std::vector<Sink> sinks) {
     M3D_CHECK(!sinks.empty());
-    if (static_cast<int>(sinks.size()) <=
-        opt_.max_sinks_per_buffer) {
-      return make_buffer(sinks, opt_.leaf_drive, /*leaf=*/true);
-    }
-    // Split at the median of the longer bounding-box dimension.
-    util::BBox bb;
-    for (const auto& s : sinks) bb.add(s.pos);
-    const bool split_x = bb.rect().width() >= bb.rect().height();
-    std::sort(sinks.begin(), sinks.end(), [&](const Sink& a, const Sink& b) {
-      return split_x ? a.pos.x < b.pos.x : a.pos.y < b.pos.y;
-    });
-    const std::size_t mid = sinks.size() / 2;
-    std::vector<Sink> left(sinks.begin(),
-                           sinks.begin() + static_cast<long>(mid));
-    std::vector<Sink> right(sinks.begin() + static_cast<long>(mid),
-                            sinks.end());
-    const CellId lb = build(std::move(left));
-    const CellId rb = build(std::move(right));
-    std::vector<Sink> children = {
-        {d_.nl().input_pin(lb, 0), d_.pos(lb), d_.tier(lb)},
-        {d_.nl().input_pin(rb, 0), d_.pos(rb), d_.tier(rb)}};
-    return make_buffer(children, opt_.trunk_drive, /*leaf=*/false);
+    sinks_ = std::move(sinks);
+    const int total = subtree_count(static_cast<int>(sinks_.size()));
+    nodes_.assign(static_cast<std::size_t>(total), PlanNode{});
+    plan(total);
+    place_nodes(total);
+    const CellId top = materialize(total);
+    counter_ += total;
+    return top;
   }
 
  private:
-  CellId make_buffer(const std::vector<Sink>& sinks, int drive, bool leaf) {
-    Netlist& nl = d_.nl();
-    const CellId buf = nl.add_comb("ctsbuf_" + std::to_string(counter_++),
-                                   tech::CellFunc::ClkBuf, drive);
-    const NetId net =
-        nl.add_net("ctsnet_" + std::to_string(counter_), /*is_clock=*/true);
-    nl.connect(net, nl.output_pin(buf));
-    Point centroid{0.0, 0.0};
-    int top_votes = 0;
-    for (const auto& s : sinks) {
-      nl.connect(net, s.pin);
-      centroid = centroid + s.pos;
-      if (s.tier == kTopTier) ++top_votes;
-    }
-    centroid = centroid * (1.0 / static_cast<double>(sinks.size()));
-
+  struct PlanNode {
+    int lo = 0, hi = 0;         ///< sink range (leaf only)
+    int left = -1, right = -1;  ///< child node indices (trunk only)
+    bool leaf = true;
     int tier = kBottomTier;
-    if (d_.num_tiers() == 2) {
-      if (leaf) {
-        // Leaf buffers follow their sinks.
-        tier = 2 * top_votes >= static_cast<int>(sinks.size()) ? kTopTier
-                                                               : kBottomTier;
-      } else if (opt_.prefer_low_power_trunk) {
-        // Heterogeneous trunk preference: the slow/low-power top tier
-        // carries the distribution (paper: >75 % of the clock on top).
-        tier = kTopTier;
+    Point pos;
+  };
+
+  /// A pending bisection task: plan the subtree over sinks [lo, hi) whose
+  /// counter range starts at `base`.
+  struct Split {
+    int lo, hi, base;
+  };
+
+  /// Buffers produced by a subtree over m sinks (the counter-range size).
+  int subtree_count(int m) const {
+    if (m <= opt_.max_sinks_per_buffer) return 1;
+    const int mid = m / 2;
+    return subtree_count(mid) + subtree_count(m - mid) + 1;
+  }
+
+  /// Level-synchronous bisection: every node of one level sorts its own
+  /// disjoint sink subrange, so a level is a parallel gather.
+  void plan(int total) {
+    std::vector<Split> level{{0, static_cast<int>(sinks_.size()), 0}};
+    int depth = 0;
+    while (!level.empty()) {
+      util::TraceSpan lvl_span(
+          "cts_level",
+          util::trace_enabled()
+              ? "depth " + std::to_string(depth) + ", " +
+                    std::to_string(level.size()) + " subtrees"
+              : std::string());
+      std::vector<Split> next(2 * level.size());
+      std::vector<char> has_next(2 * level.size(), 0);
+      auto expand = [&](int i) {
+        const Split& s = level[static_cast<std::size_t>(i)];
+        const int m = s.hi - s.lo;
+        const int own = s.base + subtree_count(m) - 1;
+        PlanNode& nd = nodes_[static_cast<std::size_t>(own)];
+        nd.lo = s.lo;
+        nd.hi = s.hi;
+        if (m <= opt_.max_sinks_per_buffer) {
+          nd.leaf = true;
+          return;
+        }
+        // Split at the median of the longer bounding-box dimension.
+        util::BBox bb;
+        for (int j = s.lo; j < s.hi; ++j)
+          bb.add(sinks_[static_cast<std::size_t>(j)].pos);
+        const bool split_x = bb.rect().width() >= bb.rect().height();
+        std::sort(sinks_.begin() + s.lo, sinks_.begin() + s.hi,
+                  [&](const Sink& a, const Sink& b) {
+                    return split_x ? a.pos.x < b.pos.x : a.pos.y < b.pos.y;
+                  });
+        const int mid = m / 2;
+        const int lcnt = subtree_count(mid);
+        nd.leaf = false;
+        nd.left = s.base + lcnt - 1;
+        nd.right = own - 1;
+        next[static_cast<std::size_t>(2 * i)] = {s.lo, s.lo + mid, s.base};
+        next[static_cast<std::size_t>(2 * i + 1)] = {s.lo + mid, s.hi,
+                                                     s.base + lcnt};
+        has_next[static_cast<std::size_t>(2 * i)] = 1;
+        has_next[static_cast<std::size_t>(2 * i + 1)] = 1;
+      };
+      const int items = static_cast<int>(level.size());
+      if (opt_.pool != nullptr && opt_.pool->size() > 1 && items > 1) {
+        opt_.pool->parallel_for(0, items, expand, /*grain=*/1);
       } else {
-        tier = 2 * top_votes >= static_cast<int>(sinks.size()) ? kTopTier
-                                                               : kBottomTier;
+        for (int i = 0; i < items; ++i) expand(i);
       }
+      std::vector<Split> compact;
+      compact.reserve(next.size());
+      for (std::size_t i = 0; i < next.size(); ++i)
+        if (has_next[i]) compact.push_back(next[i]);
+      level = std::move(compact);
+      ++depth;
     }
-    d_.sync(tier);
-    d_.set_tier(buf, tier);
-    d_.set_pos(buf, d_.floorplan().clamp(centroid));
-    return buf;
+    (void)total;
+  }
+
+  /// Bottom-up tier/position assignment in ascending counter order
+  /// (post-order: children first), replicating the serial make_buffer's
+  /// centroid accumulation and tier rules exactly.
+  void place_nodes(int total) {
+    for (int i = 0; i < total; ++i) {
+      PlanNode& nd = nodes_[static_cast<std::size_t>(i)];
+      Point centroid{0.0, 0.0};
+      int top_votes = 0;
+      int size = 0;
+      if (nd.leaf) {
+        for (int j = nd.lo; j < nd.hi; ++j) {
+          const Sink& s = sinks_[static_cast<std::size_t>(j)];
+          centroid = centroid + s.pos;
+          if (s.tier == kTopTier) ++top_votes;
+        }
+        size = nd.hi - nd.lo;
+      } else {
+        for (int child : {nd.left, nd.right}) {
+          const PlanNode& ch = nodes_[static_cast<std::size_t>(child)];
+          centroid = centroid + ch.pos;
+          if (ch.tier == kTopTier) ++top_votes;
+        }
+        size = 2;
+      }
+      centroid = centroid * (1.0 / static_cast<double>(size));
+
+      int tier = kBottomTier;
+      if (d_.num_tiers() == 2) {
+        if (nd.leaf) {
+          // Leaf buffers follow their sinks.
+          tier = 2 * top_votes >= size ? kTopTier : kBottomTier;
+        } else if (opt_.prefer_low_power_trunk) {
+          // Heterogeneous trunk preference: the slow/low-power top tier
+          // carries the distribution (paper: >75 % of the clock on top).
+          tier = kTopTier;
+        } else {
+          tier = 2 * top_votes >= size ? kTopTier : kBottomTier;
+        }
+      }
+      nd.tier = tier;
+      nd.pos = d_.floorplan().clamp(centroid);
+    }
+  }
+
+  /// Serial netlist mutation in ascending counter order — the exact op
+  /// sequence (and thus cell/pin/net id assignment) of the old recursive
+  /// builder.
+  CellId materialize(int total) {
+    Netlist& nl = d_.nl();
+    std::vector<CellId> built(static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i) {
+      const PlanNode& nd = nodes_[static_cast<std::size_t>(i)];
+      const int c = counter_ + i;
+      util::TraceSpan buf_span(
+          "cts_buffer_insert",
+          util::trace_enabled() ? "ctsbuf_" + std::to_string(c)
+                                : std::string());
+      const CellId buf =
+          nl.add_comb("ctsbuf_" + std::to_string(c), tech::CellFunc::ClkBuf,
+                      nd.leaf ? opt_.leaf_drive : opt_.trunk_drive);
+      const NetId net =
+          nl.add_net("ctsnet_" + std::to_string(c + 1), /*is_clock=*/true);
+      nl.connect(net, nl.output_pin(buf));
+      if (nd.leaf) {
+        for (int j = nd.lo; j < nd.hi; ++j)
+          nl.connect(net, sinks_[static_cast<std::size_t>(j)].pin);
+      } else {
+        nl.connect(net,
+                   nl.input_pin(built[static_cast<std::size_t>(nd.left)], 0));
+        nl.connect(
+            net, nl.input_pin(built[static_cast<std::size_t>(nd.right)], 0));
+      }
+      d_.sync(nd.tier);
+      d_.set_tier(buf, nd.tier);
+      d_.set_pos(buf, nd.pos);
+      built[static_cast<std::size_t>(i)] = buf;
+    }
+    return built[static_cast<std::size_t>(total - 1)];
   }
 
   Design& d_;
   const CtsOptions& opt_;
   int counter_;
+  std::vector<Sink> sinks_;
+  std::vector<PlanNode> nodes_;
 };
 
 NetId find_clock_root(const Design& d) {
@@ -118,7 +255,7 @@ NetId find_clock_root(const Design& d) {
 bool is_clock_buffer_cell(const Design& d, CellId c) {
   const auto& cc = d.nl().cell(c);
   if (!cc.is_comb() || cc.func != tech::CellFunc::ClkBuf) return false;
-  const auto out = d.nl().output_pins(c);
+  const auto out = d.nl().output_pins_of(c);
   return !out.empty() && d.nl().pin(out[0]).net != kInvalidId &&
          d.nl().net(d.nl().pin(out[0]).net).is_clock;
 }
@@ -160,12 +297,12 @@ ClockTreeReport build_clock_tree(Design& d, const CtsOptions& opt) {
     nl.connect(root, nl.input_pin(top, 0));
   }
   if (opt.balance_skew) balance_clock_tree(d, opt);
-  return annotate_clock_latencies(d);
+  return annotate_clock_latencies(d, opt.pool);
 }
 
 int balance_clock_tree(Design& d, const CtsOptions& opt) {
   Netlist& nl = d.nl();
-  annotate_clock_latencies(d);
+  annotate_clock_latencies(d, opt.pool);
 
   // Leaf buffers and the mean latency of their sequential sinks.
   struct Leaf {
@@ -176,16 +313,16 @@ int balance_clock_tree(Design& d, const CtsOptions& opt) {
   double max_latency = 0.0;
   for (CellId c = 0; c < nl.cell_count(); ++c) {
     if (!is_clock_buffer_cell(d, c)) continue;
-    const NetId onet = nl.pin(nl.output_pins(c)[0]).net;
+    const NetId onet = nl.pin(nl.output_pins_of(c)[0]).net;
     double sum = 0.0;
     int count = 0;
-    for (PinId s : nl.sinks(onet)) {
+    nl.for_each_sink(onet, [&](PinId s) {
       const auto& sc = nl.cell(nl.pin(s).cell);
       if (sc.is_sequential() || sc.is_macro()) {
         sum += d.clock_latency(nl.pin(s).cell);
         ++count;
       }
-    }
+    });
     if (count == 0) continue;  // internal buffer
     const double lat = sum / count;
     leaves.push_back({c, lat});
@@ -241,7 +378,7 @@ int balance_clock_tree(Design& d, const CtsOptions& opt) {
   return added;
 }
 
-ClockTreeReport annotate_clock_latencies(Design& d) {
+ClockTreeReport annotate_clock_latencies(Design& d, exec::Pool* pool) {
   const Netlist& nl = d.nl();
   ClockTreeReport rep;
   const NetId root = find_clock_root(d);
@@ -251,8 +388,46 @@ ClockTreeReport annotate_clock_latencies(Design& d) {
   const auto& wire = d.lib(kBottomTier).wire();
   const auto& miv = d.lib(kBottomTier).miv();
 
+  // Pre-route every driven clock net — the expensive part of the walk — as
+  // a pooled gather (one net per slot); the DFS below then only looks
+  // routes up, so its latency arithmetic runs in the exact serial order.
+  std::vector<NetId> clock_nets;
+  std::vector<int> route_index(static_cast<std::size_t>(nl.net_count()), -1);
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (!net.is_clock || net.driver == kInvalidId) continue;
+    route_index[static_cast<std::size_t>(n)] =
+        static_cast<int>(clock_nets.size());
+    clock_nets.push_back(n);
+  }
+  std::vector<route::NetRoute> clock_routes(clock_nets.size());
+  {
+    constexpr int kChunk = 64;
+    const int count = static_cast<int>(clock_nets.size());
+    auto route_chunk = [&](int lo, int hi, route::RouteScratch& scratch) {
+      for (int i = lo; i < hi; ++i)
+        clock_routes[static_cast<std::size_t>(i)] = route::route_net(
+            d, clock_nets[static_cast<std::size_t>(i)], scratch);
+    };
+    if (pool != nullptr && pool->size() > 1 && count >= 2 * kChunk) {
+      const int chunks = (count + kChunk - 1) / kChunk;
+      pool->parallel_for(
+          0, chunks,
+          [&](int c) {
+            route::RouteScratch scratch;
+            route_chunk(c * kChunk, std::min(count, (c + 1) * kChunk),
+                        scratch);
+          },
+          /*grain=*/1);
+    } else {
+      route::RouteScratch scratch;
+      route_chunk(0, count, scratch);
+    }
+  }
+
   // Iterative DFS over (net, arrival-at-driver-output).
   std::vector<std::pair<NetId, double>> stack{{root, 0.0}};
+  std::vector<PinId> sink_buf;
   bool any_sink = false;
   rep.min_latency_ns = std::numeric_limits<double>::max();
   while (!stack.empty()) {
@@ -260,11 +435,15 @@ ClockTreeReport annotate_clock_latencies(Design& d) {
     stack.pop_back();
     const auto& net = nl.net(net_id);
     if (net.driver == kInvalidId) continue;
-    const auto nr = route::route_net(d, net_id);
+    const int ri = route_index[static_cast<std::size_t>(net_id)];
+    route::NetRoute fallback;
+    if (ri < 0) fallback = route::route_net(d, net_id);
+    const route::NetRoute& nr =
+        ri >= 0 ? clock_routes[static_cast<std::size_t>(ri)] : fallback;
     rep.wirelength_um += nr.length_um;
-    const auto sinks = nl.sinks(net_id);
-    for (std::size_t i = 0; i < sinks.size(); ++i) {
-      const PinId s = sinks[i];
+    nl.sinks_into(net_id, sink_buf);
+    for (std::size_t i = 0; i < sink_buf.size(); ++i) {
+      const PinId s = sink_buf[i];
       const double len =
           i < nr.sink_path_um.size() ? nr.sink_path_um[i] : 0.0;
       double wire_delay = wire.elmore_ns(len, d.pin_cap_ff(s));
@@ -282,11 +461,15 @@ ClockTreeReport annotate_clock_latencies(Design& d) {
       } else if (scc.is_comb()) {
         // A clock buffer: add its insertion delay and recurse.
         const tech::LibCell* lc = d.lib_cell(sc);
-        const auto outs = nl.output_pins(sc);
+        const auto outs = nl.output_pins_of(sc);
         if (outs.empty() || nl.pin(outs[0]).net == kInvalidId) continue;
         const NetId onet = nl.pin(outs[0]).net;
-        double load = route::route_net(d, onet).wire_cap_ff;
-        for (PinId q : nl.sinks(onet)) load += d.pin_cap_ff(q);
+        const int oi = route_index[static_cast<std::size_t>(onet)];
+        double load = oi >= 0
+                          ? clock_routes[static_cast<std::size_t>(oi)]
+                                .wire_cap_ff
+                          : route::route_net(d, onet).wire_cap_ff;
+        nl.for_each_sink(onet, [&](PinId q) { load += d.pin_cap_ff(q); });
         const auto& arc = lc->arc(0);
         const double dly =
             0.5 * (arc.delay[static_cast<int>(Transition::Rise)].lookup(

@@ -23,6 +23,10 @@
 
 #include "netlist/design.hpp"
 
+namespace m3d::exec {
+class Pool;
+}
+
 namespace m3d::cts {
 
 using netlist::CellId;
@@ -46,6 +50,11 @@ struct CtsOptions {
   /// leaf's insertion delay is within one pad-buffer delay of the slowest.
   bool balance_skew = true;
   int max_pad_buffers = 40;  ///< per-leaf padding budget
+  /// Worker pool for the bisection planning and the clock-net routing
+  /// sweeps; nullptr builds serially. The built tree is bitwise identical
+  /// at any pool size (each subtree owns a precomputed counter range), so
+  /// this field must stay out of exec::FlowCache::options_hash.
+  exec::Pool* pool = nullptr;
 };
 
 /// Post-CTS clock network metrics (Table VIII "Clock Network").
@@ -67,8 +76,11 @@ struct ClockTreeReport {
 ClockTreeReport build_clock_tree(Design& d, const CtsOptions& opt = {});
 
 /// Recompute per-sink clock latencies from the current netlist + placement
-/// and store them in the design. Returns updated metrics.
-ClockTreeReport annotate_clock_latencies(Design& d);
+/// and store them in the design. Returns updated metrics. The clock nets
+/// are pre-routed in parallel on `pool` (the tree walk itself is serial);
+/// results are byte-identical at any pool size.
+ClockTreeReport annotate_clock_latencies(Design& d,
+                                         exec::Pool* pool = nullptr);
 
 /// Equalize leaf insertion delays by inserting delay-pad buffer chains in
 /// front of the fastest leaf buffers (classic tree balancing). Returns the

@@ -88,7 +88,7 @@ void check_electrical(const Design& d, const CheckOptions& opt,
           "net " + net.name + " fans out to " + std::to_string(fo),
           kInvalidId, n);
     double load = 0.0;
-    for (PinId s : nl.sinks(n)) load += d.pin_cap_ff(s);
+    nl.for_each_sink(n, [&](PinId s) { load += d.pin_cap_ff(s); });
     if (load > opt.max_load_ff)
       add(out, CheckSeverity::Warning, "electrical.load",
           "net " + net.name + " carries " + std::to_string(load) + " fF",
@@ -115,7 +115,7 @@ void check_clocking(const Design& d, std::vector<CheckViolation>& out) {
   for (NetId n = 0; n < nl.net_count(); ++n) {
     const auto& net = nl.net(n);
     if (!net.is_clock) continue;
-    for (PinId p : nl.sinks(n)) {
+    nl.for_each_sink(n, [&](PinId p) {
       const auto& pp = nl.pin(p);
       const auto& cc = nl.cell(pp.cell);
       const bool ok = pp.is_clock ||
@@ -124,7 +124,7 @@ void check_clocking(const Design& d, std::vector<CheckViolation>& out) {
         add(out, CheckSeverity::Warning, "clock.leak",
             "clock net " + net.name + " drives data pin on " + cc.name,
             pp.cell, n);
-    }
+    });
   }
 }
 

@@ -186,6 +186,46 @@ std::vector<PinId> Netlist::sinks(NetId n) const {
   return out;
 }
 
+void Netlist::sinks_into(NetId n, std::vector<PinId>& out) const {
+  const Net& nn = net(n);
+  out.clear();
+  for (PinId p : nn.pins)
+    if (p != nn.driver) out.push_back(p);
+}
+
+void Netlist::ensure_pin_index() const {
+  if (indexed_pins_ == pin_count()) return;
+  const std::size_t nc = cells_.size();
+  in_off_.assign(nc + 1, 0);
+  out_off_.assign(nc + 1, 0);
+  for (const Pin& p : pins_) {
+    const std::size_t c = static_cast<std::size_t>(p.cell);
+    if (p.dir == PinDir::Output)
+      ++out_off_[c + 1];
+    else if (!p.is_clock)
+      ++in_off_[c + 1];
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    in_off_[i + 1] += in_off_[i];
+    out_off_[i + 1] += out_off_[i];
+  }
+  in_pins_.resize(static_cast<std::size_t>(in_off_[nc]));
+  out_pins_.resize(static_cast<std::size_t>(out_off_[nc]));
+  std::vector<int> wi(in_off_.begin(), in_off_.end() - 1);
+  std::vector<int> wo(out_off_.begin(), out_off_.end() - 1);
+  // Walk each cell's own pin list so every CSR row keeps exactly the
+  // order input_pins()/output_pins() return.
+  for (std::size_t c = 0; c < nc; ++c)
+    for (PinId p : cells_[c].pins) {
+      const Pin& pp = pins_[static_cast<std::size_t>(p)];
+      if (pp.dir == PinDir::Output)
+        out_pins_[static_cast<std::size_t>(wo[c]++)] = p;
+      else if (!pp.is_clock)
+        in_pins_[static_cast<std::size_t>(wi[c]++)] = p;
+    }
+  indexed_pins_ = pin_count();
+}
+
 void Netlist::validate() const {
   for (NetId n = 0; n < net_count(); ++n) {
     const Net& nn = nets_[static_cast<std::size_t>(n)];

@@ -72,6 +72,19 @@ struct Net {
   bool is_clock = false;
 };
 
+/// Lightweight non-owning view over a contiguous run of pin ids (a row of
+/// the Netlist's cached pin CSR). Iterable and indexable like a span.
+struct PinSpan {
+  const PinId* ptr = nullptr;
+  std::size_t count = 0;
+
+  const PinId* begin() const { return ptr; }
+  const PinId* end() const { return ptr + count; }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  PinId operator[](std::size_t i) const { return ptr[i]; }
+};
+
 /// Aggregate statistics used by reports and generators.
 struct NetlistStats {
   int cells = 0;        ///< standard cells (comb + seq)
@@ -139,6 +152,30 @@ class Netlist {
   /// All non-clock input pins of a cell.
   std::vector<PinId> input_pins(CellId c) const;
 
+  // ---- cached pin CSR ----------------------------------------------------
+  // Per-cell input/output pin lists in one contiguous CSR, rebuilt lazily
+  // whenever the pin count changed (pins are only ever added, and a pin's
+  // direction/clock flag is immutable after creation, so the pin count is a
+  // complete validity key). The span accessors are the non-allocating
+  // equivalents of input_pins()/output_pins() and return pins in the same
+  // order. Thread-safety: a rebuild mutates the cache, so call
+  // ensure_pin_index() (or any span accessor) once on the serial path
+  // before reading spans from parallel workers with the netlist frozen.
+
+  /// Rebuild the pin CSR if the netlist grew since the last build.
+  void ensure_pin_index() const;
+
+  /// Non-clock input pins of a cell (input_pins() order, no allocation).
+  PinSpan input_pins_of(CellId c) const {
+    ensure_pin_index();
+    return row(in_off_, in_pins_, check_cell(c));
+  }
+  /// Output pins of a cell (output_pins() order, no allocation).
+  PinSpan output_pins_of(CellId c) const {
+    ensure_pin_index();
+    return row(out_off_, out_pins_, check_cell(c));
+  }
+
   // ---- access -----------------------------------------------------------
   int cell_count() const { return static_cast<int>(cells_.size()); }
   int net_count() const { return static_cast<int>(nets_.size()); }
@@ -156,6 +193,19 @@ class Netlist {
 
   /// Sink pins of a net (everything but the driver).
   std::vector<PinId> sinks(NetId n) const;
+
+  /// Non-allocating variant of sinks(): clears `out` and fills it with the
+  /// sink pins in the same order. Hot loops reuse one buffer across nets.
+  void sinks_into(NetId n, std::vector<PinId>& out) const;
+
+  /// Visit every sink pin of a net in sinks() order without materializing
+  /// a vector.
+  template <typename F>
+  void for_each_sink(NetId n, F&& f) const {
+    const Net& nn = net(n);
+    for (PinId p : nn.pins)
+      if (p != nn.driver) f(p);
+  }
 
   /// Validate structural invariants: every net driven exactly once, every
   /// input pin connected, pin/cell cross-references consistent.
@@ -180,11 +230,23 @@ class Netlist {
 
   PinId new_pin(CellId c, PinDir dir, int index, bool is_clock);
 
+  static PinSpan row(const std::vector<int>& off, const std::vector<PinId>& v,
+                     std::size_t i) {
+    return {v.data() + off[i],
+            static_cast<std::size_t>(off[i + 1] - off[i])};
+  }
+
   std::string name_;
   std::vector<Cell> cells_;
   std::vector<Net> nets_;
   std::vector<Pin> pins_;
   std::vector<std::string> blocks_;
+
+  // Pin CSR cache (see ensure_pin_index); indexed_pins_ == pin_count()
+  // marks it fresh. Mutable: the accessors are logically const.
+  mutable std::vector<int> in_off_, out_off_;
+  mutable std::vector<PinId> in_pins_, out_pins_;
+  mutable int indexed_pins_ = -1;
 };
 
 }  // namespace m3d::netlist

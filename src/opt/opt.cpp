@@ -48,10 +48,11 @@ int insert_fanout_buffers(Design& d, int max_fanout, int buffer_drive) {
   auto& nl = d.nl();
   int added = 0;
   const int original_nets = nl.net_count();
+  std::vector<PinId> sinks;
   for (NetId n = 0; n < original_nets; ++n) {
     const auto& net = nl.net(n);
     if (net.is_clock || net.driver == kInvalidId) continue;
-    const auto sinks = nl.sinks(n);
+    nl.sinks_into(n, sinks);
     if (static_cast<int>(sinks.size()) <= max_fanout) continue;
 
     const int groups = static_cast<int>(
@@ -106,11 +107,13 @@ int insert_wire_repeaters(Design& d, double max_seg_um, int drive) {
   auto& nl = d.nl();
   int added = 0;
   const int original_nets = nl.net_count();
+  route::RouteScratch scratch;
+  std::vector<PinId> sinks;
   for (NetId n = 0; n < original_nets; ++n) {
     const auto& net = nl.net(n);
     if (net.is_clock || net.driver == kInvalidId) continue;
-    const auto route = route::route_net(d, n);
-    const auto sinks = nl.sinks(n);
+    const auto route = route::route_net(d, n, scratch);
+    nl.sinks_into(n, sinks);
     const Point drv_pos = d.pin_pos(net.driver);
     const int drv_tier = d.tier(nl.pin(net.driver).cell);
     // Copy before add_comb/add_net below: they may reallocate the net
@@ -165,12 +168,12 @@ double effective_res(const tech::LibCell& lc) {
 /// excluding it would make the upsizing benefit test blind to exactly the
 /// nets that need driving.
 double output_pin_load(const Design& d, CellId c) {
-  const auto outs = d.nl().output_pins(c);
+  const auto outs = d.nl().output_pins_of(c);
   if (outs.empty()) return 0.0;
   const auto n = d.nl().pin(outs[0]).net;
   if (n == kInvalidId) return 0.0;
   double load = 0.0;
-  for (PinId s : d.nl().sinks(n)) load += d.pin_cap_ff(s);
+  d.nl().for_each_sink(n, [&](PinId s) { load += d.pin_cap_ff(s); });
   load += d.lib(netlist::kBottomTier)
               .wire()
               .wire_cap_ff(route::hpwl(d, n));
@@ -201,7 +204,7 @@ int upsize_critical(Design& d, const sta::StaResult& timing,
     const double gain = (effective_res(*cur) - effective_res(*next)) * load;
     const double d_cin = next->input_cap_ff - cur->input_cap_ff;
     double penalty = 0.0;
-    for (PinId p : nl.input_pins(c)) {
+    for (PinId p : nl.input_pins_of(c)) {
       const auto n = nl.pin(p).net;
       if (n == kInvalidId || nl.net(n).driver == kInvalidId) continue;
       const CellId drv = nl.pin(nl.net(n).driver).cell;
@@ -232,7 +235,8 @@ int fix_max_transition(Design& d, const sta::StaResult& timing,
     const auto& net = nl.net(n);
     if (net.is_clock || net.driver == kInvalidId) continue;
     double worst = 0.0;
-    for (PinId s : nl.sinks(n)) worst = std::max(worst, timing.pin_slew(s));
+    nl.for_each_sink(n,
+                     [&](PinId s) { worst = std::max(worst, timing.pin_slew(s)); });
     const CellId drv = nl.pin(net.driver).cell;
     if (worst <= limit[d.tier(drv)]) continue;
     if (!sizable(d, drv)) continue;
@@ -263,7 +267,7 @@ OptResult optimize_timing(Design& d, const OptOptions& opt) {
   OptResult res;
   auto time_design = [&] {
     if (!opt.routed) return sta::run_sta(d, nullptr, opt.sta);
-    const auto routes = route::route_design(d);
+    const auto routes = route::route_design(d, {opt.sta.pool});
     return sta::run_sta(d, &routes, opt.sta);
   };
 

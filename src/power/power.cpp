@@ -1,5 +1,8 @@
 #include "power/power.hpp"
 
+#include <functional>
+
+#include "exec/pool.hpp"
 #include "util/check.hpp"
 
 namespace m3d::power {
@@ -11,6 +14,19 @@ using netlist::PinDir;
 using netlist::PinId;
 
 namespace {
+
+/// Serial below this many items; the per-item kernels are deterministic
+/// either way, only the scheduling overhead differs.
+constexpr int kParallelMin = 2048;
+constexpr int kParallelGrain = 256;
+
+void par_for(exec::Pool* pool, int n, const std::function<void(int)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n < kParallelMin) {
+    for (int i = 0; i < n; ++i) fn(i);
+  } else {
+    pool->parallel_for(0, n, fn, kParallelGrain);
+  }
+}
 
 /// Is this combinational cell part of the clock distribution?
 bool is_clock_cell(const Design& d, CellId c) {
@@ -30,31 +46,47 @@ PowerReport analyze_power(const Design& d,
                           double freq_ghz, const PowerOptions& opt) {
   M3D_CHECK(freq_ghz > 0.0);
   const auto& nl = d.nl();
+  nl.ensure_pin_index();  // freeze the pin CSR before the parallel gathers
   PowerReport rep;
   rep.net_switching_uw.assign(static_cast<std::size_t>(nl.net_count()), 0.0);
 
   // --- net switching -------------------------------------------------------
-  for (NetId n = 0; n < nl.net_count(); ++n) {
+  // Gather: each net's µW lands in its own slot; the clock/signal totals
+  // accumulate serially in net order below, bitwise-identical to the old
+  // single loop at any pool size.
+  par_for(opt.pool, nl.net_count(), [&](int n) {
     const auto& net = nl.net(n);
-    if (net.driver == kInvalidId) continue;
+    if (net.driver == kInvalidId) return;
     double cap_ff = 0.0;
-    for (PinId s : nl.sinks(n)) cap_ff += d.pin_cap_ff(s);
+    nl.for_each_sink(n, [&](PinId s) { cap_ff += d.pin_cap_ff(s); });
     if (routes != nullptr)
       cap_ff += routes->nets[static_cast<std::size_t>(n)].wire_cap_ff;
     const int drv_tier = d.tier(nl.pin(net.driver).cell);
     const double vdd = d.lib(drv_tier).vdd();
     // ½·α·C·V²·f; fF·V²·GHz = µW.
-    const double uw = 0.5 * net.activity * cap_ff * vdd * vdd * freq_ghz;
-    rep.net_switching_uw[static_cast<std::size_t>(n)] = uw;
-    if (net.is_clock)
+    rep.net_switching_uw[static_cast<std::size_t>(n)] =
+        0.5 * net.activity * cap_ff * vdd * vdd * freq_ghz;
+  });
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(n).driver == kInvalidId) continue;
+    const double uw = rep.net_switching_uw[static_cast<std::size_t>(n)];
+    if (nl.net(n).is_clock)
       rep.clock_mw += uw / 1000.0;
     else
       rep.switching_mw += uw / 1000.0;
   }
 
   // --- cell internal + leakage ---------------------------------------------
-  for (CellId c = 0; c < nl.cell_count(); ++c) {
+  // Same discipline: per-cell µW pairs gather into slots, totals reduce
+  // serially in cell order.
+  const std::size_t nc = static_cast<std::size_t>(nl.cell_count());
+  std::vector<double> internal(nc, 0.0);
+  std::vector<double> leakage(nc, 0.0);
+  std::vector<char> skip(nc, 0);
+  std::vector<char> clocky(nc, 0);
+  par_for(opt.pool, nl.cell_count(), [&](int c) {
     const Cell& cc = nl.cell(c);
+    const auto ci = static_cast<std::size_t>(c);
     double internal_uw = 0.0;
     double leakage_uw = 0.0;
 
@@ -63,7 +95,7 @@ PowerReport analyze_power(const Design& d,
       // Output activity drives internal energy; flops switch with their Q
       // activity plus clock loading handled via the clock net cap.
       double act = 0.1;
-      const auto outs = nl.output_pins(c);
+      const auto outs = nl.output_pins_of(c);
       if (!outs.empty() && nl.pin(outs[0]).net != kInvalidId)
         act = nl.net(nl.pin(outs[0]).net).activity;
       internal_uw = lc->internal_energy_fj * act * freq_ghz;
@@ -74,7 +106,7 @@ PowerReport analyze_power(const Design& d,
         // rail (paper Table III's leakage rows).
         double derate_sum = 0.0;
         int inputs = 0;
-        for (PinId p : nl.input_pins(c)) {
+        for (PinId p : nl.input_pins_of(c)) {
           const auto net = nl.pin(p).net;
           double derate = 1.0;
           if (net != kInvalidId && nl.net(net).driver != kInvalidId) {
@@ -93,14 +125,21 @@ PowerReport analyze_power(const Design& d,
       internal_uw = mc->internal_energy_fj * 0.5 * freq_ghz;  // access rate
       leakage_uw = mc->leakage_uw;
     } else {
-      continue;
+      skip[ci] = 1;
+      return;
     }
-
-    if (is_clock_cell(d, c)) {
-      rep.clock_mw += (internal_uw + leakage_uw) / 1000.0;
+    internal[ci] = internal_uw;
+    leakage[ci] = leakage_uw;
+    clocky[ci] = is_clock_cell(d, c) ? 1 : 0;
+  });
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (skip[ci]) continue;
+    if (clocky[ci]) {
+      rep.clock_mw += (internal[ci] + leakage[ci]) / 1000.0;
     } else {
-      rep.internal_mw += internal_uw / 1000.0;
-      rep.leakage_mw += leakage_uw / 1000.0;
+      rep.internal_mw += internal[ci] / 1000.0;
+      rep.leakage_mw += leakage[ci] / 1000.0;
     }
   }
 

@@ -18,6 +18,10 @@
 #include "netlist/design.hpp"
 #include "route/route.hpp"
 
+namespace m3d::exec {
+class Pool;
+}
+
 namespace m3d::power {
 
 using netlist::CellId;
@@ -27,6 +31,11 @@ using netlist::NetId;
 /// Power analysis knobs.
 struct PowerOptions {
   bool boundary_leakage = true;  ///< apply hetero leakage derates
+  /// Worker pool for the per-net and per-cell gathers; nullptr analyzes
+  /// serially. Totals accumulate serially in id order afterwards, so the
+  /// report is byte-identical at any pool size — keep this field out of
+  /// exec::FlowCache::options_hash.
+  exec::Pool* pool = nullptr;
 };
 
 /// Result of one power analysis, all in mW.

@@ -1,15 +1,50 @@
 #include "route/route.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
+#include "exec/pool.hpp"
 #include "util/geom.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::route {
 
 using netlist::kInvalidId;
 using util::BBox;
 using util::Point;
+
+namespace {
+
+/// Serial below this many nets; the per-net kernels are deterministic
+/// either way, only the scheduling overhead differs.
+constexpr int kParallelMinNets = 1024;
+/// Nets per parallel chunk. Each chunk owns one RouteScratch, so the
+/// scratch reuse survives any pool size without per-worker state.
+constexpr int kNetChunk = 256;
+
+/// Run fn(lo, hi, scratch) over fixed [lo, hi) net-id chunks, in parallel
+/// when the pool is worth it. Chunk boundaries do not depend on the pool,
+/// and every chunk writes only its own nets' slots.
+void chunked_net_loop(
+    exec::Pool* pool, int n,
+    const std::function<void(int, int, RouteScratch&)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n < kParallelMinNets) {
+    RouteScratch scratch;
+    fn(0, n, scratch);
+    return;
+  }
+  const int chunks = (n + kNetChunk - 1) / kNetChunk;
+  pool->parallel_for(
+      0, chunks,
+      [&](int c) {
+        RouteScratch scratch;
+        fn(c * kNetChunk, std::min(n, (c + 1) * kNetChunk), scratch);
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
 
 double hpwl(const Design& d, NetId n) {
   const auto& net = d.nl().net(n);
@@ -18,23 +53,40 @@ double hpwl(const Design& d, NetId n) {
   return bb.hpwl();
 }
 
-double total_hpwl(const Design& d) {
+double total_hpwl(const Design& d, const RouteOptions& opt) {
+  const int n = d.nl().net_count();
+  std::vector<double> per_net(static_cast<std::size_t>(n), 0.0);
+  chunked_net_loop(opt.pool, n, [&](int lo, int hi, RouteScratch&) {
+    for (int i = lo; i < hi; ++i)
+      per_net[static_cast<std::size_t>(i)] = hpwl(d, i);
+  });
+  // Serial sum in net order: bitwise-identical to the serial loop.
   double sum = 0.0;
-  for (NetId n = 0; n < d.nl().net_count(); ++n) sum += hpwl(d, n);
+  for (double v : per_net) sum += v;
   return sum;
 }
 
 NetRoute route_net(const Design& d, NetId n) {
+  RouteScratch scratch;
+  return route_net(d, n, scratch);
+}
+
+NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch) {
   NetRoute r;
   const auto& nl = d.nl();
   const auto& net = nl.net(n);
+  // Degenerate (single-pin or undriven) nets never reach the terminal
+  // gather or the MST below.
   if (net.driver == kInvalidId || net.pins.size() < 2) return r;
 
   // Gather terminals: index 0 = driver, then sinks in Netlist::sinks order.
-  const auto sink_pins = nl.sinks(n);
+  auto& sink_pins = scratch.sink_pins;
+  nl.sinks_into(n, sink_pins);
   const std::size_t k = sink_pins.size() + 1;
-  std::vector<Point> pt(k);
-  std::vector<int> tier(k);
+  auto& pt = scratch.pt;
+  auto& tier = scratch.tier;
+  pt.assign(k, Point{});
+  tier.assign(k, 0);
   pt[0] = d.pin_pos(net.driver);
   tier[0] = d.tier(nl.pin(net.driver).cell);
   for (std::size_t i = 0; i < sink_pins.size(); ++i) {
@@ -44,30 +96,42 @@ NetRoute route_net(const Design& d, NetId n) {
 
   // Prim MST on Manhattan distance, rooted at the driver. O(k²) — fine for
   // signal fanouts; the raw clock net is replaced by CTS before routing
-  // matters.
-  std::vector<bool> in_tree(k, false);
-  std::vector<double> best(k, std::numeric_limits<double>::max());
-  std::vector<std::size_t> parent(k, 0);
-  in_tree[0] = true;
+  // matters. The inner scans keep the ascending-j visit order (ties pick
+  // the lowest j, as always) but stop once every out-of-tree node has been
+  // seen — a real saving on high-fanout nets once the tree fills up.
+  auto& in_tree = scratch.in_tree;
+  auto& best = scratch.best;
+  auto& parent = scratch.parent;
+  in_tree.assign(k, 0);
+  best.assign(k, std::numeric_limits<double>::max());
+  parent.assign(k, 0);
+  in_tree[0] = 1;
   best[0] = 0.0;
   for (std::size_t j = 1; j < k; ++j) {
     best[j] = util::manhattan(pt[0], pt[j]);
     parent[j] = 0;
   }
   for (std::size_t added = 1; added < k; ++added) {
+    const std::size_t out_count = k - added;
     std::size_t u = k;
     double bd = std::numeric_limits<double>::max();
-    for (std::size_t j = 1; j < k; ++j)
-      if (!in_tree[j] && best[j] < bd) {
+    std::size_t seen = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (in_tree[j]) continue;
+      if (best[j] < bd) {
         bd = best[j];
         u = j;
       }
+      if (++seen == out_count) break;
+    }
     M3D_CHECK(u < k);
-    in_tree[u] = true;
+    in_tree[u] = 1;
     r.length_um += bd;
     if (tier[u] != tier[parent[u]]) ++r.miv_count;
-    for (std::size_t j = 1; j < k; ++j) {
+    seen = 0;
+    for (std::size_t j = 1; j < k && seen + 1 < out_count; ++j) {
       if (in_tree[j]) continue;
+      ++seen;
       const double dd = util::manhattan(pt[u], pt[j]);
       if (dd < best[j]) {
         best[j] = dd;
@@ -79,8 +143,10 @@ NetRoute route_net(const Design& d, NetId n) {
   // Per-sink path length from the driver along tree edges.
   r.sink_path_um.resize(sink_pins.size(), 0.0);
   r.sink_crosses_tier.resize(sink_pins.size(), false);
-  std::vector<double> dist(k, 0.0);
-  std::vector<bool> crosses(k, false);
+  auto& dist = scratch.dist;
+  auto& crosses = scratch.crosses;
+  dist.assign(k, 0.0);
+  crosses.assign(k, 0);
   // parent[] forms a tree rooted at 0; compute by walking up (paths are
   // short), memoization not needed at these fanouts.
   for (std::size_t j = 1; j < k; ++j) {
@@ -93,11 +159,11 @@ NetRoute route_net(const Design& d, NetId n) {
       v = parent[v];
     }
     dist[j] = acc;
-    crosses[j] = x;
+    crosses[j] = x ? 1 : 0;
   }
   for (std::size_t i = 0; i < sink_pins.size(); ++i) {
     r.sink_path_um[i] = dist[i + 1];
-    r.sink_crosses_tier[i] = crosses[i + 1];
+    r.sink_crosses_tier[i] = crosses[i + 1] != 0;
   }
 
   const auto& wire = d.lib(netlist::kBottomTier).wire();
@@ -107,13 +173,24 @@ NetRoute route_net(const Design& d, NetId n) {
   return r;
 }
 
-RoutingEstimate route_design(const Design& d) {
+RoutingEstimate route_design(const Design& d, const RouteOptions& opt) {
+  util::TraceSpan span(
+      "route_pass",
+      util::trace_enabled()
+          ? d.nl().name() + " " + std::to_string(d.nl().net_count()) + " nets"
+          : std::string());
+  const int n = d.nl().net_count();
   RoutingEstimate est;
-  est.nets.resize(static_cast<std::size_t>(d.nl().net_count()));
-  for (NetId n = 0; n < d.nl().net_count(); ++n) {
-    est.nets[static_cast<std::size_t>(n)] = route_net(d, n);
-    est.total_wirelength_um += est.nets[static_cast<std::size_t>(n)].length_um;
-    est.total_mivs += est.nets[static_cast<std::size_t>(n)].miv_count;
+  est.nets.resize(static_cast<std::size_t>(n));
+  chunked_net_loop(opt.pool, n, [&](int lo, int hi, RouteScratch& scratch) {
+    for (int i = lo; i < hi; ++i)
+      est.nets[static_cast<std::size_t>(i)] = route_net(d, i, scratch);
+  });
+  // Serial in-order reduction keeps the totals bitwise-identical to the
+  // old per-net accumulation at any pool size.
+  for (const NetRoute& nr : est.nets) {
+    est.total_wirelength_um += nr.length_um;
+    est.total_mivs += nr.miv_count;
   }
   const double cap = routing_capacity_um(d);
   est.congestion = cap > 0.0 ? est.total_wirelength_um / cap : 0.0;
@@ -121,8 +198,12 @@ RoutingEstimate route_design(const Design& d) {
 }
 
 void update_routes_for_cells(const Design& d, const std::vector<CellId>& cells,
-                             RoutingEstimate* est) {
+                             RoutingEstimate* est, const RouteOptions& opt) {
   const auto& nl = d.nl();
+  // Dirty nets in first-encounter order — the exact order the serial code
+  // applied its aggregate deltas in, preserved below so the incremental
+  // wirelength stays bitwise-identical to the pre-parallel behaviour.
+  std::vector<NetId> dirty;
   std::vector<char> net_seen(static_cast<std::size_t>(nl.net_count()), 0);
   for (CellId c : cells)
     for (PinId p : nl.cell(c).pins) {
@@ -130,13 +211,31 @@ void update_routes_for_cells(const Design& d, const std::vector<CellId>& cells,
       if (n == netlist::kInvalidId || net_seen[static_cast<std::size_t>(n)])
         continue;
       net_seen[static_cast<std::size_t>(n)] = 1;
-      NetRoute& slot = est->nets[static_cast<std::size_t>(n)];
-      const double old_len = slot.length_um;
-      const int old_mivs = slot.miv_count;
-      slot = route_net(d, n);
-      est->total_wirelength_um += slot.length_um - old_len;
-      est->total_mivs += slot.miv_count - old_mivs;
+      dirty.push_back(n);
     }
+
+  std::vector<double> old_len(dirty.size());
+  std::vector<int> old_mivs(dirty.size());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const NetRoute& slot = est->nets[static_cast<std::size_t>(dirty[i])];
+    old_len[i] = slot.length_um;
+    old_mivs[i] = slot.miv_count;
+  }
+
+  chunked_net_loop(opt.pool, static_cast<int>(dirty.size()),
+                   [&](int lo, int hi, RouteScratch& scratch) {
+                     for (int i = lo; i < hi; ++i)
+                       est->nets[static_cast<std::size_t>(
+                           dirty[static_cast<std::size_t>(i)])] =
+                           route_net(d, dirty[static_cast<std::size_t>(i)],
+                                     scratch);
+                   });
+
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const NetRoute& slot = est->nets[static_cast<std::size_t>(dirty[i])];
+    est->total_wirelength_um += slot.length_um - old_len[i];
+    est->total_mivs += slot.miv_count - old_mivs[i];
+  }
   const double cap = routing_capacity_um(d);
   est->congestion = cap > 0.0 ? est->total_wirelength_um / cap : 0.0;
 }

@@ -9,10 +9,21 @@
 /// on both tiers receive one MIV per tier-crossing tree edge — matching the
 /// paper's observation that ~15 % of nets cross tiers and each crossing is
 /// a single ~50 nm via, not a bump.
+///
+/// The whole-design entry points (route_design, total_hpwl,
+/// update_routes_for_cells) are embarrassingly parallel per net and run on
+/// an exec::Pool when RouteOptions names one. Per-net results are written
+/// into per-net slots and every floating-point aggregate is accumulated
+/// serially in net order afterwards, so results are byte-identical to the
+/// serial code at any pool size (the PR-2 determinism discipline).
 
 #include <vector>
 
 #include "netlist/design.hpp"
+
+namespace m3d::exec {
+class Pool;
+}
 
 namespace m3d::route {
 
@@ -20,6 +31,14 @@ using netlist::CellId;
 using netlist::Design;
 using netlist::NetId;
 using netlist::PinId;
+
+/// Knobs for the whole-design routing entry points.
+struct RouteOptions {
+  /// Worker pool for the per-net loops; nullptr routes serially. Results
+  /// are byte-identical either way, so this field must stay out of
+  /// exec::FlowCache::options_hash.
+  exec::Pool* pool = nullptr;
+};
 
 /// Routed view of one net.
 struct NetRoute {
@@ -30,6 +49,19 @@ struct NetRoute {
   /// to that sink along the tree, and whether the path crosses tiers.
   std::vector<double> sink_path_um;
   std::vector<bool> sink_crosses_tier;
+};
+
+/// Reusable per-worker buffers for route_net: one scratch per routing
+/// chunk instead of four-plus heap allocations per net.
+struct RouteScratch {
+  std::vector<PinId> sink_pins;
+  std::vector<util::Point> pt;
+  std::vector<int> tier;
+  std::vector<char> in_tree;
+  std::vector<double> best;
+  std::vector<std::size_t> parent;
+  std::vector<double> dist;
+  std::vector<char> crosses;
 };
 
 /// Whole-design routing estimate.
@@ -44,15 +76,19 @@ struct RoutingEstimate {
 double hpwl(const Design& d, NetId n);
 
 /// Sum of HPWL over all nets.
-double total_hpwl(const Design& d);
+double total_hpwl(const Design& d, const RouteOptions& opt = {});
 
 /// Route one net: build the spanning tree, measure per-sink paths and
 /// tier crossings. Clock nets are routed like signal nets here; the CTS
 /// stage replaces the raw clock net with a buffered tree first.
 NetRoute route_net(const Design& d, NetId n);
 
+/// route_net with caller-owned scratch buffers (hot loops reuse one
+/// RouteScratch across many nets). Results are identical to route_net.
+NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch);
+
 /// Route every net and compute aggregate metrics.
-RoutingEstimate route_design(const Design& d);
+RoutingEstimate route_design(const Design& d, const RouteOptions& opt = {});
 
 /// Re-route only the nets incident to `cells` — the full impact set of a
 /// tier move, since positions (and thus every other net's tree) are
@@ -61,7 +97,8 @@ RoutingEstimate route_design(const Design& d);
 /// adjusted incrementally (MIV count stays integer-exact) and congestion
 /// is recomputed. The ECO loop pairs this with Sta::retime().
 void update_routes_for_cells(const Design& d, const std::vector<CellId>& cells,
-                             RoutingEstimate* est);
+                             RoutingEstimate* est,
+                             const RouteOptions& opt = {});
 
 /// Routing capacity model: total available track length across the
 /// signal layers of all tiers (µm), given the floorplan and wire pitch.

@@ -203,15 +203,15 @@ void StaEngine::build_structure() {
     const auto& net = nl_.net(n);
     if (net.is_clock || net.driver == kInvalidId) continue;
     if (!part_[static_cast<std::size_t>(net.driver)]) continue;
-    const auto sinks = nl_.sinks(n);
-    for (std::size_t i = 0; i < sinks.size(); ++i) {
-      const PinId s = sinks[i];
-      if (!part_[static_cast<std::size_t>(s)]) continue;
+    std::size_t i = 0;
+    nl_.for_each_sink(n, [&](PinId s) {
+      const std::size_t ord = i++;
+      if (!part_[static_cast<std::size_t>(s)]) return;
       role_[static_cast<std::size_t>(s)] = Role::kNetSink;
       drv_pin_[static_cast<std::size_t>(s)] = net.driver;
-      sink_ord_[static_cast<std::size_t>(s)] = static_cast<int>(i);
+      sink_ord_[static_cast<std::size_t>(s)] = static_cast<int>(ord);
       ++indeg[static_cast<std::size_t>(s)];
-    }
+    });
   }
   for (CellId c = 0; c < nl_.cell_count(); ++c) {
     const Cell& cc = nl_.cell(c);
@@ -239,8 +239,9 @@ void StaEngine::build_structure() {
     const Pin& up = nl_.pin(u);
     if (up.dir == PinDir::Output) {
       if (up.net == kInvalidId || nl_.net(up.net).is_clock) return;
-      for (PinId s : nl_.sinks(up.net))
+      nl_.for_each_sink(up.net, [&](PinId s) {
         if (part_[static_cast<std::size_t>(s)]) fn(s);
+      });
     } else {
       const Cell& cc = nl_.cell(up.cell);
       if (!cc.is_comb() || clkbuf_[static_cast<std::size_t>(up.cell)]) return;
@@ -365,7 +366,7 @@ void StaEngine::build_structure() {
 
 double StaEngine::net_load_ff(NetId n) const {
   double load = 0.0;
-  for (PinId s : nl_.sinks(n)) load += d_.pin_cap_ff(s);
+  nl_.for_each_sink(n, [&](PinId s) { load += d_.pin_cap_ff(s); });
   if (routes_ != nullptr)
     load += routes_->nets[static_cast<std::size_t>(n)].wire_cap_ff;
   return load;
@@ -760,15 +761,15 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
       net_seen[static_cast<std::size_t>(n)] = 1;
       const auto& net = nl_.net(n);
       if (net.driver != kInvalidId) seed(net.driver);
-      for (PinId s : nl_.sinks(n)) {
+      nl_.for_each_sink(n, [&](PinId s) {
         seed(s);
         const CellId sc = nl_.pin(s).cell;
         const Cell& scc = nl_.cell(sc);
-        if (!scc.is_comb() || clkbuf_[static_cast<std::size_t>(sc)]) continue;
+        if (!scc.is_comb() || clkbuf_[static_cast<std::size_t>(sc)]) return;
         const auto sci = static_cast<std::size_t>(sc);
         for (int k = cell_out_off_[sci]; k < cell_out_off_[sci + 1]; ++k)
           seed(cell_out_[static_cast<std::size_t>(k)]);
-      }
+      });
     }
   }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
+#include "exec/pool.hpp"
 #include "util/log.hpp"
 
 namespace m3d::thermal {
@@ -11,16 +13,57 @@ using netlist::CellId;
 using netlist::kInvalidId;
 using netlist::NetId;
 
+namespace {
+
+/// Fixed id-range chunk for the power-map scatter: each chunk accumulates
+/// its own partial map and the partials combine serially in chunk order,
+/// so the map is independent of the pool size (including the serial path,
+/// which walks the same chunks).
+constexpr int kMapChunk = 4096;
+
+using Maps = std::vector<std::vector<double>>;
+
+/// Scatter items [0, n) into per-chunk partial maps via scatter(i, partial)
+/// and fold the partials into `maps` in chunk order.
+void chunked_scatter(exec::Pool* pool, int n, int tiers, int bins, Maps& maps,
+                     const std::function<void(int, Maps&)>& scatter) {
+  const int chunks = (n + kMapChunk - 1) / kMapChunk;
+  if (chunks <= 0) return;
+  std::vector<Maps> partial(
+      static_cast<std::size_t>(chunks),
+      Maps(static_cast<std::size_t>(tiers),
+           std::vector<double>(static_cast<std::size_t>(bins), 0.0)));
+  auto run_chunk = [&](int c) {
+    Maps& p = partial[static_cast<std::size_t>(c)];
+    const int hi = std::min(n, (c + 1) * kMapChunk);
+    for (int i = c * kMapChunk; i < hi; ++i) scatter(i, p);
+  };
+  if (pool != nullptr && pool->size() > 1 && chunks > 1) {
+    pool->parallel_for(0, chunks, run_chunk, /*grain=*/1);
+  } else {
+    for (int c = 0; c < chunks; ++c) run_chunk(c);
+  }
+  for (int c = 0; c < chunks; ++c)
+    for (int t = 0; t < tiers; ++t)
+      for (int b = 0; b < bins; ++b)
+        maps[static_cast<std::size_t>(t)][static_cast<std::size_t>(b)] +=
+            partial[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)]
+                   [static_cast<std::size_t>(b)];
+}
+
+}  // namespace
+
 std::vector<std::vector<double>> power_map_w(const Design& d,
                                              const power::PowerReport& pw,
-                                             int grid) {
+                                             int grid, exec::Pool* pool) {
   M3D_CHECK(grid >= 2);
   const auto& nl = d.nl();
   const auto fp = d.floorplan();
   const int tiers = d.num_tiers();
+  const int bins = grid * grid;
   std::vector<std::vector<double>> maps(
       static_cast<std::size_t>(tiers),
-      std::vector<double>(static_cast<std::size_t>(grid * grid), 0.0));
+      std::vector<double>(static_cast<std::size_t>(bins), 0.0));
 
   auto node_of = [&](util::Point p) {
     int x = static_cast<int>((p.x - fp.xlo) / std::max(fp.width(), 1e-9) *
@@ -33,14 +76,16 @@ std::vector<std::vector<double>> power_map_w(const Design& d,
   };
 
   // Net switching power lands where the driver burns it.
-  for (NetId n = 0; n < nl.net_count(); ++n) {
-    const auto& net = nl.net(n);
-    if (net.driver == kInvalidId) continue;
-    const CellId drv = nl.pin(net.driver).cell;
-    maps[static_cast<std::size_t>(d.tier(drv))]
-        [static_cast<std::size_t>(node_of(d.pos(drv)))] +=
-        pw.net_switching_uw[static_cast<std::size_t>(n)] * 1e-6;
-  }
+  chunked_scatter(pool, nl.net_count(), tiers, bins, maps,
+                  [&](int n, Maps& out) {
+                    const auto& net = nl.net(n);
+                    if (net.driver == kInvalidId) return;
+                    const CellId drv = nl.pin(net.driver).cell;
+                    out[static_cast<std::size_t>(d.tier(drv))]
+                       [static_cast<std::size_t>(node_of(d.pos(drv)))] +=
+                        pw.net_switching_uw[static_cast<std::size_t>(n)] *
+                        1e-6;
+                  });
 
   // Internal + leakage totals distributed in proportion to cell area —
   // a per-cell re-derivation would duplicate the power engine; the map's
@@ -50,13 +95,14 @@ std::vector<std::vector<double>> power_map_w(const Design& d,
   const double total_area =
       d.total_std_cell_area() + d.total_macro_area();
   if (rest_w > 0.0 && total_area > 0.0) {
-    for (CellId c = 0; c < nl.cell_count(); ++c) {
-      const auto& cc = nl.cell(c);
-      if (cc.is_port()) continue;
-      maps[static_cast<std::size_t>(d.tier(c))]
-          [static_cast<std::size_t>(node_of(d.pos(c)))] +=
-          rest_w * d.cell_area(c) / total_area;
-    }
+    chunked_scatter(pool, nl.cell_count(), tiers, bins, maps,
+                    [&](int c, Maps& out) {
+                      const auto& cc = nl.cell(c);
+                      if (cc.is_port()) return;
+                      out[static_cast<std::size_t>(d.tier(c))]
+                         [static_cast<std::size_t>(node_of(d.pos(c)))] +=
+                          rest_w * d.cell_area(c) / total_area;
+                    });
   }
   return maps;
 }
@@ -65,7 +111,7 @@ ThermalReport analyze_thermal(const Design& d, const power::PowerReport& pw,
                               const ThermalOptions& opt) {
   const int g = opt.grid;
   const int tiers = d.num_tiers();
-  const auto power_w = power_map_w(d, pw, g);
+  const auto power_w = power_map_w(d, pw, g, opt.pool);
   const double node_area_um2 = d.floorplan().area() / (g * g);
 
   const double g_lat = opt.lateral_conductance_w_per_k;

@@ -24,6 +24,10 @@
 #include "netlist/design.hpp"
 #include "power/power.hpp"
 
+namespace m3d::exec {
+class Pool;
+}
+
 namespace m3d::thermal {
 
 using netlist::Design;
@@ -41,6 +45,11 @@ struct ThermalOptions {
   double ambient_c = 45.0;  ///< package ambient (°C)
   int max_iters = 4000;
   double tolerance_c = 1e-4;  ///< max node update at convergence
+  /// Worker pool for the power-map gather (the Gauss–Seidel sweep itself
+  /// is inherently serial); nullptr builds the map serially. The map is
+  /// identical at any pool size: contributions accumulate into per-chunk
+  /// partial maps over fixed id ranges, combined serially in chunk order.
+  exec::Pool* pool = nullptr;
 };
 
 /// Result of one solve.
@@ -60,7 +69,8 @@ struct ThermalReport {
 /// cell locations. `freq_ghz` must match the PowerReport's frequency.
 std::vector<std::vector<double>> power_map_w(const Design& d,
                                              const power::PowerReport& pw,
-                                             int grid);
+                                             int grid,
+                                             exec::Pool* pool = nullptr);
 
 /// Solve the steady-state temperature field.
 ThermalReport analyze_thermal(const Design& d, const power::PowerReport& pw,

@@ -235,3 +235,47 @@ TEST(Writer, PlacementDumpHasTierAndCoords) {
   EXPECT_NE(s.find("DIEAREA ( 0 0 ) ( 50 50 )"), std::string::npos);
   EXPECT_NE(s.find("1.500 2.500"), std::string::npos);
 }
+
+// ---- non-allocating traversal accessors ----------------------------------
+
+TEST(Netlist, SinksIntoAndForEachSinkMatchSinks) {
+  const auto nl = tiny_netlist();
+  std::vector<mn::PinId> buf;
+  for (mn::NetId n = 0; n < nl.net_count(); ++n) {
+    const auto expected = nl.sinks(n);
+    nl.sinks_into(n, buf);
+    EXPECT_EQ(buf, expected) << "net " << n;
+    std::vector<mn::PinId> visited;
+    nl.for_each_sink(n, [&](mn::PinId p) { visited.push_back(p); });
+    EXPECT_EQ(visited, expected) << "net " << n;
+  }
+}
+
+TEST(Netlist, PinSpansMatchAllocatingAccessors) {
+  const auto nl = tiny_netlist();
+  for (mn::CellId c = 0; c < nl.cell_count(); ++c) {
+    const auto in_vec = nl.input_pins(c);
+    const auto in_span = nl.input_pins_of(c);
+    ASSERT_EQ(in_span.size(), in_vec.size()) << "cell " << c;
+    for (std::size_t i = 0; i < in_vec.size(); ++i)
+      EXPECT_EQ(in_span[i], in_vec[i]) << "cell " << c << " pin " << i;
+    const auto out_vec = nl.output_pins(c);
+    const auto out_span = nl.output_pins_of(c);
+    ASSERT_EQ(out_span.size(), out_vec.size()) << "cell " << c;
+    for (std::size_t i = 0; i < out_vec.size(); ++i)
+      EXPECT_EQ(out_span[i], out_vec[i]) << "cell " << c << " pin " << i;
+  }
+}
+
+TEST(Netlist, PinIndexRebuildsAfterGrowth) {
+  auto nl = tiny_netlist();
+  // Force the CSR cache to build, then grow the netlist: spans must
+  // reflect the new pins, not the stale index.
+  (void)nl.input_pins_of(0);
+  const auto buf = nl.add_comb("late_buf", mt::CellFunc::Buf, 1);
+  const auto n = nl.add_net("late_net");
+  nl.connect(n, nl.input_pin(buf, 0));
+  const auto span = nl.input_pins_of(buf);
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(span[0], nl.input_pin(buf, 0));
+}

@@ -289,3 +289,86 @@ TEST(Cts, SkewFeedsStaCapture) {
   const auto cp = r.critical_path();
   EXPECT_NE(cp.clock_skew_ns, 0.0);
 }
+
+// ---- parallel determinism ------------------------------------------------
+
+#include "exec/pool.hpp"
+#include "netlist/writer.hpp"
+
+namespace mex = m3d::exec;
+
+namespace {
+
+void expect_identical_report(const mcts::ClockTreeReport& a,
+                             const mcts::ClockTreeReport& b) {
+  ASSERT_EQ(a.buffer_count, b.buffer_count);
+  ASSERT_EQ(a.buffer_count_tier[0], b.buffer_count_tier[0]);
+  ASSERT_EQ(a.buffer_count_tier[1], b.buffer_count_tier[1]);
+  ASSERT_EQ(a.buffer_area_um2, b.buffer_area_um2);
+  ASSERT_EQ(a.wirelength_um, b.wirelength_um);
+  ASSERT_EQ(a.max_latency_ns, b.max_latency_ns);
+  ASSERT_EQ(a.min_latency_ns, b.min_latency_ns);
+  ASSERT_EQ(a.max_skew_ns, b.max_skew_ns);
+  ASSERT_EQ(a.sink_count, b.sink_count);
+}
+
+}  // namespace
+
+TEST(Cts, ByteIdenticalAcrossPoolSizes) {
+  // Build the tree on three copies of the same placed design with
+  // different pools: the netlist (names, ids, connectivity), placement,
+  // latencies, and report must all come out bitwise equal.
+  auto d0 = placed("netcard", 0.06, /*hetero=*/true);
+  auto d1 = placed("netcard", 0.06, /*hetero=*/true);
+  auto d4 = placed("netcard", 0.06, /*hetero=*/true);
+  mex::Pool serial(1), wide(4);
+
+  mcts::CtsOptions o0;  // no pool at all
+  mcts::CtsOptions o1;
+  o1.pool = &serial;
+  mcts::CtsOptions o4;
+  o4.pool = &wide;
+  const auto r0 = mcts::build_clock_tree(d0, o0);
+  const auto r1 = mcts::build_clock_tree(d1, o1);
+  const auto r4 = mcts::build_clock_tree(d4, o4);
+
+  expect_identical_report(r0, r1);
+  expect_identical_report(r0, r4);
+  EXPECT_EQ(mn::verilog_string(d0.nl()), mn::verilog_string(d1.nl()));
+  EXPECT_EQ(mn::verilog_string(d0.nl()), mn::verilog_string(d4.nl()));
+  EXPECT_EQ(mn::placement_string(d0), mn::placement_string(d1));
+  EXPECT_EQ(mn::placement_string(d0), mn::placement_string(d4));
+  for (mn::CellId c = 0; c < d0.nl().cell_count(); ++c) {
+    ASSERT_EQ(d0.clock_latency(c), d1.clock_latency(c)) << "cell " << c;
+    ASSERT_EQ(d0.clock_latency(c), d4.clock_latency(c)) << "cell " << c;
+  }
+
+  // annotate_clock_latencies on its own must agree too.
+  const auto a1 = mcts::annotate_clock_latencies(d1, &serial);
+  const auto a4 = mcts::annotate_clock_latencies(d4, &wide);
+  expect_identical_report(a1, a4);
+}
+
+TEST(Power, ByteIdenticalAcrossPoolSizes) {
+  auto d = placed("netcard", 0.06, /*hetero=*/true);
+  const auto routes = mr::route_design(d);
+  mex::Pool serial(1), wide(4);
+
+  mpw::PowerOptions o0;  // no pool at all
+  mpw::PowerOptions o1;
+  o1.pool = &serial;
+  mpw::PowerOptions o4;
+  o4.pool = &wide;
+  const auto p0 = mpw::analyze_power(d, &routes, 1.0, o0);
+  const auto p1 = mpw::analyze_power(d, &routes, 1.0, o1);
+  const auto p4 = mpw::analyze_power(d, &routes, 1.0, o4);
+
+  for (const auto* p : {&p1, &p4}) {
+    ASSERT_EQ(p0.switching_mw, p->switching_mw);
+    ASSERT_EQ(p0.internal_mw, p->internal_mw);
+    ASSERT_EQ(p0.leakage_mw, p->leakage_mw);
+    ASSERT_EQ(p0.clock_mw, p->clock_mw);
+    ASSERT_EQ(p0.total_mw, p->total_mw);
+    ASSERT_EQ(p0.net_switching_uw, p->net_switching_uw);
+  }
+}

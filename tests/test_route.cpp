@@ -172,3 +172,115 @@ TEST(Route, MstNeverWorseThanStarNeverBetterThanHpwlHalf) {
     EXPECT_GE(r.length_um + 1e-9, mr::hpwl(f.d, f.net) / 2.0);
   }
 }
+
+// ---- parallel determinism ------------------------------------------------
+
+#include "exec/pool.hpp"
+#include "gen/designs.hpp"
+#include "place/place.hpp"
+
+namespace mgen = m3d::gen;
+namespace mpl = m3d::place;
+namespace mex = m3d::exec;
+
+#if defined(__SANITIZE_THREAD__)
+#define M3D_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define M3D_TEST_TSAN 1
+#endif
+#endif
+
+namespace {
+
+// ThreadSanitizer slows routing ~10x; shrink the generated netlist just
+// enough to keep more than kParallelMinNets (1024) nets in play.
+#ifdef M3D_TEST_TSAN
+constexpr double kWideScale = 0.06;
+#else
+constexpr double kWideScale = 0.1;
+#endif
+
+/// Placed hetero design from a generated netlist, wide enough that
+/// route_design actually fans out across the pool.
+mn::Design placed_wide(const char* which, double scale) {
+  mn::Design d(mgen::make_design(which, {scale, 7}), mt::make_12track(),
+               mt::make_9track());
+  d.set_clock_period_ns(0.8);
+  mpl::place_design(d);
+  return d;
+}
+
+/// Exact (bitwise-value) comparison of two routing estimates.
+void expect_identical(const mr::RoutingEstimate& a,
+                      const mr::RoutingEstimate& b) {
+  ASSERT_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  ASSERT_EQ(a.total_mivs, b.total_mivs);
+  ASSERT_EQ(a.congestion, b.congestion);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t n = 0; n < a.nets.size(); ++n) {
+    const auto& x = a.nets[n];
+    const auto& y = b.nets[n];
+    ASSERT_EQ(x.length_um, y.length_um) << "net " << n;
+    ASSERT_EQ(x.miv_count, y.miv_count) << "net " << n;
+    ASSERT_EQ(x.wire_cap_ff, y.wire_cap_ff) << "net " << n;
+    ASSERT_EQ(x.sink_path_um, y.sink_path_um) << "net " << n;
+    ASSERT_EQ(x.sink_crosses_tier, y.sink_crosses_tier) << "net " << n;
+  }
+}
+
+}  // namespace
+
+TEST(Route, ByteIdenticalAcrossPoolSizes) {
+  const auto d = placed_wide("netcard", kWideScale);
+  mex::Pool serial(1), wide(4);
+
+  const auto base = mr::route_design(d);  // no pool at all
+  const auto r1 = mr::route_design(d, {&serial});
+  const auto r4 = mr::route_design(d, {&wide});
+  expect_identical(base, r1);
+  expect_identical(base, r4);
+
+  ASSERT_EQ(mr::total_hpwl(d), mr::total_hpwl(d, {&serial}));
+  ASSERT_EQ(mr::total_hpwl(d), mr::total_hpwl(d, {&wide}));
+}
+
+TEST(Route, UpdateRoutesByteIdenticalAcrossPoolSizes) {
+  auto d = placed_wide("aes", kWideScale);
+  mex::Pool serial(1), wide(4);
+
+  auto est0 = mr::route_design(d);
+  auto est1 = est0;
+  auto est4 = est0;
+
+  // Flip a spread of cells across tiers and patch each estimate with a
+  // different pool; all three must stay bitwise equal.
+  std::vector<mn::CellId> moved;
+  for (mn::CellId c = 0; c < d.nl().cell_count(); c += 97) {
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) continue;
+    d.set_tier(c, 1 - d.tier(c));
+    moved.push_back(c);
+  }
+  ASSERT_GT(moved.size(), 4u);
+
+  mr::update_routes_for_cells(d, moved, &est0);
+  mr::update_routes_for_cells(d, moved, &est1, {&serial});
+  mr::update_routes_for_cells(d, moved, &est4, {&wide});
+  expect_identical(est0, est1);
+  expect_identical(est0, est4);
+}
+
+TEST(Route, ScratchOverloadMatchesPlainRouteNet) {
+  const auto d = placed_wide("ldpc", 0.05);
+  mr::RouteScratch scratch;
+  for (mn::NetId n = 0; n < d.nl().net_count(); ++n) {
+    const auto a = mr::route_net(d, n);
+    const auto b = mr::route_net(d, n, scratch);
+    ASSERT_EQ(a.length_um, b.length_um) << "net " << n;
+    ASSERT_EQ(a.miv_count, b.miv_count) << "net " << n;
+    ASSERT_EQ(a.wire_cap_ff, b.wire_cap_ff) << "net " << n;
+    ASSERT_EQ(a.sink_path_um, b.sink_path_um) << "net " << n;
+    ASSERT_EQ(a.sink_crosses_tier, b.sink_crosses_tier) << "net " << n;
+  }
+}

@@ -151,3 +151,38 @@ TEST(Pdn, DenserBumpsReduceDrop) {
   const auto rd = mpd::analyze_pdn(r.flow.design, r.pw, dense);
   EXPECT_LT(rd.worst_drop_mv[0], rs.worst_drop_mv[0]);
 }
+
+// ---- parallel determinism ------------------------------------------------
+
+#include "exec/pool.hpp"
+
+namespace mex = m3d::exec;
+
+TEST(Thermal, PowerMapByteIdenticalAcrossPoolSizes) {
+  FlowCase r(mc::Config::Hetero3D);
+  mex::Pool serial(1), wide(4);
+  const auto m0 = mth::power_map_w(r.flow.design, r.pw, 12);
+  const auto m1 = mth::power_map_w(r.flow.design, r.pw, 12, &serial);
+  const auto m4 = mth::power_map_w(r.flow.design, r.pw, 12, &wide);
+  ASSERT_EQ(m0, m1);
+  ASSERT_EQ(m0, m4);
+}
+
+TEST(Thermal, SolveByteIdenticalAcrossPoolSizes) {
+  FlowCase r(mc::Config::Hetero3D);
+  mex::Pool serial(1), wide(4);
+  mth::ThermalOptions o0;
+  mth::ThermalOptions o1;
+  o1.pool = &serial;
+  mth::ThermalOptions o4;
+  o4.pool = &wide;
+  const auto t0 = mth::analyze_thermal(r.flow.design, r.pw, o0);
+  const auto t1 = mth::analyze_thermal(r.flow.design, r.pw, o1);
+  const auto t4 = mth::analyze_thermal(r.flow.design, r.pw, o4);
+  for (const auto* t : {&t1, &t4}) {
+    ASSERT_EQ(t0.max_temp_c, t->max_temp_c);
+    ASSERT_EQ(t0.avg_temp_c, t->avg_temp_c);
+    ASSERT_EQ(t0.iterations, t->iterations);
+    ASSERT_EQ(t0.tier_maps, t->tier_maps);
+  }
+}
