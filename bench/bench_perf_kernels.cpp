@@ -12,8 +12,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <vector>
 
+#include "core/flow.hpp"
 #include "cts/cts.hpp"
 #include "exec/pool.hpp"
 #include "gen/designs.hpp"
@@ -272,6 +274,51 @@ BENCHMARK(BM_EcoIterationFull)
     ->Args({25, 20})
     ->Args({50, 20})
     ->Args({50, 100});
+
+// ---- checkpoint overhead --------------------------------------------------
+
+/// Full small Hetero3D flow with and without stage checkpointing. The
+/// delta between the two is the whole cost of the checkpoint layer: one
+/// replayable-netlist + design-state serialization and an atomic
+/// tmp-file/rename publish per stage boundary and per ECO iteration
+/// (~12 boundaries for this flow). finish() deletes the files each run,
+/// so every iteration pays the cold-write path.
+void BM_FlowPlain(benchmark::State& state) {
+  util::set_log_level(util::LogLevel::Error);
+  gen::GenOptions g;
+  g.scale = state.range(0) / 100.0;
+  const auto nl = gen::make_design("aes", g);
+  core::FlowOptions opt;
+  opt.clock_period_ns = 1.2;
+  opt.opt.max_sizing_rounds = 2;
+  opt.repart.max_iters = 3;
+  for (auto _ : state) {
+    auto res = core::run_flow(nl, core::Config::Hetero3D, opt);
+    benchmark::DoNotOptimize(res.metrics.total_power_mw);
+  }
+}
+BENCHMARK(BM_FlowPlain)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_FlowCheckpointed(benchmark::State& state) {
+  util::set_log_level(util::LogLevel::Error);
+  gen::GenOptions g;
+  g.scale = state.range(0) / 100.0;
+  const auto nl = gen::make_design("aes", g);
+  core::FlowOptions opt;
+  opt.clock_period_ns = 1.2;
+  opt.opt.max_sizing_rounds = 2;
+  opt.repart.max_iters = 3;
+  const auto dir =
+      std::filesystem::temp_directory_path() / "m3d_bench_ckpt";
+  opt.checkpoint_dir = dir.string();
+  for (auto _ : state) {
+    auto res = core::run_flow(nl, core::Config::Hetero3D, opt);
+    benchmark::DoNotOptimize(res.metrics.total_power_mw);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_FlowCheckpointed)->Arg(5)->Unit(benchmark::kMillisecond);
 
 void BM_NldmLookup(benchmark::State& state) {
   const auto lib = tech::make_12track();

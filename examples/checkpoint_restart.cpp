@@ -1,0 +1,105 @@
+// Checkpoint/restart driver: run one heterogeneous flow end to end and
+// print a deterministic digest of everything it produced. The CI
+// round-trip job uses this binary three ways:
+//
+//   1. uninterrupted reference:
+//        ./checkpoint_restart > ref.txt
+//   2. crash mid-flow (exits 86):
+//        M3D_CHECKPOINT_DIR=ckpt M3D_FAULT_AT=cts ./checkpoint_restart
+//   3. resume + byte-compare:
+//        M3D_CHECKPOINT_DIR=ckpt ./checkpoint_restart > resumed.txt
+//        cmp ref.txt resumed.txt
+//
+//   $ ./build/examples/checkpoint_restart [netlist] [scale] [period_ns]
+//
+// Everything the flow computed lands on stdout in a stable format (the
+// metrics CSV row, the result-netlist fingerprint, a hash over every
+// cell's tier and exact position bits, and the per-stage stats); logs and
+// cache statistics go to stderr so `cmp` on stdout is meaningful. When
+// M3D_FLOW_CACHE_DIR is set the run goes through a FlowCache instance and
+// the stderr stats line lets CI assert warm-run disk hits.
+
+#include <bit>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flow.hpp"
+#include "exec/flow_cache.hpp"
+#include "gen/designs.hpp"
+#include "io/reports.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+// splitmix64 digest over the mutable per-cell state — the same mixing the
+// flow-cache keys use. Two designs with equal hashes here (plus equal
+// netlist fingerprints) are byte-identical placements.
+std::uint64_t design_state_hash(const m3d::netlist::Design& d) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    std::uint64_t z = h ^ v;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    h = z ^ (z >> 31);
+  };
+  for (m3d::netlist::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    mix(static_cast<std::uint64_t>(d.tier(c)));
+    mix(std::bit_cast<std::uint64_t>(d.pos(c).x));
+    mix(std::bit_cast<std::uint64_t>(d.pos(c).y));
+    mix(std::bit_cast<std::uint64_t>(d.clock_latency(c)));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace m3d;
+  util::set_log_level(util::LogLevel::Info);
+
+  gen::GenOptions gen_opts;
+  const char* which = argc > 1 ? argv[1] : "aes";
+  gen_opts.scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+  const netlist::Netlist nl = gen::make_design(which, gen_opts);
+
+  core::FlowOptions opt;
+  opt.clock_period_ns = argc > 3 ? std::atof(argv[3]) : 1.2;
+  opt.opt.max_sizing_rounds = 2;
+  opt.repart.max_iters = 3;
+
+  // Through the cache when a disk tier is configured (so CI can assert
+  // warm hits), straight run_flow otherwise — the result is identical.
+  exec::FlowCache cache(8);
+  const bool cached = !exec::FlowCache::disk_dir().empty();
+  core::FlowResult direct = cached
+                                ? core::FlowResult(core::design_for_config(
+                                      nl, core::Config::Hetero3D))
+                                : core::run_flow(nl, core::Config::Hetero3D,
+                                                 opt);
+  const core::FlowResult& res =
+      cached ? *cache.get_or_run(nl, core::Config::Hetero3D, opt) : direct;
+
+  std::fputs(io::metrics_csv({res.metrics}).c_str(), stdout);
+  std::printf("netlist_fp %016" PRIx64 "\n",
+              exec::FlowCache::fingerprint(res.design.nl()));
+  std::printf("state_hash %016" PRIx64 "\n", design_state_hash(res.design));
+  std::printf("repart iters=%d moved=%d undone=%d\n", res.repart.iterations,
+              res.repart.cells_moved, res.repart.moves_undone);
+  std::printf("opt upsized=%d downsized=%d buffers=%d\n",
+              res.opt.cells_upsized, res.opt.cells_downsized,
+              res.opt.buffers_added);
+
+  if (cached) {
+    const auto s = cache.stats();
+    std::fprintf(stderr,
+                 "cache hits=%llu misses=%llu disk_hits=%llu "
+                 "disk_writes=%llu\n",
+                 (unsigned long long)s.hits, (unsigned long long)s.misses,
+                 (unsigned long long)s.disk_hits,
+                 (unsigned long long)s.disk_writes);
+  }
+  return 0;
+}

@@ -1,0 +1,403 @@
+#include "core/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "exec/flow_cache.hpp"
+#include "io/flow_state.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
+
+namespace m3d::flow {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4d3344434b505431ull;  // "M3DCKPT1"
+constexpr std::uint32_t kVersion = 1;
+
+const char* const kStageNames[kStageCount] = {
+    "synth",       "place",     "partition",
+    "post_place_opt", "cts",    "post_cts_opt",
+    "repart_eco",  "rebalance", "repart_fixup",
+};
+
+/// Total order over boundaries: later stages beat earlier ones, and a
+/// stage-completion boundary (iter 0) beats every iteration boundary of
+/// the same stage. Iterations are bounded far below 999 (max_iters ~12).
+int order_value(int stage, int iter) {
+  return stage * 1000 + (iter == 0 ? 999 : std::min(iter, 998));
+}
+
+/// Payload checksum: splitmix64 rounds over 8-byte words plus the length
+/// — the same mixing the flow-cache keys use. Detects the truncation and
+/// bit-rot cases the property tests inject.
+std::uint64_t checksum(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    std::uint64_t z = h ^ v;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    h = z ^ (z >> 31);
+  };
+  mix(bytes.size());
+  std::uint64_t word = 0;
+  int n = 0;
+  for (unsigned char c : bytes) {
+    word = (word << 8) | c;
+    if (++n == 8) {
+      mix(word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n > 0) mix(word);
+  return h;
+}
+
+void write_clock_report(io::BinWriter& w, const cts::ClockTreeReport& c) {
+  w.i32(c.buffer_count);
+  w.i32(c.buffer_count_tier[0]);
+  w.i32(c.buffer_count_tier[1]);
+  w.f64(c.buffer_area_um2);
+  w.f64(c.wirelength_um);
+  w.f64(c.max_latency_ns);
+  w.f64(c.min_latency_ns);
+  w.f64(c.max_skew_ns);
+  w.i32(c.sink_count);
+}
+
+void read_clock_report(io::BinReader& r, cts::ClockTreeReport& c) {
+  c.buffer_count = r.i32();
+  c.buffer_count_tier[0] = r.i32();
+  c.buffer_count_tier[1] = r.i32();
+  c.buffer_area_um2 = r.f64();
+  c.wirelength_um = r.f64();
+  c.max_latency_ns = r.f64();
+  c.min_latency_ns = r.f64();
+  c.max_skew_ns = r.f64();
+  c.sink_count = r.i32();
+}
+
+void write_eco_state(io::BinWriter& w, const part::EcoIterState& st) {
+  io::write_repart_result(w, st.partial);
+  w.f64(st.d_k);
+  w.f64(st.wns);
+  w.f64(st.tns);
+  w.f64(st.initial_unbalance);
+  w.u64(st.sta_fingerprint);
+}
+
+void read_eco_state(io::BinReader& r, part::EcoIterState& st) {
+  io::read_repart_result(r, st.partial);
+  st.d_k = r.f64();
+  st.wns = r.f64();
+  st.tns = r.f64();
+  st.initial_unbalance = r.f64();
+  st.sta_fingerprint = r.u64();
+}
+
+// In-process kill point armed by fault_arm(). Encoded as
+// order-value + 1 in one atomic (0 = disarmed) so arm/fire is a single
+// exchange even if a stage boundary and a test race.
+std::atomic<int> g_armed_fault{0};
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  const int i = static_cast<int>(s);
+  M3D_CHECK(i >= 0 && i < kStageCount);
+  return kStageNames[i];
+}
+
+bool parse_stage(std::string_view name, Stage* out) {
+  for (int i = 0; i < kStageCount; ++i) {
+    if (name == kStageNames[i]) {
+      *out = static_cast<Stage>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_fault_spec(std::string_view spec, Stage* stage, int* iter) {
+  *iter = 0;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view it = spec.substr(colon + 1);
+    if (it.empty()) return false;
+    int v = 0;
+    for (char c : it) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+      if (v > 998) return false;
+    }
+    if (v < 1) return false;
+    *iter = v;
+    spec = spec.substr(0, colon);
+  }
+  return parse_stage(spec, stage);
+}
+
+FaultInjected::FaultInjected(Stage s, int it)
+    : std::runtime_error(std::string("fault injected at ") + stage_name(s) +
+                         (it > 0 ? ":" + std::to_string(it) : std::string())),
+      stage(s),
+      iter(it) {}
+
+void fault_arm(Stage stage, int iter) {
+  g_armed_fault.store(order_value(static_cast<int>(stage), iter) + 1);
+}
+
+void fault_disarm() { g_armed_fault.store(0); }
+
+std::string Checkpoint::default_dir() {
+  if (const char* s = std::getenv("M3D_CHECKPOINT_DIR"))
+    if (*s != '\0') return s;
+  return {};
+}
+
+Checkpoint::Checkpoint(std::string dir, const netlist::Netlist& nl,
+                       core::Config cfg, const core::FlowOptions& opt)
+    : dir_(std::move(dir)), cfg_(cfg), nl_name_(nl.name()) {
+  if (active()) {
+    netlist_fp_ = exec::FlowCache::fingerprint(nl);
+    opt_hash_ = exec::FlowCache::options_hash(opt);
+  }
+  if (const char* s = std::getenv("M3D_FAULT_AT")) {
+    if (*s != '\0') {
+      if (parse_fault_spec(s, &env_fault_stage_, &env_fault_iter_)) {
+        env_fault_armed_ = true;
+      } else {
+        util::log_warn("M3D_FAULT_AT: malformed spec '", s,
+                       "' (want <stage>[:<iter>]), ignoring");
+      }
+    }
+  }
+}
+
+std::string Checkpoint::file_for(int stage, int iter) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%016llx-c%d-%016llx-s%02d-i%03d.m3dckpt",
+                static_cast<unsigned long long>(netlist_fp_),
+                static_cast<int>(cfg_),
+                static_cast<unsigned long long>(opt_hash_), stage, iter);
+  return dir_ + "/" + buf;
+}
+
+void Checkpoint::maybe_inject_fault(Stage s, int iter) const {
+  const int ov = order_value(static_cast<int>(s), iter) + 1;
+  int expected = ov;
+  if (g_armed_fault.compare_exchange_strong(expected, 0))
+    throw FaultInjected(s, iter);
+  if (env_fault_armed_ && env_fault_stage_ == s && env_fault_iter_ == iter) {
+    util::log_info("M3D_FAULT_AT: killing the process at ", stage_name(s),
+                   iter > 0 ? ":" + std::to_string(iter) : std::string());
+    std::_Exit(kFaultExitCode);  // a crash: no cleanup, no atexit hooks
+  }
+}
+
+void Checkpoint::write_boundary(Stage s, int iter, const core::FlowResult& res,
+                                const cts::ClockTreeReport& clock,
+                                const part::EcoIterState* eco) {
+  if (!active()) return;
+  util::TraceSpan span("checkpoint_write",
+                       std::string(stage_name(s)) +
+                           (iter > 0 ? ":" + std::to_string(iter)
+                                     : std::string()));
+  std::ostringstream payload(std::ios::binary);
+  {
+    io::BinWriter w{payload};
+    const netlist::Design& d = res.design;
+    io::write_netlist(w, d.nl());
+    w.u64(exec::FlowCache::fingerprint(d.nl()));
+    io::write_design_state(w, d);
+    io::write_flow_stats(w, res);
+    write_clock_report(w, clock);
+    w.u8(eco ? 1 : 0);
+    if (eco) write_eco_state(w, *eco);
+  }
+  const std::string bytes = payload.str();
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string path = file_for(static_cast<int>(s), iter);
+  const std::string tmp = path + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      util::log_warn("checkpoint: cannot open ", tmp, ", skipping boundary");
+      return;
+    }
+    io::BinWriter w{os};
+    w.u64(kMagic);
+    w.u32(kVersion);
+    w.u64(netlist_fp_);
+    w.i32(static_cast<int>(cfg_));
+    w.u64(opt_hash_);
+    w.i32(static_cast<int>(s));
+    w.i32(iter);
+    w.f64(eco ? eco->wns : res.opt.wns_after);
+    w.f64(eco ? eco->tns : res.repart.tns_after);
+    w.u64(bytes.size());
+    w.u64(checksum(bytes));
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os.good()) {
+      util::log_warn("checkpoint: short write to ", tmp, ", dropping it");
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    util::log_warn("checkpoint: cannot publish ", path, ": ", ec.message());
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  util::trace_counter("checkpoint_bytes", static_cast<double>(bytes.size()));
+}
+
+void Checkpoint::save(Stage s, const core::FlowResult& res,
+                      const cts::ClockTreeReport& clock) {
+  write_boundary(s, 0, res, clock, nullptr);
+  maybe_inject_fault(s, 0);
+}
+
+void Checkpoint::save_iter(Stage s, const core::FlowResult& res,
+                           const cts::ClockTreeReport& clock,
+                           const part::EcoIterState& st) {
+  M3D_CHECK(s == Stage::RepartEco || s == Stage::RepartFixup);
+  write_boundary(s, st.partial.iterations, res, clock, &st);
+  maybe_inject_fault(s, st.partial.iterations);
+}
+
+bool Checkpoint::load_file(const Candidate& c, core::FlowResult& res,
+                           cts::ClockTreeReport& clock) {
+  std::ifstream is(c.path, std::ios::binary);
+  if (!is) return false;
+  try {
+    io::BinReader r{is};
+    if (r.u64() != kMagic || r.u32() != kVersion) return false;
+    if (r.u64() != netlist_fp_ || r.i32() != static_cast<int>(cfg_) ||
+        r.u64() != opt_hash_)
+      return false;
+    if (r.i32() != c.stage || r.i32() != c.iter) return false;
+    const double wns_at = r.f64();
+    const double tns_at = r.f64();
+    const std::uint64_t size = r.u64();
+    const std::uint64_t sum = r.u64();
+    M3D_CHECK_MSG(size <= (1ull << 32), "checkpoint payload too large");
+    std::string bytes(static_cast<std::size_t>(size), '\0');
+    if (size > 0) r.raw(bytes.data(), bytes.size());
+    is.peek();
+    if (!is.eof()) return false;  // trailing garbage: not our write
+    if (checksum(bytes) != sum) return false;
+
+    std::istringstream ps(bytes, std::ios::binary);
+    io::BinReader pr{ps};
+    netlist::Netlist nl = io::read_netlist(pr);
+    if (exec::FlowCache::fingerprint(nl) != pr.u64()) return false;
+    nl.validate();
+
+    res.design = core::design_for_config(nl, cfg_);
+    io::read_design_state(pr, res.design);
+    io::read_flow_stats(pr, res);
+    read_clock_report(pr, clock);
+    eco_state_valid_ = pr.u8() != 0;
+    if (eco_state_valid_) read_eco_state(pr, eco_state_);
+
+    util::trace_counter("checkpoint_resume_wns_ns", wns_at);
+    util::trace_counter("checkpoint_resume_tns_ns", tns_at);
+    return true;
+  } catch (const std::exception& e) {
+    util::log_warn("checkpoint: invalid file ", c.path, " (", e.what(), ")");
+    return false;
+  }
+}
+
+bool Checkpoint::resume(core::FlowResult& res, cts::ClockTreeReport& clock) {
+  if (!active()) return false;
+  util::TraceSpan span("checkpoint_resume", nl_name_);
+
+  // This run's boundaries, newest first. The filename prefix carries the
+  // full run key, so concurrent runs of different flows share a
+  // directory without seeing each other's files.
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "%016llx-c%d-%016llx-",
+                static_cast<unsigned long long>(netlist_fp_),
+                static_cast<int>(cfg_),
+                static_cast<unsigned long long>(opt_hash_));
+  std::vector<Candidate> cands;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    int stage = -1, iter = -1;
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (std::sscanf(name.c_str() + std::strlen(prefix), "s%d-i%d.m3dckpt",
+                    &stage, &iter) != 2)
+      continue;
+    if (stage < 0 || stage >= kStageCount || iter < 0) continue;
+    cands.push_back({it->path().string(), stage, iter});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    return order_value(a.stage, a.iter) > order_value(b.stage, b.iter);
+  });
+
+  for (const Candidate& c : cands) {
+    if (load_file(c, res, clock)) {
+      resume_stage_ = c.stage;
+      resume_iter_ = c.iter;
+      util::log_info("checkpoint: resuming ", config_name(cfg_), " on ",
+                     nl_name_, " from ",
+                     stage_name(static_cast<Stage>(c.stage)),
+                     c.iter > 0 ? ":" + std::to_string(c.iter)
+                                : std::string());
+      return true;
+    }
+    util::log_warn(
+        "checkpoint: discarding invalid boundary ", c.path,
+        ", falling back to the previous checkpoint");
+  }
+  return false;
+}
+
+bool Checkpoint::done(Stage s) const {
+  return order_value(resume_stage_, resume_iter_) >=
+         order_value(static_cast<int>(s), 0);
+}
+
+const part::EcoIterState* Checkpoint::eco_resume(Stage s) const {
+  if (resume_stage_ == static_cast<int>(s) && resume_iter_ >= 1 &&
+      eco_state_valid_)
+    return &eco_state_;
+  return nullptr;
+}
+
+void Checkpoint::finish() {
+  if (!active()) return;
+  if (const char* s = std::getenv("M3D_CHECKPOINT_KEEP"))
+    if (*s != '\0') return;
+  std::error_code ec;
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    std::filesystem::remove(file_for(stage, 0), ec);
+    for (int iter = 1; iter <= 998; ++iter) {
+      // Iteration files only exist for the ECO stages; stop probing a
+      // stage at the first gap (iterations are written contiguously).
+      if (!std::filesystem::remove(file_for(stage, iter), ec)) break;
+    }
+  }
+}
+
+}  // namespace m3d::flow

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/checkpoint.hpp"
 #include "cost/cost.hpp"
 #include "exec/flow_cache.hpp"
 #include "part/fm.hpp"
@@ -108,8 +109,22 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
   util::log_info("=== flow ", config_name(cfg), " on ", nl.name(), " @ ",
                  1.0 / opt.clock_period_ns, " GHz ===");
   FlowResult res(design_for_config(nl, cfg));
+  res.design.set_clock_period_ns(opt.clock_period_ns);
+
+  // Stage-level checkpoint/restart (core/checkpoint.hpp). Inactive without
+  // a directory; with one, every completed stage below lands on disk and
+  // resume() fast-forwards `res`, `clock` and the design past the stages a
+  // previous (interrupted) identical invocation already ran. Each stage is
+  // a deterministic function of (design state, options) — RNG streams are
+  // seeded from options, never carried across stages — so the resumed run
+  // is byte-identical to an uninterrupted one.
+  flow::Checkpoint ckpt(!opt.checkpoint_dir.empty()
+                            ? opt.checkpoint_dir
+                            : flow::Checkpoint::default_dir(),
+                        nl, cfg, opt);
+  cts::ClockTreeReport clock;
+  ckpt.resume(res, clock);
   Design& d = res.design;
-  d.set_clock_period_ns(opt.clock_period_ns);
 
   place::PlaceOptions popt = opt.place;
   popt.utilization = opt.utilization;
@@ -119,75 +134,88 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
   // floorplan is cut: the floorplan is then sized from the synthesized
   // area (paper §IV-A2). Driving the slow 9-track library to a 12-track
   // frequency target over-corrects here, inflating its chip area.
-  {
-    util::TraceSpan span("synth", nl.name());
-    opt::OptOptions synth = opt.opt;
-    synth.routed = false;
-    res.opt = opt::optimize_timing(d, synth);
+  if (!ckpt.done(flow::Stage::Synth)) {
+    {
+      util::TraceSpan span("synth", nl.name());
+      opt::OptOptions synth = opt.opt;
+      synth.routed = false;
+      res.opt = opt::optimize_timing(d, synth);
+    }
+    ckpt.save(flow::Stage::Synth, res, clock);
   }
 
   // ---- pseudo-3-D / 2-D placement stage ----------------------------------
-  {
-    util::TraceSpan span("place", nl.name());
-    place::init_floorplan(d, popt);
-    place::global_place(d, popt);
+  if (!ckpt.done(flow::Stage::Place)) {
+    {
+      util::TraceSpan span("place", nl.name());
+      place::init_floorplan(d, popt);
+      place::global_place(d, popt);
+    }
+    ckpt.save(flow::Stage::Place, res, clock);
   }
 
-  if (config_is_3d(cfg)) {
-    util::TraceSpan span("partition", nl.name());
-    const part::FmOptions fm = macro_aware_fm(d, opt.fm, opt.utilization);
-    if (cfg == Config::Hetero3D) {
-      // Pseudo-3-D knows only the 12-track bottom technology. Partition
-      // with timing awareness (unless ablated), then restore utilization:
-      // the 9-track remap shrank the cell area ~12.5 %.
-      // Timing below runs on the (overlapping) global placement —
-      // legalizing the whole netlist into the folded footprint before
-      // partitioning would scatter it at ~2x density and wreck the
-      // placement. Legality only exists per tier, after the fold.
-      const auto routes = route::route_design(d, {opt.pool});
-      sta::StaOptions sopt;
-      sopt.pool = opt.pool;
-      const auto timing = sta::run_sta(d, &routes, sopt);
-      if (opt.enable_timing_partition) {
-        part::TimingPartitionOptions tp = opt.timing_part;
-        tp.fm = fm;
-        if (opt.path_based_criticality) {
-          res.timing_part = part::timing_partition_path_based(
-              d, timing, opt.path_based_paths, tp);
+  // ---- tier partitioning (3-D) + legalization ------------------------------
+  if (!ckpt.done(flow::Stage::Partition)) {
+    if (config_is_3d(cfg)) {
+      util::TraceSpan span("partition", nl.name());
+      const part::FmOptions fm = macro_aware_fm(d, opt.fm, opt.utilization);
+      if (cfg == Config::Hetero3D) {
+        // Pseudo-3-D knows only the 12-track bottom technology. Partition
+        // with timing awareness (unless ablated), then restore utilization:
+        // the 9-track remap shrank the cell area ~12.5 %.
+        // Timing below runs on the (overlapping) global placement —
+        // legalizing the whole netlist into the folded footprint before
+        // partitioning would scatter it at ~2x density and wreck the
+        // placement. Legality only exists per tier, after the fold.
+        const auto routes = route::route_design(d, {opt.pool});
+        sta::StaOptions sopt;
+        sopt.pool = opt.pool;
+        const auto timing = sta::run_sta(d, &routes, sopt);
+        if (opt.enable_timing_partition) {
+          part::TimingPartitionOptions tp = opt.timing_part;
+          tp.fm = fm;
+          if (opt.path_based_criticality) {
+            res.timing_part = part::timing_partition_path_based(
+                d, timing, opt.path_based_paths, tp);
+          } else {
+            res.timing_part = part::timing_partition(d, timing, tp);
+          }
         } else {
-          res.timing_part = part::timing_partition(d, timing, tp);
+          res.timing_part.cut = part::bin_fm_partition(d, fm);
         }
+        place::rescale_to_utilization(d, opt.utilization);
       } else {
-        res.timing_part.cut = part::bin_fm_partition(d, fm);
+        // Homogeneous 3-D: placement-driven bin FM.
+        part::bin_fm_partition(d, fm);
       }
-      place::rescale_to_utilization(d, opt.utilization);
-    } else {
-      // Homogeneous 3-D: placement-driven bin FM.
-      part::bin_fm_partition(d, fm);
     }
+    place::legalize(d);
+    ckpt.save(flow::Stage::Partition, res, clock);
   }
-  place::legalize(d);
 
   // ---- post-placement timing optimization ---------------------------------
-  {
-    util::TraceSpan span("post_place_opt", nl.name());
-    opt::OptOptions oopt = opt.opt;
-    oopt.routed = true;
-    // The heterogeneous design is accepted at WNS within ~5-7 % of the
-    // period (the paper's own hetero runs all sit slightly negative);
-    // optimizing it to zero would over-correct — blanket-upsizing the slow
-    // tier and erasing the area/power benefit heterogeneity exists for.
-    if (cfg == Config::Hetero3D)
-      oopt.target_slack_ns = -0.04 * opt.clock_period_ns;
-    const auto post = opt::optimize_timing(d, oopt);
-    res.opt.cells_upsized += post.cells_upsized;
-    res.opt.cells_downsized += post.cells_downsized;
-    res.opt.buffers_added += post.buffers_added;
-    res.opt.wns_after = post.wns_after;
+  if (!ckpt.done(flow::Stage::PostPlaceOpt)) {
+    {
+      util::TraceSpan span("post_place_opt", nl.name());
+      opt::OptOptions oopt = opt.opt;
+      oopt.routed = true;
+      // The heterogeneous design is accepted at WNS within ~5-7 % of the
+      // period (the paper's own hetero runs all sit slightly negative);
+      // optimizing it to zero would over-correct — blanket-upsizing the slow
+      // tier and erasing the area/power benefit heterogeneity exists for.
+      if (cfg == Config::Hetero3D)
+        oopt.target_slack_ns = -0.04 * opt.clock_period_ns;
+      const auto post = opt::optimize_timing(d, oopt);
+      res.opt.cells_upsized += post.cells_upsized;
+      res.opt.cells_downsized += post.cells_downsized;
+      res.opt.buffers_added += post.buffers_added;
+      res.opt.wns_after = post.wns_after;
+    }
+    // Sizing changed cell area; restore the utilization target.
+    place::rescale_to_utilization(d, opt.utilization);
+    place::legalize(d);
+    ckpt.save(flow::Stage::PostPlaceOpt, res, clock);
   }
-  // Sizing changed cell area; restore the utilization target.
-  place::rescale_to_utilization(d, opt.utilization);
-  place::legalize(d);
 
   // ---- clock tree ----------------------------------------------------------
   cts::CtsOptions copt = opt.cts;
@@ -199,66 +227,93 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
     copt.mode = cts::Mode3D::CoverCell;
     copt.prefer_low_power_trunk = false;  // homogeneous: no power asymmetry
   }
-  cts::ClockTreeReport clock;
-  {
-    util::TraceSpan span("cts", nl.name());
-    cts::build_clock_tree(d, copt);
-    place::legalize(d);
-    clock = cts::annotate_clock_latencies(d, copt.pool);
+  if (!ckpt.done(flow::Stage::Cts)) {
+    {
+      util::TraceSpan span("cts", nl.name());
+      cts::build_clock_tree(d, copt);
+      place::legalize(d);
+      clock = cts::annotate_clock_latencies(d, copt.pool);
+    }
+    ckpt.save(flow::Stage::Cts, res, clock);
   }
 
   // ---- post-CTS optimization ----------------------------------------------
   // The pre-CTS power recovery ran against stale wire loads (the floorplan
   // rescale and the clock tree both moved things); repair slew and setup
   // without further recovery, as commercial flows do after CTS.
-  {
-    util::TraceSpan span("post_cts_opt", nl.name());
-    opt::OptOptions post = opt.opt;
-    post.routed = true;
-    post.max_sizing_rounds = 2;
-    if (cfg == Config::Hetero3D)
-      post.target_slack_ns = -0.04 * opt.clock_period_ns;
-    post.power_recovery_rounds = 0;
-    post.max_fanout = 0x7fffffff;  // no topology changes after CTS
-    post.max_wire_um = 1e9;
-    const auto fix = opt::optimize_timing(d, post);
-    res.opt.cells_upsized += fix.cells_upsized;
-    place::legalize(d);
-    clock = cts::annotate_clock_latencies(d, copt.pool);
+  if (!ckpt.done(flow::Stage::PostCtsOpt)) {
+    {
+      util::TraceSpan span("post_cts_opt", nl.name());
+      opt::OptOptions post = opt.opt;
+      post.routed = true;
+      post.max_sizing_rounds = 2;
+      if (cfg == Config::Hetero3D)
+        post.target_slack_ns = -0.04 * opt.clock_period_ns;
+      post.power_recovery_rounds = 0;
+      post.max_fanout = 0x7fffffff;  // no topology changes after CTS
+      post.max_wire_um = 1e9;
+      const auto fix = opt::optimize_timing(d, post);
+      res.opt.cells_upsized += fix.cells_upsized;
+      place::legalize(d);
+      clock = cts::annotate_clock_latencies(d, copt.pool);
+    }
+    ckpt.save(flow::Stage::PostCtsOpt, res, clock);
   }
 
   // ---- repartitioning ECO (hetero only) -----------------------------------
   if (cfg == Config::Hetero3D && opt.enable_repartition) {
     util::TraceSpan span("repartition_eco", nl.name());
-    res.repart = part::repartition_eco(d, opt.repart);
+    if (!ckpt.done(flow::Stage::RepartEco)) {
+      part::EcoHooks hooks;
+      hooks.resume = ckpt.eco_resume(flow::Stage::RepartEco);
+      hooks.after_iteration = [&](const Design&,
+                                  const part::EcoIterState& st) {
+        ckpt.save_iter(flow::Stage::RepartEco, res, clock, st);
+      };
+      res.repart = part::repartition_eco(d, opt.repart, &hooks);
+      ckpt.save(flow::Stage::RepartEco, res, clock);
+    }
     // Counter-move: park slack-rich bottom cells on the 9-track tier so
     // the fast die does not balloon the footprint (and the slow die does
     // the power saving it exists for). A 12T→9T remap roughly doubles the
     // stage delay, so only cells with a comfortable margin qualify; a
     // second ECO pass pulls back anything that turned critical anyway.
-    {
-      const auto routes = route::route_design(d, {opt.pool});
-      sta::StaOptions sopt;
-      sopt.pool = opt.pool;
-      const auto timing = sta::run_sta(d, &routes, sopt);
-      part::rebalance_to_top(d, timing, 0.05 * d.clock_period_ns(),
-                             opt.utilization);
+    if (!ckpt.done(flow::Stage::Rebalance)) {
+      {
+        const auto routes = route::route_design(d, {opt.pool});
+        sta::StaOptions sopt;
+        sopt.pool = opt.pool;
+        const auto timing = sta::run_sta(d, &routes, sopt);
+        part::rebalance_to_top(d, timing, 0.05 * d.clock_period_ns(),
+                               opt.utilization);
+      }
+      place::rescale_to_utilization(d, opt.utilization);
+      place::legalize(d);
+      cts::annotate_clock_latencies(d, copt.pool);
+      ckpt.save(flow::Stage::Rebalance, res, clock);
     }
-    place::rescale_to_utilization(d, opt.utilization);
-    place::legalize(d);
-    cts::annotate_clock_latencies(d, copt.pool);
     // Final ECO pass at settled positions: pull back anything the
     // migration or the rescale shake-up turned critical.
-    {
-      part::RepartitionOptions fixup = opt.repart;
-      fixup.max_iters = 4;
-      part::repartition_eco(d, fixup);
-      place::legalize(d);
+    if (!ckpt.done(flow::Stage::RepartFixup)) {
+      {
+        part::RepartitionOptions fixup = opt.repart;
+        fixup.max_iters = 4;
+        part::EcoHooks hooks;
+        hooks.resume = ckpt.eco_resume(flow::Stage::RepartFixup);
+        hooks.after_iteration = [&](const Design&,
+                                    const part::EcoIterState& st) {
+          ckpt.save_iter(flow::Stage::RepartFixup, res, clock, st);
+        };
+        part::repartition_eco(d, fixup, &hooks);
+        place::legalize(d);
+      }
+      clock = cts::annotate_clock_latencies(d, copt.pool);
+      ckpt.save(flow::Stage::RepartFixup, res, clock);
     }
-    clock = cts::annotate_clock_latencies(d, copt.pool);
   }
 
   finalize(res, clock, nl.name(), cfg, opt.pool);
+  ckpt.finish();
   util::log_info("=== ", config_name(cfg), " done: wns ",
                  res.metrics.wns_ns, " ns, power ",
                  res.metrics.total_power_mw, " mW, WL ",
@@ -305,7 +360,10 @@ double find_max_frequency(const Netlist& nl, Config cfg, FlowOptions opt,
           if (cancel->load()) return;
           util::TraceSpan span("speculative_flow", shared_nl->name());
           try {
-            cache.get_or_run(*shared_nl, cfg, o);
+            // prewarm, not get_or_run: the warm-up has no use for the
+            // result, so it must neither block on an in-flight entry nor
+            // duplicate one — it claims the key only if nobody has it.
+            cache.prewarm(*shared_nl, cfg, o);
           } catch (...) {
             // A failed speculative run is dropped from the cache; the
             // on-path evaluation will surface the error if it matters.

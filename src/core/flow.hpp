@@ -78,6 +78,15 @@ struct FlowOptions {
   /// names one. Flow results are byte-identical for any pool size, so pool
   /// fields are deliberately NOT part of exec::FlowCache::options_hash.
   exec::Pool* pool = nullptr;
+
+  /// Stage-level checkpoint/restart (see core/checkpoint.hpp): when this
+  /// names a directory — or, if empty, when M3D_CHECKPOINT_DIR does —
+  /// run_flow persists the full flow state after every stage and every
+  /// repartition-ECO iteration there, and a later identical invocation
+  /// resumes from the newest valid boundary. Resumed results are
+  /// byte-identical to an uninterrupted run, so like `pool` this knob is
+  /// deliberately NOT part of exec::FlowCache::options_hash.
+  std::string checkpoint_dir;
 };
 
 /// Everything a flow run produces.

@@ -10,6 +10,18 @@ namespace m3d::exec {
 
 namespace {
 
+/// Number of FlowCache computations live on this thread's call stack.
+/// Non-zero means the thread is inside run_flow for some claimed entry
+/// (possibly picked up while *helping* its pool) — such a thread must
+/// never block on another in-flight entry (see the header's deadlock
+/// note), so get_or_run consults this before joining.
+thread_local int t_compute_depth = 0;
+
+struct ComputeDepthGuard {
+  ComputeDepthGuard() { ++t_compute_depth; }
+  ~ComputeDepthGuard() { --t_compute_depth; }
+};
+
 /// FNV-1a-style 64-bit accumulator with a SplitMix64 finisher per word —
 /// cheap, deterministic across platforms, and good enough for cache keys
 /// (a collision needs two *different* 64-bit digests to collide, and keys
@@ -184,6 +196,7 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
 
   std::promise<ResultPtr> promise;
   std::shared_future<ResultPtr> existing;
+  bool bypass = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -192,11 +205,21 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
         ++stats_.hits;
         it->second.last_used = ++use_counter_;
         util::trace_instant("flow_cache_hit");
-      } else {
+        existing = it->second.future;
+      } else if (t_compute_depth == 0) {
         ++stats_.joins;
         util::trace_instant("flow_cache_join");
+        existing = it->second.future;
+      } else {
+        // This thread is already computing an entry (it got here by
+        // helping its pool mid-run_flow). Joining could wait on itself —
+        // the in-flight owner may be this very thread lower in the same
+        // stack, or another owner symmetrically waiting on us. Compute
+        // uncached instead; determinism makes the result identical.
+        ++stats_.bypasses;
+        util::trace_instant("flow_cache_bypass");
+        bypass = true;
       }
-      existing = it->second.future;
     } else {
       ++stats_.misses;
       util::trace_instant("flow_cache_miss");
@@ -207,13 +230,46 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
   }
   // Ready entries return immediately; in-flight ones block until the
   // computing thread resolves the promise (flows are coarse enough that
-  // parking this thread is fine — other workers keep the pool busy).
+  // parking this thread is fine — other workers keep the pool busy, and
+  // owners never block here, so every in-flight entry resolves).
   if (existing.valid()) return existing.get();
 
+  if (bypass) {
+    ResultPtr result = disk_load(key, cfg);
+    if (result) return result;
+    return std::make_shared<core::FlowResult>(core::run_flow(nl, cfg, opt));
+  }
+
+  return compute_entry(key, nl, cfg, opt, promise);
+}
+
+bool FlowCache::prewarm(const netlist::Netlist& nl, core::Config cfg,
+                        const core::FlowOptions& opt) {
+  const Key key{fingerprint(nl), static_cast<int>(cfg), options_hash(opt)};
+  std::promise<ResultPtr> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.find(key) != entries_.end()) return false;
+    ++stats_.misses;
+    util::trace_instant("flow_cache_prewarm");
+    Entry entry;
+    entry.future = promise.get_future().share();
+    entries_.emplace(key, std::move(entry));
+  }
+  compute_entry(key, nl, cfg, opt, promise);
+  return true;
+}
+
+FlowCache::ResultPtr FlowCache::compute_entry(const Key& key,
+                                              const netlist::Netlist& nl,
+                                              core::Config cfg,
+                                              const core::FlowOptions& opt,
+                                              std::promise<ResultPtr>& promise) {
   // Compute outside the lock; concurrent same-key requesters join on the
   // shared future. The disk tier is consulted first: a persisted entry
   // from an earlier process deserializes in a fraction of a flow run.
   try {
+    ComputeDepthGuard nested;
     ResultPtr result = disk_load(key, cfg);
     const bool from_disk = result != nullptr;
     bool wrote_disk = false;

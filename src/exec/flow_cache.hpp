@@ -21,6 +21,18 @@
 /// speculation cheap: a speculative run and the real request collapse into
 /// one flow). Distinct keys never block each other.
 ///
+/// Deadlock safety: a thread that is itself computing a cache entry may
+/// re-enter get_or_run *nested* — run_flow helps its pool during
+/// parallel_for, and the task it picks up can request a flow. Such a
+/// nested request must never block on an in-flight entry: the owner may be
+/// this very thread lower in the same stack (a self-join no one can
+/// resolve), or another owner doing the same thing in the opposite
+/// direction. Nested requests therefore *bypass* in-flight entries and
+/// compute the flow directly, uncached — flows are deterministic, so the
+/// bypass result is identical to the entry it declined to wait for.
+/// Speculative warm-ups should use prewarm(), which claims a key only if
+/// nobody else has it and never waits at all.
+///
 /// Eviction: LRU over completed entries, bounded by `capacity` entries
 /// (default M3D_FLOW_CACHE_CAP or 64). In-flight entries are never
 /// evicted. Results are handed out as shared_ptr<const FlowResult>, so an
@@ -53,6 +65,8 @@ struct FlowCacheStats {
   std::uint64_t hits = 0;        ///< served from a completed entry
   std::uint64_t joins = 0;       ///< attached to an in-flight computation
   std::uint64_t misses = 0;      ///< computed here
+  std::uint64_t bypasses = 0;    ///< nested request computed uncached
+                                 ///  instead of joining an in-flight entry
   std::uint64_t evictions = 0;
   std::uint64_t disk_hits = 0;   ///< deserialized from M3D_FLOW_CACHE_DIR
   std::uint64_t disk_writes = 0; ///< persisted to M3D_FLOW_CACHE_DIR
@@ -70,6 +84,14 @@ class FlowCache {
   /// retries.
   ResultPtr get_or_run(const netlist::Netlist& nl, core::Config cfg,
                        const core::FlowOptions& opt = {});
+
+  /// Speculative warm-up: if no entry (ready or in-flight) exists for the
+  /// key, claim it and compute on the calling thread; otherwise do nothing.
+  /// Never blocks and never duplicates work — the right call when the
+  /// caller wants the cache warmed but does not need the result itself.
+  /// Returns whether this call computed the flow.
+  bool prewarm(const netlist::Netlist& nl, core::Config cfg,
+               const core::FlowOptions& opt = {});
 
   /// Completed-entry lookup without computing; nullptr on miss/in-flight.
   ResultPtr lookup(const netlist::Netlist& nl, core::Config cfg,
@@ -116,6 +138,13 @@ class FlowCache {
   };
 
   void evict_locked();
+
+  /// Compute the flow for a claimed in-flight entry, resolve `promise`
+  /// with the result (or exception) and mark the entry ready. Shared by
+  /// get_or_run and prewarm; runs with the nested-request depth raised.
+  ResultPtr compute_entry(const Key& key, const netlist::Netlist& nl,
+                          core::Config cfg, const core::FlowOptions& opt,
+                          std::promise<ResultPtr>& promise);
 
   // Disk tier (flow_cache_disk.cpp). disk_load returns nullptr on any
   // miss/validation failure; disk_store returns whether a file landed.

@@ -4,12 +4,11 @@
 /// File format (binary, host-endian — the cache directory is a local
 /// working directory, not an interchange format):
 ///   magic, version, key (netlist fingerprint / config / options hash),
-///   the *result* netlist as a replayable build script (blocks, cells in id
-///   order, nets with their connection order — replaying through the
-///   Netlist builders reproduces every cell/pin/net id exactly),
-///   the result netlist's fingerprint (integrity check after replay),
-///   the design state (floorplan, clock period/net, per-cell tier and
-///   position), and the small per-stage result structs.
+///   then the io::flow_state records: the *result* netlist as a replayable
+///   build script, its fingerprint (integrity check after replay), the
+///   design state and the small per-stage result structs. The same records
+///   back the flow::Checkpoint stage-restart files — one serializer, two
+///   consumers (see io/flow_state.hpp).
 ///
 /// Metrics are NOT stored: the loader rebuilds the Design for the config,
 /// re-annotates clock latencies and re-runs the same final analysis
@@ -29,10 +28,10 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
-#include <vector>
 
 #include "cts/cts.hpp"
 #include "exec/flow_cache.hpp"
+#include "io/flow_state.hpp"
 #include "power/power.hpp"
 #include "route/route.hpp"
 #include "sta/sta.hpp"
@@ -44,165 +43,10 @@ namespace m3d::exec {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4d33444643414348ull;  // "M3DFCACH"
-constexpr std::uint32_t kVersion = 1;
-
-struct Writer {
-  std::ostream& os;
-  void u64(std::uint64_t v) {
-    os.write(reinterpret_cast<const char*>(&v), sizeof v);
-  }
-  void u32(std::uint32_t v) {
-    os.write(reinterpret_cast<const char*>(&v), sizeof v);
-  }
-  void i32(std::int32_t v) {
-    os.write(reinterpret_cast<const char*>(&v), sizeof v);
-  }
-  void u8(std::uint8_t v) {
-    os.write(reinterpret_cast<const char*>(&v), sizeof v);
-  }
-  void f64(double v) {
-    os.write(reinterpret_cast<const char*>(&v), sizeof v);
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    os.write(s.data(), static_cast<std::streamsize>(s.size()));
-  }
-};
-
-/// Reading throws util::Error on any truncation or bound violation, which
-/// the loader turns into a plain miss.
-struct Reader {
-  std::istream& is;
-  void raw(void* p, std::size_t n) {
-    is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-    M3D_CHECK_MSG(is.good(), "flow cache file truncated");
-  }
-  std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
-  std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
-  std::int32_t i32() { std::int32_t v; raw(&v, sizeof v); return v; }
-  std::uint8_t u8() { std::uint8_t v; raw(&v, sizeof v); return v; }
-  double f64() { double v; raw(&v, sizeof v); return v; }
-  std::string str() {
-    const std::uint32_t n = u32();
-    M3D_CHECK_MSG(n <= (1u << 24), "flow cache string too long");
-    std::string s(n, '\0');
-    if (n > 0) raw(s.data(), n);
-    return s;
-  }
-};
-
-void write_netlist(Writer& w, const netlist::Netlist& nl) {
-  w.str(nl.name());
-  w.i32(nl.block_count());
-  for (netlist::BlockId b = 1; b < nl.block_count(); ++b)
-    w.str(nl.block_name(b));
-  w.i32(nl.cell_count());
-  for (netlist::CellId c = 0; c < nl.cell_count(); ++c) {
-    const netlist::Cell& cell = nl.cell(c);
-    w.u8(static_cast<std::uint8_t>(cell.kind));
-    w.str(cell.name);
-    switch (cell.kind) {
-      case netlist::CellKind::Comb:
-        w.i32(static_cast<int>(cell.func));
-        w.i32(cell.drive);
-        w.i32(cell.block);
-        break;
-      case netlist::CellKind::Seq:
-        w.i32(cell.drive);
-        w.i32(cell.block);
-        break;
-      case netlist::CellKind::Macro: {
-        int n_in = 0, n_out = 0;
-        for (netlist::PinId p : cell.pins) {
-          const netlist::Pin& pin = nl.pin(p);
-          if (pin.is_clock) continue;
-          (pin.dir == netlist::PinDir::Output ? n_out : n_in)++;
-        }
-        w.str(cell.macro_name);
-        w.i32(n_in);
-        w.i32(n_out);
-        w.i32(cell.block);
-        break;
-      }
-      case netlist::CellKind::PrimaryIn:
-      case netlist::CellKind::PrimaryOut:
-        break;
-    }
-    w.u8(cell.fixed ? 1 : 0);
-  }
-  w.i32(nl.pin_count());  // replay sanity check
-  w.i32(nl.net_count());
-  for (netlist::NetId n = 0; n < nl.net_count(); ++n) {
-    const netlist::Net& net = nl.net(n);
-    w.str(net.name);
-    w.u8(net.is_clock ? 1 : 0);
-    w.f64(net.activity);
-    w.i32(static_cast<int>(net.pins.size()));
-    for (netlist::PinId p : net.pins) w.i32(p);
-  }
-}
-
-netlist::Netlist read_netlist(Reader& r) {
-  netlist::Netlist nl(r.str());
-  const int blocks = r.i32();
-  for (int b = 1; b < blocks; ++b) nl.add_block(r.str());
-  const int cells = r.i32();
-  for (int c = 0; c < cells; ++c) {
-    const auto kind = static_cast<netlist::CellKind>(r.u8());
-    const std::string name = r.str();
-    netlist::CellId id = netlist::kInvalidId;
-    switch (kind) {
-      case netlist::CellKind::Comb: {
-        const auto func = static_cast<tech::CellFunc>(r.i32());
-        const int drive = r.i32();
-        const int block = r.i32();
-        id = nl.add_comb(name, func, drive, block);
-        break;
-      }
-      case netlist::CellKind::Seq: {
-        const int drive = r.i32();
-        const int block = r.i32();
-        id = nl.add_dff(name, drive, block);
-        break;
-      }
-      case netlist::CellKind::Macro: {
-        const std::string macro_name = r.str();
-        const int n_in = r.i32();
-        const int n_out = r.i32();
-        const int block = r.i32();
-        id = nl.add_macro(name, macro_name, n_in, n_out, block);
-        break;
-      }
-      case netlist::CellKind::PrimaryIn:
-        id = nl.add_input_port(name);
-        break;
-      case netlist::CellKind::PrimaryOut:
-        id = nl.add_output_port(name);
-        break;
-    }
-    M3D_CHECK_MSG(id == c, "flow cache replay produced wrong cell id");
-    nl.cell(id).fixed = r.u8() != 0;
-  }
-  M3D_CHECK_MSG(r.i32() == nl.pin_count(),
-                "flow cache replay produced wrong pin count");
-  const int nets = r.i32();
-  for (int n = 0; n < nets; ++n) {
-    const std::string name = r.str();
-    const bool is_clock = r.u8() != 0;
-    const double activity = r.f64();
-    const netlist::NetId id = nl.add_net(name, is_clock);
-    M3D_CHECK_MSG(id == n, "flow cache replay produced wrong net id");
-    nl.net(id).activity = activity;
-    const int npins = r.i32();
-    for (int i = 0; i < npins; ++i) {
-      const netlist::PinId p = r.i32();
-      M3D_CHECK_MSG(p >= 0 && p < nl.pin_count(),
-                    "flow cache pin id out of range");
-      nl.connect(id, p);
-    }
-  }
-  return nl;
-}
+// v2: shared io::flow_state records; the design state grew per-cell clock
+// latencies. v1 files fail the version check and recompute (stale, never
+// wrong).
+constexpr std::uint32_t kVersion = 2;
 
 std::string key_file(const std::string& dir, std::uint64_t fp, int config,
                      std::uint64_t opt_hash) {
@@ -229,51 +73,26 @@ FlowCache::ResultPtr FlowCache::disk_load(const Key& key,
                    std::ios::binary);
   if (!is) return nullptr;
   try {
-    Reader r{is};
+    io::BinReader r{is};
     if (r.u64() != kMagic || r.u32() != kVersion) return nullptr;
     if (r.u64() != key.netlist_fp || r.i32() != key.config ||
         r.u64() != key.opt_hash)
       return nullptr;
 
-    netlist::Netlist nl = read_netlist(r);
+    netlist::Netlist nl = io::read_netlist(r);
     if (fingerprint(nl) != r.u64()) return nullptr;
     nl.validate();
 
     auto res = std::make_shared<core::FlowResult>(
         core::design_for_config(nl, cfg));
     netlist::Design& d = res->design;
-    const double xlo = r.f64(), ylo = r.f64();
-    const double xhi = r.f64(), yhi = r.f64();
-    d.set_floorplan({xlo, ylo, xhi, yhi});
-    d.set_clock_period_ns(r.f64());
-    d.set_clock_net(r.i32());
-    for (netlist::CellId c = 0; c < d.nl().cell_count(); ++c) {
-      d.set_tier(c, r.u8());
-      const double x = r.f64(), y = r.f64();
-      d.set_pos(c, {x, y});
-    }
+    io::read_design_state(r, d);
+    io::read_flow_stats(r, *res);
 
-    res->timing_part.pinned_cells = r.i32();
-    res->timing_part.pinned_area = r.f64();
-    res->timing_part.cut = r.i32();
-    res->timing_part.worst_pinned_slack = r.f64();
-    res->repart.iterations = r.i32();
-    res->repart.cells_moved = r.i32();
-    res->repart.moves_undone = r.i32();
-    res->repart.wns_before = r.f64();
-    res->repart.wns_after = r.f64();
-    res->repart.tns_before = r.f64();
-    res->repart.tns_after = r.f64();
-    res->repart.final_unbalance = r.f64();
-    res->opt.buffers_added = r.i32();
-    res->opt.cells_upsized = r.i32();
-    res->opt.cells_downsized = r.i32();
-    res->opt.wns_before = r.f64();
-    res->opt.wns_after = r.f64();
-
-    // Re-derive the metrics exactly as run_flow's finalize does. Clock
-    // latencies are a pure function of netlist + placement, so they are
-    // re-annotated instead of stored.
+    // Re-derive the metrics exactly as run_flow's finalize does. For a
+    // *finished* flow the stored clock latencies equal the re-annotated
+    // ones (the flow always ends on a fresh annotate), so re-annotating
+    // here only recovers the ClockTreeReport that collect_metrics needs.
     const auto clock = cts::annotate_clock_latencies(d);
     const auto routes = route::route_design(d);
     const auto timing = sta::run_sta(d, &routes);
@@ -302,7 +121,7 @@ bool FlowCache::disk_store(const Key& key,
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) return false;
-    Writer w{os};
+    io::BinWriter w{os};
     w.u64(kMagic);
     w.u32(kVersion);
     w.u64(key.netlist_fp);
@@ -310,39 +129,10 @@ bool FlowCache::disk_store(const Key& key,
     w.u64(key.opt_hash);
 
     const netlist::Design& d = res.design;
-    write_netlist(w, d.nl());
+    io::write_netlist(w, d.nl());
     w.u64(fingerprint(d.nl()));
-    const util::Rect& fp = d.floorplan();
-    w.f64(fp.xlo);
-    w.f64(fp.ylo);
-    w.f64(fp.xhi);
-    w.f64(fp.yhi);
-    w.f64(d.clock_period_ns());
-    w.i32(d.clock_net());
-    for (netlist::CellId c = 0; c < d.nl().cell_count(); ++c) {
-      w.u8(static_cast<std::uint8_t>(d.tier(c)));
-      const util::Point p = d.pos(c);
-      w.f64(p.x);
-      w.f64(p.y);
-    }
-
-    w.i32(res.timing_part.pinned_cells);
-    w.f64(res.timing_part.pinned_area);
-    w.i32(res.timing_part.cut);
-    w.f64(res.timing_part.worst_pinned_slack);
-    w.i32(res.repart.iterations);
-    w.i32(res.repart.cells_moved);
-    w.i32(res.repart.moves_undone);
-    w.f64(res.repart.wns_before);
-    w.f64(res.repart.wns_after);
-    w.f64(res.repart.tns_before);
-    w.f64(res.repart.tns_after);
-    w.f64(res.repart.final_unbalance);
-    w.i32(res.opt.buffers_added);
-    w.i32(res.opt.cells_upsized);
-    w.i32(res.opt.cells_downsized);
-    w.f64(res.opt.wns_before);
-    w.f64(res.opt.wns_after);
+    io::write_design_state(w, d);
+    io::write_flow_stats(w, res);
     os.flush();
     if (!os.good()) {
       std::filesystem::remove(tmp, ec);

@@ -1,0 +1,245 @@
+/// \file flow_state.cpp
+/// \brief See flow_state.hpp. Compiled into m3d_core (its consumers — the
+///        flow cache disk tier and the checkpoint layer — live there, and
+///        m3d_io itself links m3d_core, so building it into m3d_io would
+///        be a dependency cycle).
+
+#include "io/flow_state.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace m3d::io {
+
+void BinWriter::u64(std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinWriter::u32(std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinWriter::i32(std::int32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinWriter::u8(std::uint8_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinWriter::f64(double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinReader::raw(void* p, std::size_t n) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  M3D_CHECK_MSG(is.good(), "flow state stream truncated");
+}
+std::uint64_t BinReader::u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
+std::uint32_t BinReader::u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
+std::int32_t BinReader::i32() { std::int32_t v; raw(&v, sizeof v); return v; }
+std::uint8_t BinReader::u8() { std::uint8_t v; raw(&v, sizeof v); return v; }
+double BinReader::f64() { double v; raw(&v, sizeof v); return v; }
+std::string BinReader::str() {
+  const std::uint32_t n = u32();
+  M3D_CHECK_MSG(n <= (1u << 24), "flow state string too long");
+  std::string s(n, '\0');
+  if (n > 0) raw(s.data(), n);
+  return s;
+}
+
+void write_netlist(BinWriter& w, const netlist::Netlist& nl) {
+  w.str(nl.name());
+  w.i32(nl.block_count());
+  for (netlist::BlockId b = 1; b < nl.block_count(); ++b)
+    w.str(nl.block_name(b));
+  w.i32(nl.cell_count());
+  for (netlist::CellId c = 0; c < nl.cell_count(); ++c) {
+    const netlist::Cell& cell = nl.cell(c);
+    w.u8(static_cast<std::uint8_t>(cell.kind));
+    w.str(cell.name);
+    switch (cell.kind) {
+      case netlist::CellKind::Comb:
+        w.i32(static_cast<int>(cell.func));
+        w.i32(cell.drive);
+        w.i32(cell.block);
+        break;
+      case netlist::CellKind::Seq:
+        w.i32(cell.drive);
+        w.i32(cell.block);
+        break;
+      case netlist::CellKind::Macro: {
+        int n_in = 0, n_out = 0;
+        for (netlist::PinId p : cell.pins) {
+          const netlist::Pin& pin = nl.pin(p);
+          if (pin.is_clock) continue;
+          (pin.dir == netlist::PinDir::Output ? n_out : n_in)++;
+        }
+        w.str(cell.macro_name);
+        w.i32(n_in);
+        w.i32(n_out);
+        w.i32(cell.block);
+        break;
+      }
+      case netlist::CellKind::PrimaryIn:
+      case netlist::CellKind::PrimaryOut:
+        break;
+    }
+    w.u8(cell.fixed ? 1 : 0);
+  }
+  w.i32(nl.pin_count());  // replay sanity check
+  w.i32(nl.net_count());
+  for (netlist::NetId n = 0; n < nl.net_count(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    w.str(net.name);
+    w.u8(net.is_clock ? 1 : 0);
+    w.f64(net.activity);
+    w.i32(static_cast<int>(net.pins.size()));
+    for (netlist::PinId p : net.pins) w.i32(p);
+  }
+}
+
+netlist::Netlist read_netlist(BinReader& r) {
+  netlist::Netlist nl(r.str());
+  const int blocks = r.i32();
+  for (int b = 1; b < blocks; ++b) nl.add_block(r.str());
+  const int cells = r.i32();
+  for (int c = 0; c < cells; ++c) {
+    const auto kind = static_cast<netlist::CellKind>(r.u8());
+    const std::string name = r.str();
+    netlist::CellId id = netlist::kInvalidId;
+    switch (kind) {
+      case netlist::CellKind::Comb: {
+        const auto func = static_cast<tech::CellFunc>(r.i32());
+        const int drive = r.i32();
+        const int block = r.i32();
+        id = nl.add_comb(name, func, drive, block);
+        break;
+      }
+      case netlist::CellKind::Seq: {
+        const int drive = r.i32();
+        const int block = r.i32();
+        id = nl.add_dff(name, drive, block);
+        break;
+      }
+      case netlist::CellKind::Macro: {
+        const std::string macro_name = r.str();
+        const int n_in = r.i32();
+        const int n_out = r.i32();
+        const int block = r.i32();
+        id = nl.add_macro(name, macro_name, n_in, n_out, block);
+        break;
+      }
+      case netlist::CellKind::PrimaryIn:
+        id = nl.add_input_port(name);
+        break;
+      case netlist::CellKind::PrimaryOut:
+        id = nl.add_output_port(name);
+        break;
+    }
+    M3D_CHECK_MSG(id == c, "flow state replay produced wrong cell id");
+    nl.cell(id).fixed = r.u8() != 0;
+  }
+  M3D_CHECK_MSG(r.i32() == nl.pin_count(),
+                "flow state replay produced wrong pin count");
+  const int nets = r.i32();
+  for (int n = 0; n < nets; ++n) {
+    const std::string name = r.str();
+    const bool is_clock = r.u8() != 0;
+    const double activity = r.f64();
+    const netlist::NetId id = nl.add_net(name, is_clock);
+    M3D_CHECK_MSG(id == n, "flow state replay produced wrong net id");
+    nl.net(id).activity = activity;
+    const int npins = r.i32();
+    for (int i = 0; i < npins; ++i) {
+      const netlist::PinId p = r.i32();
+      M3D_CHECK_MSG(p >= 0 && p < nl.pin_count(),
+                    "flow state pin id out of range");
+      nl.connect(id, p);
+    }
+  }
+  return nl;
+}
+
+void write_design_state(BinWriter& w, const netlist::Design& d) {
+  const util::Rect& fp = d.floorplan();
+  w.f64(fp.xlo);
+  w.f64(fp.ylo);
+  w.f64(fp.xhi);
+  w.f64(fp.yhi);
+  w.f64(d.clock_period_ns());
+  w.i32(d.clock_net());
+  for (netlist::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    w.u8(static_cast<std::uint8_t>(d.tier(c)));
+    const util::Point p = d.pos(c);
+    w.f64(p.x);
+    w.f64(p.y);
+    w.f64(d.clock_latency(c));
+  }
+}
+
+void read_design_state(BinReader& r, netlist::Design& d) {
+  const double xlo = r.f64(), ylo = r.f64();
+  const double xhi = r.f64(), yhi = r.f64();
+  d.set_floorplan({xlo, ylo, xhi, yhi});
+  d.set_clock_period_ns(r.f64());
+  d.set_clock_net(r.i32());
+  for (netlist::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    d.set_tier(c, r.u8());
+    const double x = r.f64(), y = r.f64();
+    d.set_pos(c, {x, y});
+    d.set_clock_latency(c, r.f64());
+  }
+}
+
+void write_repart_result(BinWriter& w, const part::RepartitionResult& rr) {
+  w.i32(rr.iterations);
+  w.i32(rr.cells_moved);
+  w.i32(rr.moves_undone);
+  w.f64(rr.wns_before);
+  w.f64(rr.wns_after);
+  w.f64(rr.tns_before);
+  w.f64(rr.tns_after);
+  w.f64(rr.final_unbalance);
+}
+
+void read_repart_result(BinReader& r, part::RepartitionResult& rr) {
+  rr.iterations = r.i32();
+  rr.cells_moved = r.i32();
+  rr.moves_undone = r.i32();
+  rr.wns_before = r.f64();
+  rr.wns_after = r.f64();
+  rr.tns_before = r.f64();
+  rr.tns_after = r.f64();
+  rr.final_unbalance = r.f64();
+}
+
+void write_flow_stats(BinWriter& w, const core::FlowResult& res) {
+  w.i32(res.timing_part.pinned_cells);
+  w.f64(res.timing_part.pinned_area);
+  w.i32(res.timing_part.cut);
+  w.f64(res.timing_part.worst_pinned_slack);
+  write_repart_result(w, res.repart);
+  w.i32(res.opt.buffers_added);
+  w.i32(res.opt.cells_upsized);
+  w.i32(res.opt.cells_downsized);
+  w.f64(res.opt.wns_before);
+  w.f64(res.opt.wns_after);
+}
+
+void read_flow_stats(BinReader& r, core::FlowResult& res) {
+  res.timing_part.pinned_cells = r.i32();
+  res.timing_part.pinned_area = r.f64();
+  res.timing_part.cut = r.i32();
+  res.timing_part.worst_pinned_slack = r.f64();
+  read_repart_result(r, res.repart);
+  res.opt.buffers_added = r.i32();
+  res.opt.cells_upsized = r.i32();
+  res.opt.cells_downsized = r.i32();
+  res.opt.wns_before = r.f64();
+  res.opt.wns_after = r.f64();
+}
+
+}  // namespace m3d::io

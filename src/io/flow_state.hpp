@@ -1,0 +1,87 @@
+#pragma once
+/// \file flow_state.hpp
+/// \brief Binary serialization of in-flight and finished flow state,
+///        shared by the exec::FlowCache disk tier and the
+///        flow::Checkpoint stage-restart layer.
+///
+/// The central record is the *replayable netlist*: cells in id order with
+/// their construction arguments, then nets with their connection order.
+/// Replaying it through the Netlist builders reproduces every cell, pin
+/// and net id exactly, so a restored netlist is structurally
+/// indistinguishable from the one that was written — a property both
+/// consumers verify with exec::FlowCache::fingerprint after replay.
+///
+/// Around it sit small fixed records for the mutable Design state
+/// (floorplan, clock binding, per-cell tier / position / clock latency)
+/// and the per-stage result structs accumulated in core::FlowResult.
+/// Everything is written host-endian: these files are local working state
+/// (a cache directory, a checkpoint directory), not an interchange format.
+///
+/// Readers throw util::Error on truncation or bound violations; both
+/// consumers turn that into "entry invalid, recompute" rather than a
+/// failure (a persisted file can go stale, never wrong).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/flow.hpp"
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+
+namespace m3d::io {
+
+/// Little fixed-width primitive writer over any ostream.
+struct BinWriter {
+  std::ostream& os;
+  void u64(std::uint64_t v);
+  void u32(std::uint32_t v);
+  void i32(std::int32_t v);
+  void u8(std::uint8_t v);
+  void f64(double v);
+  void str(const std::string& s);
+};
+
+/// Reading throws util::Error on any truncation or bound violation, which
+/// callers turn into a plain miss / invalid-entry verdict.
+struct BinReader {
+  std::istream& is;
+  void raw(void* p, std::size_t n);
+  std::uint64_t u64();
+  std::uint32_t u32();
+  std::int32_t i32();
+  std::uint8_t u8();
+  double f64();
+  std::string str();
+};
+
+/// Write `nl` as a replayable build script (see file comment).
+void write_netlist(BinWriter& w, const netlist::Netlist& nl);
+
+/// Replay a netlist written by write_netlist. Throws util::Error when the
+/// stream does not replay cleanly (wrong ids, truncation, bad counts).
+netlist::Netlist read_netlist(BinReader& r);
+
+/// Mutable Design state on top of the netlist: floorplan, clock period,
+/// clock net, and per-cell tier / position / clock latency. The clock
+/// latencies ARE stored (not re-derived): mid-flow they can be stale
+/// relative to the current placement on purpose — e.g. during the
+/// repartition ECO, which times against the latencies annotated before
+/// the loop started — so recomputing them on load would change the
+/// restored state.
+void write_design_state(BinWriter& w, const netlist::Design& d);
+
+/// Restore what write_design_state wrote. `d` must already hold the same
+/// netlist (replayed) and libraries; only the mutable state is assigned.
+void read_design_state(BinReader& r, netlist::Design& d);
+
+/// The small per-stage result structs of core::FlowResult (timing_part,
+/// repart, opt) — everything except the design and the recomputable
+/// metrics.
+void write_flow_stats(BinWriter& w, const core::FlowResult& res);
+void read_flow_stats(BinReader& r, core::FlowResult& res);
+
+void write_repart_result(BinWriter& w, const part::RepartitionResult& rr);
+void read_repart_result(BinReader& r, part::RepartitionResult& rr);
+
+}  // namespace m3d::io

@@ -107,7 +107,8 @@ int rebalance_to_top(Design& d, const sta::StaResult& timing,
   return moved;
 }
 
-RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
+RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt,
+                                  const EcoHooks* hooks) {
   M3D_CHECK(d.num_tiers() == 2);
   RepartitionResult res;
 
@@ -133,7 +134,22 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
   // The budget bounds how far the ECO may *push* the tier balance away
   // from wherever the partitioner left it (which is deliberately offset
   // when macros occupy the bottom tier).
-  const double initial_unbalance = tier_unbalance(d);
+  double initial_unbalance = tier_unbalance(d);
+
+  if (hooks && hooks->resume) {
+    // Checkpoint resume: the design is already the snapshot taken at an
+    // iteration boundary, and the full run() above rebuilt the timing
+    // view the interrupted run was holding incrementally — assert that
+    // equivalence before trusting it, then pick up the loop state.
+    const EcoIterState& st = *hooks->resume;
+    M3D_CHECK_MSG(sta::timing_fingerprint(timing) == st.sta_fingerprint,
+                  "ECO resume: rebuilt STA state does not match checkpoint");
+    res = st.partial;
+    d_k = st.d_k;
+    wns = st.wns;
+    tns = st.tns;
+    initial_unbalance = st.initial_unbalance;
+  }
 
   while (res.iterations < opt.max_iters &&
          tier_unbalance(d) - initial_unbalance <= opt.unbalance_th) {
@@ -242,6 +258,16 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt) {
                           static_cast<double>(res.cells_moved));
       util::trace_counter("eco_moves_undone",
                           static_cast<double>(res.moves_undone));
+    }
+    if (hooks && hooks->after_iteration) {
+      EcoIterState st;
+      st.partial = res;
+      st.d_k = d_k;
+      st.wns = wns;
+      st.tns = tns;
+      st.initial_unbalance = initial_unbalance;
+      st.sta_fingerprint = sta::timing_fingerprint(timing);
+      hooks->after_iteration(d, st);
     }
   }
 

@@ -14,6 +14,9 @@
 ///  * the tier-area unbalance budget is exhausted, or
 ///  * max_iters is hit.
 
+#include <cstdint>
+#include <functional>
+
 #include "netlist/design.hpp"
 #include "sta/sta.hpp"
 
@@ -47,10 +50,39 @@ struct RepartitionResult {
   double final_unbalance = 0.0;
 };
 
+/// Everything the ECO loop carries across an iteration boundary besides
+/// the design itself. Restoring a design snapshot plus this state resumes
+/// the loop bitwise-identically to an uninterrupted run: the incremental
+/// Sta is rebuilt from the design with a full run(), which is
+/// bitwise-equal to the retime() chain the interrupted run held
+/// (the engine's core invariant), and `sta_fingerprint` asserts exactly
+/// that on resume.
+struct EcoIterState {
+  RepartitionResult partial;       ///< accumulators through this iteration
+  double d_k = 0.0;                ///< current delay-threshold multiplier
+  double wns = 0.0;                ///< last accepted WNS
+  double tns = 0.0;                ///< last accepted TNS
+  double initial_unbalance = 0.0;  ///< unbalance baseline of the budget
+  std::uint64_t sta_fingerprint = 0;  ///< sta::timing_fingerprint at boundary
+};
+
+/// Checkpoint hooks threaded into repartition_eco by the flow checkpoint
+/// layer. Plain callers pass nothing and get the historical behaviour.
+struct EcoHooks {
+  /// Called after every iteration (accepted or undone) with the live
+  /// design and the state needed to resume from that boundary. May throw
+  /// (fault injection); the exception propagates out of the loop.
+  std::function<void(const Design&, const EcoIterState&)> after_iteration;
+  /// When set, the loop resumes from this state instead of starting
+  /// fresh. The design must be the exact snapshot the state was taken on.
+  const EcoIterState* resume = nullptr;
+};
+
 /// Run Algorithm 1 on a partitioned, placed 3-D design. Re-times the design
 /// with routing-aware STA after every move batch (the "ECO update").
 RepartitionResult repartition_eco(Design& d,
-                                  const RepartitionOptions& opt = {});
+                                  const RepartitionOptions& opt = {},
+                                  const EcoHooks* hooks = nullptr);
 
 /// Area unbalance |top − bottom| / total, areas measured in each tier's
 /// own library units (the quantity Algorithm 1 budgets).

@@ -1,7 +1,9 @@
 #include "sta/sta.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "exec/pool.hpp"
 #include "util/check.hpp"
@@ -1013,6 +1015,28 @@ std::vector<CriticalPath> StaResult::worst_paths(int n) const {
   for (int i = 0; i < count; ++i)
     out.push_back(trace_path(endpoints_[static_cast<std::size_t>(i)]));
   return out;
+}
+
+std::uint64_t timing_fingerprint(const StaResult& r) {
+  // FNV-style accumulator with a splitmix64 round per word (the same
+  // mixing the flow-cache keys use); exact double bits, no tolerance.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    std::uint64_t z = h ^ v;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    h = z ^ (z >> 31);
+  };
+  mix(std::bit_cast<std::uint64_t>(r.wns()));
+  mix(std::bit_cast<std::uint64_t>(r.tns()));
+  mix(std::bit_cast<std::uint64_t>(r.whs()));
+  mix(static_cast<std::uint64_t>(r.endpoint_count()));
+  for (const PinId p : r.endpoints_by_slack()) {
+    mix(static_cast<std::uint64_t>(p));
+    mix(std::bit_cast<std::uint64_t>(r.pin_slack(p)));
+  }
+  return h;
 }
 
 }  // namespace m3d::sta

@@ -210,4 +210,12 @@ class Sta {
 StaResult run_sta(const Design& d, const route::RoutingEstimate* routes,
                   const StaOptions& opt = {});
 
+/// 64-bit digest of a timing state: WNS/TNS/WHS plus every endpoint id
+/// and its exact slack bits, in worst-first order. Because run() and
+/// retime() are bitwise-deterministic, two equal fingerprints mean the
+/// timing views are interchangeable. The flow checkpoint layer stores it
+/// at repartition-ECO iteration boundaries and verifies that the engine
+/// rebuilt on resume reproduces the interrupted run's state exactly.
+std::uint64_t timing_fingerprint(const StaResult& r);
+
 }  // namespace m3d::sta

@@ -1,0 +1,25 @@
+#pragma once
+/// \file sanitize.hpp
+/// \brief Shared sanitizer detection for the heavyweight tests.
+///
+/// ThreadSanitizer and AddressSanitizer slow the flow kernels ~10x/~2-3x;
+/// tests that drive wide generated netlists self-shrink under either —
+/// just enough to stay above the parallel-kernel thresholds (2048 cells /
+/// 1024 nets), so the pooled code paths still execute. Detection covers
+/// both the GCC macro spelling and the Clang feature probe.
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define M3D_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define M3D_TEST_SANITIZED 1
+#endif
+#endif
+
+/// Scale for the widest generated netlists ("netcard"): shrunk under a
+/// sanitizer, full-size otherwise.
+#ifdef M3D_TEST_SANITIZED
+#define M3D_TEST_WIDE_SCALE 0.06
+#else
+#define M3D_TEST_WIDE_SCALE 0.1
+#endif

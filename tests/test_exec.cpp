@@ -32,23 +32,11 @@ namespace mg = m3d::gen;
 namespace mn = m3d::netlist;
 namespace mu = m3d::util;
 
-// ThreadSanitizer slows the flow ~10x; shrink the widest generated netlist
-// just enough to stay above the parallel-kernel thresholds (2048 cells).
-#if defined(__SANITIZE_THREAD__)
-#define M3D_TEST_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define M3D_TEST_TSAN 1
-#endif
-#endif
+#include "sanitize.hpp"  // self-shrink under TSan/ASan
 
 namespace {
 
-#ifdef M3D_TEST_TSAN
-constexpr double kWideScale = 0.06;
-#else
-constexpr double kWideScale = 0.1;
-#endif
+constexpr double kWideScale = M3D_TEST_WIDE_SCALE;
 
 class Quiet : public ::testing::Test {
  protected:
@@ -353,6 +341,58 @@ TEST_F(ExecFlowCache, DiskPersistsAcrossInstances) {
 
   unsetenv("M3D_FLOW_CACHE_DIR");
   std::filesystem::remove_all(dir);
+}
+
+TEST_F(ExecFlowCache, PrewarmClaimsOnceThenServesHits) {
+  const auto nl = tiny();
+  me::FlowCache cache(8);
+  const auto opt = tiny_opts();
+
+  EXPECT_TRUE(cache.prewarm(nl, mc::Config::TwoD12T, opt));   // computed
+  EXPECT_FALSE(cache.prewarm(nl, mc::Config::TwoD12T, opt));  // already there
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The warmed entry serves get_or_run as an ordinary hit, and the result
+  // matches an independent computation of the same key.
+  const auto warmed = cache.get_or_run(nl, mc::Config::TwoD12T, opt);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  me::FlowCache fresh(8);
+  const auto direct = fresh.get_or_run(nl, mc::Config::TwoD12T, opt);
+  EXPECT_EQ(m3d::io::metrics_csv({warmed->metrics}),
+            m3d::io::metrics_csv({direct->metrics}));
+}
+
+TEST_F(ExecFlowCache, SpeculativeFrequencySearchMatchesSerial) {
+  // find_max_frequency speculates the two possible next binary-search
+  // midpoints on spare workers (claimed via prewarm, never joined), while
+  // the on-path evaluation may join or — when the evaluating thread is
+  // itself mid-flow from helping the pool — bypass an in-flight entry.
+  // Whatever interleaving occurs, the search must follow the exact serial
+  // path. This doubles as the regression test for the in-flight self-join
+  // deadlock: owners of in-flight entries never block on other entries.
+  const auto nl = tiny();
+  const auto opt = tiny_opts();
+
+  // Caches before pools: lingering speculative tasks reference the cache,
+  // and the pool destructor joins the workers running them.
+  me::FlowCache serial_cache(16);
+  me::Pool serial_pool(1);
+  const me::Ctx serial{&serial_pool, &serial_cache};
+  const double f1 = mc::find_max_frequency(nl, mc::Config::TwoD12T, opt, 0.4,
+                                           4.0, 4, 0.05, &serial);
+
+  me::FlowCache wide_cache(16);
+  me::Pool wide_pool(4);
+  const me::Ctx wide{&wide_pool, &wide_cache};
+  const double f4 = mc::find_max_frequency(nl, mc::Config::TwoD12T, opt, 0.4,
+                                           4.0, 4, 0.05, &wide);
+
+  EXPECT_EQ(f1, f4);
+  // Every key the serial search computed must resolve in the wide cache
+  // too (either the search or a speculative warm-up computed it).
+  const auto s = wide_cache.stats();
+  EXPECT_GE(s.misses, serial_cache.stats().misses);
 }
 
 TEST_F(ExecSweep, RunFlowByteIdenticalAcrossPoolSizes) {

@@ -183,23 +183,13 @@ namespace mgen = m3d::gen;
 namespace mpl = m3d::place;
 namespace mex = m3d::exec;
 
-#if defined(__SANITIZE_THREAD__)
-#define M3D_TEST_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define M3D_TEST_TSAN 1
-#endif
-#endif
+#include "sanitize.hpp"  // self-shrink under TSan/ASan
 
 namespace {
 
-// ThreadSanitizer slows routing ~10x; shrink the generated netlist just
-// enough to keep more than kParallelMinNets (1024) nets in play.
-#ifdef M3D_TEST_TSAN
-constexpr double kWideScale = 0.06;
-#else
-constexpr double kWideScale = 0.1;
-#endif
+// Shrunk under a sanitizer, but still more than kParallelMinNets (1024)
+// nets in play.
+constexpr double kWideScale = M3D_TEST_WIDE_SCALE;
 
 /// Placed hetero design from a generated netlist, wide enough that
 /// route_design actually fans out across the pool.

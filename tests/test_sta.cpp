@@ -409,23 +409,11 @@ namespace mgen = m3d::gen;
 namespace mpl = m3d::place;
 namespace mex = m3d::exec;
 
-// ThreadSanitizer slows the flow ~10x; shrink the widest generated netlist
-// just enough to stay above the parallel-kernel thresholds (2048 cells).
-#if defined(__SANITIZE_THREAD__)
-#define M3D_TEST_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define M3D_TEST_TSAN 1
-#endif
-#endif
+#include "sanitize.hpp"  // self-shrink under TSan/ASan
 
 namespace {
 
-#ifdef M3D_TEST_TSAN
-constexpr double kWideScale = 0.06;
-#else
-constexpr double kWideScale = 0.1;
-#endif
+constexpr double kWideScale = M3D_TEST_WIDE_SCALE;
 
 /// Placed, routed hetero design from a generated netlist: the realistic
 /// substrate the retime() invariants are stated over.
