@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/checkpoint.hpp"
 #include "core/flow.hpp"
 #include "exec/flow_cache.hpp"
 #include "gen/designs.hpp"
@@ -59,6 +60,10 @@ std::uint64_t design_state_hash(const m3d::netlist::Design& d) {
 int main(int argc, char** argv) {
   using namespace m3d;
   util::set_log_level(util::LogLevel::Info);
+  // SIGINT/SIGTERM land at the next checkpoint boundary: the boundary
+  // file is written and flushed first, then the flow unwinds and we exit
+  // cleanly — rerunning with the same M3D_CHECKPOINT_DIR resumes there.
+  flow::install_interrupt_handlers();
 
   gen::GenOptions gen_opts;
   const char* which = argc > 1 ? argv[1] : "aes";
@@ -74,23 +79,32 @@ int main(int argc, char** argv) {
   // warm hits), straight run_flow otherwise — the result is identical.
   exec::FlowCache cache(8);
   const bool cached = !exec::FlowCache::disk_dir().empty();
-  core::FlowResult direct = cached
-                                ? core::FlowResult(core::design_for_config(
-                                      nl, core::Config::Hetero3D))
-                                : core::run_flow(nl, core::Config::Hetero3D,
-                                                 opt);
-  const core::FlowResult& res =
-      cached ? *cache.get_or_run(nl, core::Config::Hetero3D, opt) : direct;
+  try {
+    core::FlowResult direct = cached
+                                  ? core::FlowResult(core::design_for_config(
+                                        nl, core::Config::Hetero3D))
+                                  : core::run_flow(nl, core::Config::Hetero3D,
+                                                   opt);
+    const core::FlowResult& res =
+        cached ? *cache.get_or_run(nl, core::Config::Hetero3D, opt) : direct;
 
-  std::fputs(io::metrics_csv({res.metrics}).c_str(), stdout);
-  std::printf("netlist_fp %016" PRIx64 "\n",
-              exec::FlowCache::fingerprint(res.design.nl()));
-  std::printf("state_hash %016" PRIx64 "\n", design_state_hash(res.design));
-  std::printf("repart iters=%d moved=%d undone=%d\n", res.repart.iterations,
-              res.repart.cells_moved, res.repart.moves_undone);
-  std::printf("opt upsized=%d downsized=%d buffers=%d\n",
-              res.opt.cells_upsized, res.opt.cells_downsized,
-              res.opt.buffers_added);
+    std::fputs(io::metrics_csv({res.metrics}).c_str(), stdout);
+    std::printf("netlist_fp %016" PRIx64 "\n",
+                exec::FlowCache::fingerprint(res.design.nl()));
+    std::printf("state_hash %016" PRIx64 "\n", design_state_hash(res.design));
+    std::printf("repart iters=%d moved=%d undone=%d\n", res.repart.iterations,
+                res.repart.cells_moved, res.repart.moves_undone);
+    std::printf("opt upsized=%d downsized=%d buffers=%d\n",
+                res.opt.cells_upsized, res.opt.cells_downsized,
+                res.opt.buffers_added);
+  } catch (const flow::Interrupted& e) {
+    // A SIGINT/SIGTERM arrived and the flow stopped at a checkpoint
+    // boundary with its file flushed. Clean exit, no digest on stdout —
+    // the rerun that resumes prints it.
+    std::fprintf(stderr, "checkpoint_restart: %s, exiting cleanly\n",
+                 e.what());
+    return 0;
+  }
 
   if (cached) {
     const auto s = cache.stats();

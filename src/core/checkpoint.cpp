@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,6 +112,19 @@ void read_eco_state(io::BinReader& r, part::EcoIterState& st) {
 // exchange even if a stage boundary and a test race.
 std::atomic<int> g_armed_fault{0};
 
+// Cooperative interrupt flag (request_interrupt / Interrupted). Relaxed
+// is enough: the flag is a latch consulted at checkpoint boundaries, not
+// a synchronization edge.
+std::atomic<bool> g_interrupt{false};
+
+extern "C" void m3d_interrupt_signal_handler(int sig) {
+  // Async-signal-safe: one relaxed store, then re-arm the default
+  // disposition so a second signal kills a flow that never reaches a
+  // boundary.
+  g_interrupt.store(true, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
+}
+
 }  // namespace
 
 const char* stage_name(Stage s) {
@@ -159,6 +173,24 @@ void fault_arm(Stage stage, int iter) {
 }
 
 void fault_disarm() { g_armed_fault.store(0); }
+
+Interrupted::Interrupted(Stage s, int it)
+    : std::runtime_error(std::string("interrupted at ") + stage_name(s) +
+                         (it > 0 ? ":" + std::to_string(it) : std::string()) +
+                         " (checkpoint flushed)"),
+      stage(s),
+      iter(it) {}
+
+void request_interrupt() { g_interrupt.store(true, std::memory_order_relaxed); }
+void clear_interrupt() { g_interrupt.store(false, std::memory_order_relaxed); }
+bool interrupt_requested() {
+  return g_interrupt.load(std::memory_order_relaxed);
+}
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, m3d_interrupt_signal_handler);
+  std::signal(SIGTERM, m3d_interrupt_signal_handler);
+}
 
 std::string Checkpoint::default_dir() {
   if (const char* s = std::getenv("M3D_CHECKPOINT_DIR"))
@@ -271,6 +303,7 @@ void Checkpoint::save(Stage s, const core::FlowResult& res,
                       const cts::ClockTreeReport& clock) {
   write_boundary(s, 0, res, clock, nullptr);
   maybe_inject_fault(s, 0);
+  maybe_interrupt(s, 0);
 }
 
 void Checkpoint::save_iter(Stage s, const core::FlowResult& res,
@@ -279,6 +312,19 @@ void Checkpoint::save_iter(Stage s, const core::FlowResult& res,
   M3D_CHECK(s == Stage::RepartEco || s == Stage::RepartFixup);
   write_boundary(s, st.partial.iterations, res, clock, &st);
   maybe_inject_fault(s, st.partial.iterations);
+  maybe_interrupt(s, st.partial.iterations);
+}
+
+void Checkpoint::maybe_interrupt(Stage s, int iter) const {
+  // Only resumable runs stop: the boundary file just landed via atomic
+  // rename, so unwinding here loses nothing. The flag stays set — every
+  // other in-flight flow in the process (m3dd drains many at once) stops
+  // at its own next boundary; the entry point clears it when done.
+  if (!active() || !interrupt_requested()) return;
+  util::log_info("checkpoint: interrupt at ", stage_name(s),
+                 iter > 0 ? ":" + std::to_string(iter) : std::string(),
+                 ", flow state flushed");
+  throw Interrupted(s, iter);
 }
 
 bool Checkpoint::load_file(const Candidate& c, core::FlowResult& res,

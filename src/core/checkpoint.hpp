@@ -116,6 +116,34 @@ struct FaultInjected : std::runtime_error {
 void fault_arm(Stage stage, int iter = 0);
 void fault_disarm();
 
+/// Thrown out of run_flow by the *next* checkpoint boundary after an
+/// interrupt was requested — the boundary's checkpoint file is already
+/// written and flushed when this propagates, so the run is resumable
+/// exactly from where it stopped. Only active checkpoint sessions throw:
+/// with checkpointing disabled there is nothing to resume from, so an
+/// interrupted flow simply runs to completion.
+struct Interrupted : std::runtime_error {
+  Interrupted(Stage s, int it);
+  Stage stage;
+  int iter;
+};
+
+/// Request cooperative interruption of every in-flight run_flow in the
+/// process (see Interrupted above). Async-signal-safe: a lone relaxed
+/// atomic store, callable straight from a SIGINT/SIGTERM handler. This is
+/// how long-running entry points (examples/checkpoint_restart, the m3dd
+/// drain path) stop mid-flow without dying mid-write: the atomic-rename
+/// checkpoint write completes, then the flow unwinds.
+void request_interrupt();
+void clear_interrupt();            ///< rearm after a handled interrupt
+bool interrupt_requested();
+
+/// Install SIGINT/SIGTERM handlers that call request_interrupt(). A
+/// second signal restores the default disposition, so a stuck flow can
+/// still be killed the ordinary way. Entry points opt in explicitly;
+/// library code never touches signal state.
+void install_interrupt_handlers();
+
 /// One run_flow invocation's checkpoint session. Inactive (every call a
 /// no-op except kill points) when `dir` is empty. Not thread-safe across
 /// concurrent saves — run_flow drives it from one thread.
@@ -172,6 +200,7 @@ class Checkpoint {
                  cts::ClockTreeReport& clock);
   std::string file_for(int stage, int iter) const;
   void maybe_inject_fault(Stage s, int iter) const;
+  void maybe_interrupt(Stage s, int iter) const;
 
   std::string dir_;
   core::Config cfg_;

@@ -202,12 +202,12 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       if (it->second.ready) {
-        ++stats_.hits;
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
         it->second.last_used = ++use_counter_;
         util::trace_instant("flow_cache_hit");
         existing = it->second.future;
       } else if (t_compute_depth == 0) {
-        ++stats_.joins;
+        stats_.joins.fetch_add(1, std::memory_order_relaxed);
         util::trace_instant("flow_cache_join");
         existing = it->second.future;
       } else {
@@ -216,12 +216,12 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
         // the in-flight owner may be this very thread lower in the same
         // stack, or another owner symmetrically waiting on us. Compute
         // uncached instead; determinism makes the result identical.
-        ++stats_.bypasses;
+        stats_.bypasses.fetch_add(1, std::memory_order_relaxed);
         util::trace_instant("flow_cache_bypass");
         bypass = true;
       }
     } else {
-      ++stats_.misses;
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
       util::trace_instant("flow_cache_miss");
       Entry entry;
       entry.future = promise.get_future().share();
@@ -250,7 +250,7 @@ bool FlowCache::prewarm(const netlist::Netlist& nl, core::Config cfg,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (entries_.find(key) != entries_.end()) return false;
-    ++stats_.misses;
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
     util::trace_instant("flow_cache_prewarm");
     Entry entry;
     entry.future = promise.get_future().share();
@@ -279,9 +279,9 @@ FlowCache::ResultPtr FlowCache::compute_entry(const Key& key,
       wrote_disk = disk_store(key, *result);
     }
     promise.set_value(result);
+    if (from_disk) stats_.disk_hits.fetch_add(1, std::memory_order_relaxed);
+    if (wrote_disk) stats_.disk_writes.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
-    if (from_disk) ++stats_.disk_hits;
-    if (wrote_disk) ++stats_.disk_writes;
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.ready = true;
@@ -320,7 +320,7 @@ void FlowCache::evict_locked() {
     }
     if (victim == entries_.end()) return;  // everything in flight
     entries_.erase(victim);
-    ++stats_.evictions;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -336,9 +336,16 @@ std::size_t FlowCache::size() const {
   return entries_.size();
 }
 
-FlowCacheStats FlowCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+FlowCacheStats FlowCache::stats_snapshot() const {
+  FlowCacheStats s;
+  s.hits = stats_.hits.load(std::memory_order_relaxed);
+  s.joins = stats_.joins.load(std::memory_order_relaxed);
+  s.misses = stats_.misses.load(std::memory_order_relaxed);
+  s.bypasses = stats_.bypasses.load(std::memory_order_relaxed);
+  s.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  s.disk_hits = stats_.disk_hits.load(std::memory_order_relaxed);
+  s.disk_writes = stats_.disk_writes.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace m3d::exec

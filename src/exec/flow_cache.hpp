@@ -51,6 +51,7 @@
 /// NOTE: flow_cache.cpp is compiled into m3d_core (it calls run_flow);
 /// the header lives with the rest of the exec subsystem it belongs to.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -100,7 +101,15 @@ class FlowCache {
   void clear();
   std::size_t size() const;          ///< completed + in-flight entries
   std::size_t capacity() const { return capacity_; }
-  FlowCacheStats stats() const;
+
+  /// Lock-free snapshot of the counters (relaxed atomic loads). Safe to
+  /// poll from monitoring threads — the m3dd `stats` verb calls this per
+  /// request — without contending the cache mutex that get_or_run holds.
+  /// The fields are loaded independently, so the snapshot is coherent per
+  /// counter, not across counters (a concurrent hit may be visible in
+  /// `hits` before the entry's LRU bump lands).
+  FlowCacheStats stats_snapshot() const;
+  FlowCacheStats stats() const { return stats_snapshot(); }
 
   /// Process-wide cache used by core::find_max_frequency and the benches.
   static FlowCache& global();
@@ -151,11 +160,24 @@ class FlowCache {
   ResultPtr disk_load(const Key& key, core::Config cfg) const;
   bool disk_store(const Key& key, const core::FlowResult& res) const;
 
+  /// Counters behind FlowCacheStats, kept as relaxed atomics so
+  /// stats_snapshot() never takes mu_ (increments happen both under the
+  /// lock and — disk_hits/disk_writes — outside it).
+  struct AtomicStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> joins{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> bypasses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> disk_hits{0};
+    std::atomic<std::uint64_t> disk_writes{0};
+  };
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::map<Key, Entry> entries_;
   std::uint64_t use_counter_ = 0;
-  FlowCacheStats stats_;
+  AtomicStats stats_;
 };
 
 /// Execution context threaded through flow-level APIs: which pool to fan

@@ -51,6 +51,12 @@ class Pool {
   /// Number of worker threads.
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Number of queued tasks not yet picked up by any thread. A load
+  /// signal for monitors (the m3dd `stats` verb reports it): lock-free,
+  /// instantaneous, and racy by nature — the count may change before the
+  /// caller acts on it.
+  int pending() const { return pending_.load(std::memory_order_relaxed); }
+
   /// Schedule a callable; returns a future for its result. Exceptions
   /// thrown by the callable surface at future.get(). Prefer wait()/get()
   /// below over future.get() when the caller may itself be a pool task.

@@ -1,0 +1,70 @@
+#pragma once
+/// \file client.hpp
+/// \brief Blocking line-protocol client for m3dd — the library behind
+///        m3dctl and the service tests.
+///
+/// One Client == one connection == one daemon-side session (and one
+/// per-client in-flight budget). request() writes a single JSON line and
+/// blocks for the single-line reply; submit_and_wait() layers the
+/// standard retry loop over it: on `queue_full` / `client_limit` it
+/// sleeps for the daemon's retry_after_ms hint and resubmits — the
+/// canonical backpressure-honoring client the protocol docs describe.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace m3d::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a Unix-domain socket; throws std::runtime_error on
+  /// failure (daemon not running, path too long).
+  static Client connect_unix(const std::string& socket_path);
+
+  /// Connect to 127.0.0.1:port (the daemon's optional --listen endpoint).
+  static Client connect_tcp(int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One round trip: send `req` as a line, block for the reply line.
+  /// Throws std::runtime_error on I/O failure or malformed reply.
+  Json request(const Json& req);
+
+  /// Submit a spec, honoring backpressure: rejected submits sleep for the
+  /// daemon's retry_after_ms and try again (up to `max_retries`). Returns
+  /// the job id ("j-N"). Records how many rejections were absorbed in
+  /// *rejections when non-null. Throws on hard errors (bad spec, drain).
+  std::string submit(const JobSpec& spec, int max_retries = 1000,
+                     int* rejections = nullptr);
+
+  /// Block until the job is terminal (result verb, server-side wait).
+  Json wait_result(const std::string& id, int timeout_ms = 600000);
+
+  /// submit() + wait_result() in one call.
+  Json submit_and_wait(const JobSpec& spec, int* rejections = nullptr);
+
+  Json stats() { return request_cmd("stats"); }
+  Json ping() { return request_cmd("ping"); }
+  Json shutdown() { return request_cmd("shutdown"); }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  Json request_cmd(const char* cmd);
+
+  int fd_ = -1;
+  std::string rdbuf_;  ///< bytes past the last consumed line
+};
+
+}  // namespace m3d::service

@@ -46,6 +46,7 @@ class CheckpointTest : public ::testing::Test {
   }
   void TearDown() override {
     mf::fault_disarm();
+    mf::clear_interrupt();
     fs::remove_all(dir_);
   }
 
@@ -359,4 +360,54 @@ TEST_F(CheckpointTest, EnvCheckpointDirIsPickedUpByDefault) {
   const auto resumed = mc::run_flow(nl, mc::Config::Hetero3D, opt);
   unsetenv("M3D_CHECKPOINT_DIR");
   expect_flow_equal(ref, resumed);
+}
+
+// ---- cooperative interruption (SIGINT/SIGTERM, m3dd drain) ---------------
+
+TEST_F(CheckpointTest, InterruptFlagMechanics) {
+  EXPECT_FALSE(mf::interrupt_requested());
+  mf::request_interrupt();
+  EXPECT_TRUE(mf::interrupt_requested());
+  mf::clear_interrupt();
+  EXPECT_FALSE(mf::interrupt_requested());
+}
+
+TEST_F(CheckpointTest, InterruptStopsAtBoundaryAndResumeIsByteIdentical) {
+  // The drain story: a signal (or m3dd's begin_drain) raises the
+  // interrupt flag; a checkpointing flow stops at its next stage boundary
+  // *after* the checkpoint is flushed, throwing flow::Interrupted. A
+  // later run resumes from that flushed state and must be byte-identical
+  // to a never-interrupted run.
+  const auto nl = tiny();
+  auto opt = tiny_opts();
+  const auto ref = mc::run_flow(nl, mc::Config::Hetero3D, opt);
+
+  opt.checkpoint_dir = dir_;
+  mf::request_interrupt();
+  try {
+    mc::run_flow(nl, mc::Config::Hetero3D, opt);
+    FAIL() << "expected flow::Interrupted";
+  } catch (const mf::Interrupted& e) {
+    // The very first boundary fires — deterministically Synth.
+    EXPECT_EQ(e.stage, mf::Stage::Synth);
+    EXPECT_NE(std::string(e.what()).find("interrupted"), std::string::npos);
+  }
+  // The promise of "flushed before thrown": at least one checkpoint file.
+  EXPECT_GE(checkpoint_files(dir_), 1u);
+
+  mf::clear_interrupt();
+  const auto resumed = mc::run_flow(nl, mc::Config::Hetero3D, opt);
+  expect_flow_equal(ref, resumed);
+  EXPECT_EQ(checkpoint_files(dir_), 0u);  // completed run cleaned up
+}
+
+TEST_F(CheckpointTest, InterruptWithoutCheckpointDirRunsToCompletion) {
+  // No checkpoint directory means nothing to resume from, so aborting
+  // would just throw work away — the flag only stops resumable flows.
+  const auto nl = tiny();
+  const auto opt = tiny_opts();
+  mf::request_interrupt();
+  const auto res = mc::run_flow(nl, mc::Config::Hetero3D, opt);
+  EXPECT_GT(res.design.nl().cell_count(), 0);
+  EXPECT_TRUE(mf::interrupt_requested());  // flag persists until cleared
 }

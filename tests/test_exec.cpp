@@ -512,3 +512,133 @@ TEST_F(ExecTrace, EmitsParseableChromeTrace) {
     EXPECT_NE(flow_json.find(stage), std::string::npos) << stage;
   std::remove(path.c_str());
 }
+
+// ---- service-facing observability (PR-5 satellites) ----------------------
+
+TEST_F(ExecPool, PendingCountsQueuedTasks) {
+  // pending() is the m3dd stats verb's load signal: tasks submitted but
+  // not yet picked up. Block the only worker, stack up tasks behind it,
+  // and watch the count rise and drain.
+  me::Pool pool(1);
+  EXPECT_EQ(pool.pending(), 0);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> entered{false};
+  auto blocker = pool.submit([&] {
+    entered.store(true);
+    opened.wait();
+  });
+  while (!entered.load()) std::this_thread::yield();
+  EXPECT_EQ(pool.pending(), 0);  // the blocker was picked up, not queued
+
+  constexpr int kQueued = 5;
+  std::vector<std::future<void>> fs;
+  fs.reserve(kQueued);
+  for (int i = 0; i < kQueued; ++i)
+    fs.push_back(pool.submit([&] { opened.wait(); }));
+  EXPECT_EQ(pool.pending(), kQueued);
+
+  gate.set_value();
+  for (auto& f : fs) pool.get(std::move(f));
+  pool.get(std::move(blocker));
+  EXPECT_EQ(pool.pending(), 0);
+}
+
+TEST_F(ExecFlowCache, StatsSnapshotAccountsUnderServiceContention) {
+  // The daemon shape: many client threads hammering prewarm / lookup /
+  // get_or_run on a small hot key set while another thread polls
+  // stats_snapshot() (which must never take the cache lock — a stats verb
+  // can't stall behind a running flow). Accounting identity at the end:
+  // every get_or_run lands in exactly one of hits/joins/misses/bypasses
+  // and every accepted prewarm is one miss.
+  unsetenv("M3D_FLOW_CACHE_DIR");  // keep the disk tier out of the counts
+  const auto a = tiny("aes", 0.04);
+  const auto b = tiny("ldpc", 0.04);
+  me::FlowCache cache(16);
+  const auto opt = tiny_opts();
+
+  std::atomic<int> claims{0};
+  std::atomic<int> gets{0};
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const auto s = cache.stats_snapshot();
+      // Monotone counters: a snapshot can never see more claims resolved
+      // than requests issued (relaxed loads, but each counter is atomic).
+      EXPECT_LE(s.evictions, s.misses);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 6; ++i) {
+        const auto& nl = ((i + t) % 2) ? a : b;
+        if (i % 3 == 0) {
+          if (cache.prewarm(nl, mc::Config::Hetero3D, opt))
+            claims.fetch_add(1);
+        } else {
+          auto r = cache.get_or_run(nl, mc::Config::Hetero3D, opt);
+          EXPECT_NE(r, nullptr);
+          gets.fetch_add(1);
+        }
+        cache.lookup(nl, mc::Config::Hetero3D, opt);  // stats-neutral
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  poller.join();
+
+  const auto s = cache.stats_snapshot();
+  EXPECT_EQ(s.hits + s.joins + s.misses + s.bypasses,
+            static_cast<std::uint64_t>(gets.load() + claims.load()));
+  EXPECT_EQ(s.bypasses, 0u);  // no nested requests in this shape
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(cache.size(), 2u);  // two hot keys, each computed once...
+  EXPECT_LE(s.misses, static_cast<std::uint64_t>(2 + claims.load()));
+
+  // stats() remains an alias of the snapshot.
+  const auto alias = cache.stats();
+  EXPECT_EQ(alias.hits, s.hits);
+  EXPECT_EQ(alias.misses, s.misses);
+}
+
+TEST_F(ExecFlowCache, PrewarmAndLookupSameKeyNeverDeadlock) {
+  // Regression stress for the prewarm claim-or-skip path under the
+  // contention m3dd generates: every thread races to claim the same two
+  // keys; exactly one claim per key may win, everyone else must either
+  // skip (prewarm == false) or join/hit via get_or_run — and nobody may
+  // wedge waiting on themselves.
+  unsetenv("M3D_FLOW_CACHE_DIR");
+  const auto a = tiny("aes", 0.04);
+  const auto b = tiny("ldpc", 0.04);
+  me::FlowCache cache(8);
+  const auto opt = tiny_opts();
+
+  std::atomic<int> wins_a{0};
+  std::atomic<int> wins_b{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      if (cache.prewarm(a, mc::Config::TwoD12T, opt)) wins_a.fetch_add(1);
+      if (cache.prewarm(b, mc::Config::TwoD12T, opt)) wins_b.fetch_add(1);
+      auto ra = cache.get_or_run(a, mc::Config::TwoD12T, opt);
+      auto rb = cache.get_or_run(b, mc::Config::TwoD12T, opt);
+      EXPECT_NE(ra, nullptr);
+      EXPECT_NE(rb, nullptr);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(wins_a.load(), 1);
+  EXPECT_EQ(wins_b.load(), 1);
+  const auto s = cache.stats_snapshot();
+  EXPECT_EQ(s.misses, 2u);  // one claim per key; everyone else shared
+  EXPECT_EQ(s.hits + s.joins, 16u);
+  EXPECT_EQ(s.bypasses, 0u);
+  // And the shared results are the same objects every requester saw.
+  EXPECT_EQ(cache.size(), 2u);
+}
