@@ -4,6 +4,10 @@
 #include <filesystem>
 #include <memory>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "exec/task_graph.hpp"
 #include "util/log.hpp"
 
@@ -130,5 +134,19 @@ std::vector<SweepItem> run_sweep(const SweepOptions& sweep) {
 }
 
 void quiet_logs() { util::set_log_level(util::LogLevel::Error); }
+
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return static_cast<long>(ru.ru_maxrss);  // kB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 }  // namespace m3d::bench

@@ -95,4 +95,9 @@ std::vector<SweepItem> run_sweep(const SweepOptions& opt = {});
 /// Silence the flow logs (benches print tables, not logs).
 void quiet_logs();
 
+/// Peak resident-set size of this process so far (kB, getrusage
+/// ru_maxrss; 0 where unsupported). Monotone over the process lifetime,
+/// so size sweeps should run ascending and read it after each point.
+long peak_rss_kb();
+
 }  // namespace m3d::bench

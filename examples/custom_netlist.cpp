@@ -108,7 +108,7 @@ int main() {
   for (const auto& st : cp.stages) {
     const auto& cc = d.nl().cell(st.cell);
     std::printf("  %-16s %-7s cell %6.1f ps  wire %5.1f ps  (%4.1f um)\n",
-                cc.name.c_str(),
+                std::string(cc.name).c_str(),
                 cc.is_macro() ? "MACRO" : tech::func_name(cc.func),
                 st.cell_delay_ns * 1000.0, st.wire_delay_ns * 1000.0,
                 st.wire_length_um);

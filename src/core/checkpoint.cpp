@@ -23,7 +23,9 @@ namespace m3d::flow {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4d3344434b505431ull;  // "M3DCKPT1"
-constexpr std::uint32_t kVersion = 1;
+// v2: arena/SoA netlist core — checkpoints written before the storage
+// rework are refused rather than resumed against a different core.
+constexpr std::uint32_t kVersion = 2;
 
 const char* const kStageNames[kStageCount] = {
     "synth",       "place",     "partition",

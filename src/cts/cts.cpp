@@ -268,16 +268,20 @@ ClockTreeReport build_clock_tree(Design& d, const CtsOptions& opt) {
   M3D_CHECK_MSG(root != kInvalidId, "design has no driven clock net");
   d.set_clock_net(root);
 
-  // Collect and detach every flop/macro clock pin.
+  // Collect and detach every flop/macro clock pin. Detaching is batched:
+  // per-pin disconnect() scans the net's pin list, which is quadratic on
+  // the raw clock net (hundreds of thousands of sinks at mesh scale 100).
   std::vector<Sink> sinks;
+  std::vector<PinId> detach;
   for (CellId c = 0; c < nl.cell_count(); ++c) {
     const auto& cc = nl.cell(c);
     if (!cc.is_sequential() && !cc.is_macro()) continue;
     const PinId ck = nl.clock_pin(c);
     if (ck == kInvalidId) continue;
-    if (nl.pin(ck).net != kInvalidId) nl.disconnect(ck);
+    if (nl.pin(ck).net != kInvalidId) detach.push_back(ck);
     sinks.push_back({ck, d.pos(c), d.tier(c)});
   }
+  nl.disconnect_all(detach);
   M3D_CHECK_MSG(!sinks.empty(), "no clock sinks");
 
   TreeBuilder builder(d, opt, 0);

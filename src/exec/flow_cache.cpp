@@ -42,7 +42,7 @@ struct Hasher {
   void mix(unsigned v) { mix(static_cast<std::uint64_t>(v)); }
   void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
   void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
-  void mix(const std::string& s) {
+  void mix(std::string_view s) {
     mix(static_cast<std::uint64_t>(s.size()));
     std::uint64_t word = 0;
     int n = 0;

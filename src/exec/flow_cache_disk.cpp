@@ -44,9 +44,10 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x4d33444643414348ull;  // "M3DFCACH"
 // v2: shared io::flow_state records; the design state grew per-cell clock
-// latencies. v1 files fail the version check and recompute (stale, never
-// wrong).
-constexpr std::uint32_t kVersion = 2;
+// latencies. v3: arena/SoA netlist core — cached payloads written by the
+// old AoS code must not be trusted against the rebuilt fingerprints.
+// Old files fail the version check and recompute (stale, never wrong).
+constexpr std::uint32_t kVersion = 3;
 
 std::string key_file(const std::string& dir, std::uint64_t fp, int config,
                      std::uint64_t opt_hash) {

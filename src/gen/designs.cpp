@@ -17,6 +17,15 @@ int scaled(double base, double scale, int min_val = 1) {
   return std::max(min_val, static_cast<int>(std::lround(base * scale)));
 }
 
+// Pre-size the fabric's netlist from a rough cell-count upper bound so the
+// construction loop stops reallocating per cell. The formulas below are
+// estimates, not contracts: undershooting just costs one more realloc.
+void reserve_fabric(LogicFabric& f, long long cells) {
+  const long long c = std::min<long long>(cells + 64, 1LL << 30);
+  f.reserve(static_cast<int>(c), static_cast<int>(c + c / 8 + 16),
+            static_cast<int>(std::min<long long>(4 * c, 1LL << 31)));
+}
+
 }  // namespace
 
 Netlist make_aes(const GenOptions& opt) {
@@ -28,6 +37,8 @@ Netlist make_aes(const GenOptions& opt) {
   const int bits = 8;
   const int rounds = scaled(5, opt.scale, 1);
   const int sbox_width = scaled(22, std::sqrt(opt.scale), 6);
+  reserve_fabric(f, 1LL * rounds * bytes * (2 * sbox_width + 4 * bits) +
+                        6LL * bytes * bits);
 
   // Input state registers fed by ports.
   std::vector<std::vector<NetId>> state(static_cast<std::size_t>(bytes));
@@ -111,6 +122,8 @@ Netlist make_ldpc(const GenOptions& opt) {
   const int checks = vars / 2;
   const int check_degree = 6;
   const int var_degree = 3;
+  reserve_fabric(f, 1LL * vars * (4 + var_degree) +
+                        1LL * checks * check_degree);
   const BlockId b_var = f.nl().add_block("var");
   const BlockId b_chk = f.nl().add_block("check");
 
@@ -162,6 +175,7 @@ Netlist make_netcard(const GenOptions& opt) {
   // fast library's frequency target.
   const int width = scaled(1000, opt.scale, 48);
   const int stages = 7;
+  reserve_fabric(f, 1LL * (stages + 1) * 8 * width);
   std::vector<NetId> bus;
   for (int i = 0; i < std::min(width, 256); ++i)
     bus.push_back(f.input("rx_" + std::to_string(i)));
@@ -199,6 +213,7 @@ Netlist make_cpu(const GenOptions& opt) {
   // the diverse timing criticality the heterogeneous flow feeds on. The
   // cache SRAMs occupy a large share of the floorplan (paper: ~40 %).
   const int w = scaled(256, opt.scale, 24);  // datapath width
+  reserve_fabric(f, 120LL * w);
 
   const BlockId b_ifu = f.nl().add_block("ifu");
   const BlockId b_dec = f.nl().add_block("decode");
@@ -288,11 +303,32 @@ Netlist make_cpu(const GenOptions& opt) {
   return nl;
 }
 
+Netlist make_mesh(const GenOptions& opt) {
+  LogicFabric f("mesh", opt.seed);
+  // Square router grid; the tile count (and thus the cell count) scales
+  // linearly with opt.scale, so bench sweeps dial the design from ~10k
+  // cells (scale 1) to 1M+ (scale 100) without changing its character.
+  const int rows = scaled(16, std::sqrt(opt.scale), 2);
+  const int cols = rows;
+  const int lw = 8;
+  // Group rows into ~16 blocks regardless of size: the flow's per-block
+  // reports stay readable and add_block's dedup stays trivial.
+  const int rows_per_block = std::max(1, rows / 16);
+  reserve_fabric(f, 5LL * lw * rows * cols + 1LL * (rows + cols) * lw);
+  f.mesh(rows, cols, lw, rows_per_block);
+  f.randomize_activities(0.05, 0.25);
+  Netlist nl = std::move(f).take();
+  terminate_dangling(nl);
+  nl.validate();
+  return nl;
+}
+
 Netlist make_design(const std::string& name, const GenOptions& opt) {
   if (name == "aes") return make_aes(opt);
   if (name == "ldpc") return make_ldpc(opt);
   if (name == "netcard") return make_netcard(opt);
   if (name == "cpu") return make_cpu(opt);
+  if (name == "mesh") return make_mesh(opt);
   M3D_CHECK_MSG(false, "unknown design " << name);
   return Netlist("?");
 }

@@ -46,7 +46,14 @@ netlist::Netlist make_netcard(const GenOptions& opt = {});
 /// Cortex-A7-class multi-block CPU with SRAM cache macros.
 netlist::Netlist make_cpu(const GenOptions& opt = {});
 
-/// Dispatch by name: "aes", "ldpc", "netcard", "cpu". Throws on unknown.
+/// Mesh/NoC router fabric: a square grid of 40-cell switch tiles with
+/// registered east/south links, strictly local wiring and fanout ≤ 3.
+/// Cell count ∝ scale (~10k at scale 1, ~1M at scale 100); construction is
+/// O(cells), which makes it the scaling benchmark design.
+netlist::Netlist make_mesh(const GenOptions& opt = {});
+
+/// Dispatch by name: "aes", "ldpc", "netcard", "cpu", "mesh". Throws on
+/// unknown.
 netlist::Netlist make_design(const std::string& name,
                              const GenOptions& opt = {});
 

@@ -1,6 +1,7 @@
 #include "gen/fabric.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 
 namespace m3d::gen {
@@ -17,18 +18,33 @@ LogicFabric::LogicFabric(std::string top_name, unsigned seed)
 
 Netlist LogicFabric::take() && { return std::move(nl_); }
 
-std::string LogicFabric::uname(const std::string& prefix) {
-  return prefix + "_" + std::to_string(counter_++);
+void LogicFabric::reserve(int cells, int nets, int pins) {
+  nl_.reserve(cells, nets, pins);
 }
 
-NetId LogicFabric::input(const std::string& name) {
+std::string_view LogicFabric::uname(std::string_view prefix) {
+  // Same bytes as the old `prefix + "_" + std::to_string(counter_++)`, but
+  // built into a reused buffer: zero heap traffic per generated name.
+  name_buf_.assign(prefix.data(), prefix.size());
+  name_buf_.push_back('_');
+  char digits[24];
+  const auto res = std::to_chars(digits, digits + sizeof digits, counter_++);
+  name_buf_.append(digits, res.ptr);
+  return name_buf_;
+}
+
+NetId LogicFabric::input(std::string_view name) {
+  // `name` may be a uname() view into name_buf_; net_buf_ is a distinct
+  // buffer so building "n_<name>" never invalidates it.
   const CellId port = nl_.add_input_port(name);
-  const NetId n = nl_.add_net("n_" + name);
+  net_buf_.assign("n_");
+  net_buf_.append(name.data(), name.size());
+  const NetId n = nl_.add_net(net_buf_);
   nl_.connect(n, nl_.output_pin(port));
   return n;
 }
 
-void LogicFabric::output(const std::string& name, NetId net) {
+void LogicFabric::output(std::string_view name, NetId net) {
   const CellId port = nl_.add_output_port(name);
   nl_.connect(net, nl_.input_pin(port, 0));
 }
@@ -120,31 +136,75 @@ NetId LogicFabric::xor_tree(const std::vector<NetId>& ins, BlockId block) {
   return level[0];
 }
 
-std::vector<NetId> LogicFabric::sram(const std::string& name,
-                                     const std::string& macro_name, int n_in,
+std::vector<NetId> LogicFabric::sram(std::string_view name,
+                                     std::string_view macro_name, int n_in,
                                      int n_out, std::vector<NetId> ins,
                                      BlockId block) {
+  const std::string pad_prefix = std::string(name) + "_pad";
   while (static_cast<int>(ins.size()) < n_in)
-    ins.push_back(input(uname(name + "_pad")));
+    ins.push_back(input(uname(pad_prefix)));
   const CellId m = nl_.add_macro(name, macro_name, n_in, n_out, block);
   for (int i = 0; i < n_in; ++i)
     nl_.connect(ins[static_cast<std::size_t>(i)], nl_.input_pin(m, i));
   nl_.connect(clk_net_, nl_.clock_pin(m));
+  const std::string do_prefix = std::string(name) + "_do";
   std::vector<NetId> out;
   out.reserve(static_cast<std::size_t>(n_out));
   for (int i = 0; i < n_out; ++i) {
-    const NetId q = nl_.add_net(uname(name + "_do"));
+    const NetId q = nl_.add_net(uname(do_prefix));
     nl_.connect(q, nl_.output_pin(m, i));
     out.push_back(q);
   }
   return out;
 }
 
+void LogicFabric::mesh(int rows, int cols, int link_width,
+                       int rows_per_block) {
+  M3D_CHECK(rows > 0 && cols > 0 && link_width >= 2);
+  M3D_CHECK(rows_per_block > 0);
+  static const CellFunc kMix[] = {CellFunc::Nand2, CellFunc::Nor2,
+                                  CellFunc::And2,  CellFunc::Or2,
+                                  CellFunc::Xor2,  CellFunc::Xnor2};
+  const auto lw = static_cast<std::size_t>(link_width);
+  auto mix = [&]() {
+    return kMix[static_cast<std::size_t>(rng_.uniform_int(0, 5))];
+  };
+  // south[c] is the registered link entering column c from the north;
+  // `east` is the link flowing west→east within the current row. Border
+  // links come from primary inputs; the east/south edge links dangle for
+  // terminate_dangling to turn into observation outputs.
+  std::vector<std::vector<NetId>> south(static_cast<std::size_t>(cols));
+  for (auto& link : south) {
+    link.reserve(lw);
+    for (std::size_t i = 0; i < lw; ++i) link.push_back(input(uname("ni")));
+  }
+  std::vector<NetId> east(lw), s1(lw), e(lw), s(lw);
+  BlockId blk = 0;
+  for (int r = 0; r < rows; ++r) {
+    if (r % rows_per_block == 0)
+      blk = nl_.add_block("mrow_" + std::to_string(r));
+    for (std::size_t i = 0; i < lw; ++i) east[i] = input(uname("wi"));
+    for (int c = 0; c < cols; ++c) {
+      auto& north = south[static_cast<std::size_t>(c)];
+      // Switch stage: pairwise combine of the two incoming links, then an
+      // east and a south arbitration stage. Every intermediate net is read
+      // (fanout ≤ 3), so only the edge links dangle.
+      for (std::size_t i = 0; i < lw; ++i)
+        s1[i] = gate(mix(), {east[i], north[i]}, blk);
+      for (std::size_t i = 0; i < lw; ++i)
+        e[i] = gate(CellFunc::Xor2, {s1[i], s1[(i + 1) % lw]}, blk);
+      for (std::size_t i = 0; i < lw; ++i)
+        s[i] = gate(mix(), {s1[(i + lw / 2) % lw], e[(i + 1) % lw]}, blk);
+      for (std::size_t i = 0; i < lw; ++i) east[i] = dff(e[i], blk);
+      for (std::size_t i = 0; i < lw; ++i) north[i] = dff(s[i], blk);
+    }
+  }
+}
+
 void LogicFabric::randomize_activities(double lo, double hi) {
   for (NetId n = 0; n < nl_.net_count(); ++n) {
-    auto& net = nl_.net(n);
-    if (net.is_clock) continue;
-    net.activity = rng_.uniform(lo, hi);
+    if (nl_.net_is_clock(n)) continue;
+    nl_.set_activity(n, rng_.uniform(lo, hi));
   }
 }
 

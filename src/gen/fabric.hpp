@@ -10,6 +10,7 @@
 /// buses. LogicFabric provides the building blocks they share.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -36,11 +37,16 @@ class LogicFabric {
 
   NetId clock_net() const { return clk_net_; }
 
+  /// Pre-size the underlying netlist columns (see Netlist::reserve). The
+  /// counts are hints: generators pass rough upper-bound formulas so the
+  /// construction loop stops reallocating per cell.
+  void reserve(int cells, int nets, int pins);
+
   /// Create a primary input and return the net it drives.
-  NetId input(const std::string& name);
+  NetId input(std::string_view name);
 
   /// Create a primary output fed by `net`.
-  void output(const std::string& name, NetId net);
+  void output(std::string_view name, NetId net);
 
   /// Add a combinational gate whose inputs are `ins`; returns its output
   /// net. Drive strength is picked from {1,2} unless specified.
@@ -66,21 +72,34 @@ class LogicFabric {
 
   /// Add an SRAM macro wired to address/data-in buses; returns data-out
   /// nets. Inputs shorter than the port count are padded with new PIs.
-  std::vector<NetId> sram(const std::string& name,
-                          const std::string& macro_name, int n_in, int n_out,
-                          std::vector<NetId> ins, BlockId block = 0);
+  std::vector<NetId> sram(std::string_view name, std::string_view macro_name,
+                          int n_in, int n_out, std::vector<NetId> ins,
+                          BlockId block = 0);
+
+  /// Parameterized mesh/NoC fabric: rows × cols router tiles exchanging
+  /// `link_width`-bit registered links east- and south-ward, with primary
+  /// inputs on the north and west edges. Every tile is 5·link_width cells
+  /// (3 gate stages + 2 register banks) with strictly local wiring and
+  /// fanout ≤ 3, so construction is O(tiles) and the fabric scales past a
+  /// million cells. Dangling east/south edge links are left for
+  /// terminate_dangling to observe.
+  void mesh(int rows, int cols, int link_width, int rows_per_block = 1);
 
   /// Assign random switching activities to all signal nets (clock keeps 2).
   void randomize_activities(double lo = 0.05, double hi = 0.30);
 
-  /// Unique net/cell name helper.
-  std::string uname(const std::string& prefix);
+  /// Unique net/cell name helper. Builds "<prefix>_<counter>" into a
+  /// member buffer and returns a view of it — valid until the next uname /
+  /// input call, which the immediate-interning add_* calls never outlive.
+  std::string_view uname(std::string_view prefix);
 
  private:
   Netlist nl_;
   util::Rng rng_;
   NetId clk_net_ = netlist::kInvalidId;
   long long counter_ = 0;
+  std::string name_buf_;  ///< uname scratch (distinct from net_buf_ so
+  std::string net_buf_;   ///< input() may consume a uname view)
 };
 
 /// Tie any dangling nets (driven but unread) to primary outputs so the

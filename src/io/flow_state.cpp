@@ -28,7 +28,7 @@ void BinWriter::u8(std::uint8_t v) {
 void BinWriter::f64(double v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
-void BinWriter::str(const std::string& s) {
+void BinWriter::str(std::string_view s) {
   u32(static_cast<std::uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
@@ -140,7 +140,7 @@ netlist::Netlist read_netlist(BinReader& r) {
         break;
     }
     M3D_CHECK_MSG(id == c, "flow state replay produced wrong cell id");
-    nl.cell(id).fixed = r.u8() != 0;
+    nl.set_fixed(id, r.u8() != 0);
   }
   M3D_CHECK_MSG(r.i32() == nl.pin_count(),
                 "flow state replay produced wrong pin count");
@@ -151,7 +151,7 @@ netlist::Netlist read_netlist(BinReader& r) {
     const double activity = r.f64();
     const netlist::NetId id = nl.add_net(name, is_clock);
     M3D_CHECK_MSG(id == n, "flow state replay produced wrong net id");
-    nl.net(id).activity = activity;
+    nl.set_activity(id, activity);
     const int npins = r.i32();
     for (int i = 0; i < npins; ++i) {
       const netlist::PinId p = r.i32();

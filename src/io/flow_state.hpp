@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "core/flow.hpp"
 #include "netlist/design.hpp"
@@ -39,7 +40,7 @@ struct BinWriter {
   void i32(std::int32_t v);
   void u8(std::uint8_t v);
   void f64(double v);
-  void str(const std::string& s);
+  void str(std::string_view s);
 };
 
 /// Reading throws util::Error on any truncation or bound violation, which

@@ -20,7 +20,7 @@ void check_tiers(const Design& d, std::vector<CheckViolation>& out) {
     const int t = d.tier(c);
     if (t < 0 || t >= d.num_tiers())
       add(out, CheckSeverity::Error, "tier.range",
-          nl.cell(c).name + " sits on nonexistent tier " +
+          std::string(nl.cell(c).name) + " sits on nonexistent tier " +
               std::to_string(t),
           c);
   }
@@ -39,13 +39,13 @@ void check_placement(const Design& d, const CheckOptions& opt,
     if (p.x - w2 < fp.xlo - 1e-6 || p.x + w2 > fp.xhi + 1e-6 ||
         p.y - h2 < fp.ylo - 1e-6 || p.y + h2 > fp.yhi + 1e-6)
       add(out, CheckSeverity::Error, "placement.outside",
-          cc.name + " extends beyond the die", c);
+          std::string(cc.name) + " extends beyond the die", c);
     if (opt.check_rows && (cc.is_comb() || cc.is_sequential())) {
       const double row_h = d.lib_of(c).row_height_um();
       const double rel = (p.y - fp.ylo) / row_h - 0.5;
       if (std::abs(rel - std::round(rel)) > 1e-6)
         add(out, CheckSeverity::Error, "placement.off_row",
-            cc.name + " not aligned to its tier's row grid", c);
+            std::string(cc.name) + " not aligned to its tier's row grid", c);
     }
   }
 
@@ -70,7 +70,9 @@ void check_placement(const Design& d, const CheckOptions& opt,
                      d.pos(b).y - d.cell_height(b) / 2.0);
         if (oy > 1e-6)
           add(out, CheckSeverity::Error, "placement.overlap",
-              nl.cell(a).name + " overlaps " + nl.cell(b).name, a);
+              std::string(nl.cell(a).name) + " overlaps " +
+                  std::string(nl.cell(b).name),
+              a);
       }
     }
   }
@@ -85,13 +87,15 @@ void check_electrical(const Design& d, const CheckOptions& opt,
     const int fo = nl.fanout(n);
     if (fo > opt.max_fanout)
       add(out, CheckSeverity::Warning, "electrical.fanout",
-          "net " + net.name + " fans out to " + std::to_string(fo),
+          "net " + std::string(net.name) + " fans out to " +
+              std::to_string(fo),
           kInvalidId, n);
     double load = 0.0;
     nl.for_each_sink(n, [&](PinId s) { load += d.pin_cap_ff(s); });
     if (load > opt.max_load_ff)
       add(out, CheckSeverity::Warning, "electrical.load",
-          "net " + net.name + " carries " + std::to_string(load) + " fF",
+          "net " + std::string(net.name) + " carries " +
+              std::to_string(load) + " fF",
           kInvalidId, n);
   }
 }
@@ -104,12 +108,12 @@ void check_clocking(const Design& d, std::vector<CheckViolation>& out) {
     const PinId ck = nl.clock_pin(c);
     if (ck == kInvalidId || nl.pin(ck).net == kInvalidId) {
       add(out, CheckSeverity::Error, "clock.unclocked",
-          cc.name + " has no clock connection", c);
+          std::string(cc.name) + " has no clock connection", c);
       continue;
     }
     if (!nl.net(nl.pin(ck).net).is_clock)
       add(out, CheckSeverity::Error, "clock.data_net",
-          cc.name + "'s clock pin rides a data net", c);
+          std::string(cc.name) + "'s clock pin rides a data net", c);
   }
   // Clock nets must not feed ordinary data inputs.
   for (NetId n = 0; n < nl.net_count(); ++n) {
@@ -122,7 +126,8 @@ void check_clocking(const Design& d, std::vector<CheckViolation>& out) {
                       (cc.is_comb() && cc.func == tech::CellFunc::ClkBuf);
       if (!ok)
         add(out, CheckSeverity::Warning, "clock.leak",
-            "clock net " + net.name + " drives data pin on " + cc.name,
+            "clock net " + std::string(net.name) + " drives data pin on " +
+                std::string(cc.name),
             pp.cell, n);
     });
   }
@@ -135,7 +140,8 @@ void check_dangling(const Design& d, std::vector<CheckViolation>& out) {
     if (net.driver == kInvalidId || net.is_clock) continue;
     if (nl.fanout(n) == 0)
       add(out, CheckSeverity::Warning, "logic.dangling",
-          "net " + net.name + " is driven but unread", kInvalidId, n);
+          "net " + std::string(net.name) + " is driven but unread",
+          kInvalidId, n);
   }
 }
 

@@ -42,7 +42,7 @@ void write_verilog(const Netlist& nl, std::ostream& os) {
     const Cell& cc = nl.cell(c);
     if (cc.is_port()) continue;
     const std::string type =
-        cc.is_macro() ? cc.macro_name
+        cc.is_macro() ? std::string(cc.macro_name)
                       : std::string(tech::func_name(cc.func)) + "_X" +
                             std::to_string(cc.drive);
     os << "  " << type << " " << cc.name << " (";
@@ -84,7 +84,7 @@ void write_placement(const Design& d, std::ostream& os) {
     const std::string type =
         cc.is_port() ? (cc.kind == CellKind::PrimaryIn ? "PI" : "PO")
         : cc.is_macro()
-            ? cc.macro_name
+            ? std::string(cc.macro_name)
             : std::string(tech::func_name(cc.func)) + "_X" +
                   std::to_string(cc.drive);
     os << "- " << cc.name << " " << type << " TIER " << d.tier(c) << " ( "

@@ -82,7 +82,7 @@ int insert_fanout_buffers(Design& d, int max_fanout, int buffer_drive) {
                                      nl.cell(drv_cell).block);
       const NetId bnet =
           nl.add_net("fonet_" + std::to_string(n) + "_" + std::to_string(g));
-      nl.net(bnet).activity = act;
+      nl.set_activity(bnet, act);
       Point centroid{0.0, 0.0};
       for (std::size_t i = lo; i < hi; ++i) {
         const PinId s = ordered[i];
@@ -138,7 +138,7 @@ int insert_wire_repeaters(Design& d, double max_seg_um, int drive) {
                                    tech::CellFunc::Buf, drive,
                                    nl.cell(nl.pin(net.driver).cell).block);
     const NetId rnet = nl.add_net("wrepnet_" + std::to_string(n));
-    nl.net(rnet).activity = activity;
+    nl.set_activity(rnet, activity);
     for (PinId s : far) {
       nl.disconnect(s);
       nl.connect(rnet, s);
@@ -217,7 +217,7 @@ int upsize_critical(Design& d, const sta::StaResult& timing,
     }
     if (gain <= penalty) continue;
 
-    nl.cell(c).drive = up;
+    nl.set_drive(c, up);
     ++changed;
   }
   return changed;
@@ -242,7 +242,7 @@ int fix_max_transition(Design& d, const sta::StaResult& timing,
     if (!sizable(d, drv)) continue;
     const int up = next_drive_up(d, drv);
     if (up < 0) continue;
-    nl.cell(drv).drive = up;
+    nl.set_drive(drv, up);
     ++changed;
   }
   return changed;
@@ -257,7 +257,7 @@ int recover_power(Design& d, const sta::StaResult& timing,
     if (timing.cell_slack(c) <= slack_threshold) continue;
     const int down = next_drive_down(d, c);
     if (down < 0) continue;
-    nl.cell(c).drive = down;
+    nl.set_drive(c, down);
     ++changed;
   }
   return changed;

@@ -1,7 +1,8 @@
 #include "part/fm.hpp"
 
 #include <algorithm>
-#include <set>
+#include <bit>
+#include <cstdint>
 #include <string>
 
 #include "exec/pool.hpp"
@@ -53,6 +54,109 @@ double cut_fraction(const Design& d) {
 
 namespace {
 
+/// Three-level find-first bitset over cell ids: O(1) set/clear and a
+/// few word scans for find-first / find-next-after. One instance backs
+/// one FM gain bucket, where iteration must be in ascending cell id —
+/// the order the old std::set<(-gain, cell)> key produced within a
+/// single gain value. Covers up to 64^3 ids before the top-level scan
+/// degrades to linear over summary words (a handful of words even at
+/// sixteen million cells).
+class IdBitset {
+ public:
+  explicit IdBitset(int n)
+      : l0_((static_cast<std::size_t>(n) >> 6) + 2, 0),
+        l1_((l0_.size() >> 6) + 2, 0),
+        l2_((l1_.size() >> 6) + 2, 0) {}
+
+  void set(int i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    l0_[u >> 6] |= 1ull << (i & 63);
+    l1_[u >> 12] |= 1ull << ((i >> 6) & 63);
+    l2_[u >> 18] |= 1ull << ((i >> 12) & 63);
+  }
+
+  void clear(int i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    if ((l0_[u >> 6] &= ~(1ull << (i & 63))) != 0) return;
+    if ((l1_[u >> 12] &= ~(1ull << ((i >> 6) & 63))) != 0) return;
+    l2_[u >> 18] &= ~(1ull << ((i >> 12) & 63));
+  }
+
+  /// Smallest set id, or -1.
+  int first() const { return from(0); }
+
+  /// Smallest set id strictly greater than i, or -1.
+  int next_after(int i) const { return from(i + 1); }
+
+ private:
+  /// Smallest set id >= i, or -1.
+  int from(int i) const {
+    std::size_t w0 = static_cast<std::size_t>(i) >> 6;
+    if (w0 >= l0_.size()) return -1;
+    const std::uint64_t m0 = l0_[w0] & (~0ull << (i & 63));
+    if (m0 != 0) return word_hit(w0, m0);
+    // Climb: next non-empty l0 word after w0, found via l1 then l2.
+    std::size_t w1 = w0 >> 6;
+    const int b1 = static_cast<int>(w0 & 63);
+    std::uint64_t m1 = b1 < 63 ? l1_[w1] & (~0ull << (b1 + 1)) : 0;
+    if (m1 == 0) {
+      std::size_t w2 = w1 >> 6;
+      const int b2 = static_cast<int>(w1 & 63);
+      std::uint64_t m2 = b2 < 63 ? l2_[w2] & (~0ull << (b2 + 1)) : 0;
+      while (m2 == 0) {
+        if (++w2 >= l2_.size()) return -1;
+        m2 = l2_[w2];
+      }
+      w1 = (w2 << 6) + static_cast<std::size_t>(std::countr_zero(m2));
+      m1 = l1_[w1];
+    }
+    w0 = (w1 << 6) + static_cast<std::size_t>(std::countr_zero(m1));
+    return word_hit(w0, l0_[w0]);
+  }
+
+  static int word_hit(std::size_t w, std::uint64_t m) {
+    return static_cast<int>((w << 6) + static_cast<std::size_t>(
+                                           std::countr_zero(m)));
+  }
+
+  std::vector<std::uint64_t> l0_, l1_, l2_;
+};
+
+/// One side's gain-ordered FM candidate set: per-gain IdBitsets plus
+/// entry counts. Traversal — descending gain, ascending id within a
+/// gain — reproduces the old std::set<(-gain, cell)> iteration order
+/// exactly, so candidate selection is unchanged; only the cost moved,
+/// from a pointer-chasing red-black tree (log-n rebalances and a node
+/// allocation per update, ruinous at a million entries) to O(1) word
+/// writes.
+struct GainBuckets {
+  int off;            // bucket index = gain + off
+  int cur_max = 0;    // highest index that may be non-empty
+  long long total = 0;
+  std::vector<int> cnt;
+  std::vector<IdBitset> bs;
+
+  GainBuckets(int ncells, int dmax)
+      : off(dmax),
+        cnt(static_cast<std::size_t>(2 * dmax + 1), 0),
+        bs(static_cast<std::size_t>(2 * dmax + 1), IdBitset(ncells)) {}
+
+  void insert(int g, CellId c) {
+    const int ix = g + off;
+    bs[static_cast<std::size_t>(ix)].set(c);
+    ++cnt[static_cast<std::size_t>(ix)];
+    ++total;
+    cur_max = std::max(cur_max, ix);
+  }
+  void erase(int g, CellId c) {
+    const int ix = g + off;
+    bs[static_cast<std::size_t>(ix)].clear(c);
+    --cnt[static_cast<std::size_t>(ix)];
+    --total;
+  }
+  bool empty() const { return total == 0; }
+};
+
 /// Shared FM engine; `region` assigns each cell to a balance domain
 /// (a single domain for whole-design FM, a placement bin for the
 /// bin-based variant).
@@ -75,18 +179,36 @@ class FmEngine {
         continue;
       movable_[static_cast<std::size_t>(c)] = 1;
     }
+    build_net_csr();
+    build_area_cache();
   }
 
   int run();
 
  private:
+  /// Borrowed view over one cell's row of the cell→net CSR.
+  struct NetSpan {
+    const NetId* b;
+    const NetId* e;
+    const NetId* begin() const { return b; }
+    const NetId* end() const { return e; }
+  };
+
+  void build_net_csr();
+  void build_area_cache();
   void initial_assignment();
   void rebuild_counts();
   int current_cut() const;
   int gain_of(CellId c) const;
   bool feasible(CellId c) const;
   void apply_move(CellId c);
-  std::vector<NetId> nets_of(CellId c) const;
+  NetSpan nets_of(CellId c) const {
+    const std::size_t i = static_cast<std::size_t>(c);
+    return {csr_.data() + csr_off_[i], csr_.data() + csr_off_[i + 1]};
+  }
+  double area_on(CellId c, int t) const {
+    return area_cache_[t][static_cast<std::size_t>(c)];
+  }
 
   Design& d_;
   const netlist::Netlist& nl_;
@@ -94,6 +216,15 @@ class FmEngine {
   std::vector<int> region_;
   int nreg_;
   std::vector<char> movable_;
+  // Cell→net CSR over participating signal nets (ascending unique ids per
+  // row — exactly what the old per-call sort+unique produced). Built once:
+  // the netlist is frozen for the whole FM run.
+  std::vector<int> csr_off_;
+  std::vector<NetId> csr_;
+  int max_deg_ = 0;  // longest CSR row; bounds |gain| of any cell
+  // Per cell per tier: hypothetical area (lib lookup hoisted out of the
+  // move loop; identical doubles, just cached).
+  std::vector<double> area_cache_[2];
   // Per net: pin-count per tier (participating signal nets only).
   std::vector<int> cnt_[2];
   // Per region: hypothetical-area balance (top in top-lib, bottom in
@@ -101,17 +232,42 @@ class FmEngine {
   std::vector<double> area_top_, area_bottom_;
 };
 
-std::vector<NetId> FmEngine::nets_of(CellId c) const {
-  std::vector<NetId> out;
-  for (PinId p : nl_.cell(c).pins) {
-    const NetId n = nl_.pin(p).net;
-    if (n == kInvalidId || nl_.net(n).is_clock) continue;
-    if (nl_.net(n).pins.size() < 2) continue;
-    out.push_back(n);
+void FmEngine::build_net_csr() {
+  const std::size_t nc = static_cast<std::size_t>(nl_.cell_count());
+  csr_off_.assign(nc + 1, 0);
+  csr_.clear();
+  csr_.reserve(static_cast<std::size_t>(nl_.pin_count()));
+  std::vector<NetId> row;
+  for (CellId c = 0; c < nl_.cell_count(); ++c) {
+    row.clear();
+    for (PinId p : nl_.cell(c).pins) {
+      const NetId n = nl_.pin(p).net;
+      if (n == kInvalidId || nl_.net_is_clock(n)) continue;
+      if (nl_.net(n).pins.size() < 2) continue;
+      row.push_back(n);
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    // Every net contributes ±1 to a cell's gain, so the longest CSR row
+    // bounds |gain| — that sizes the gain-bucket array in run().
+    max_deg_ = std::max(max_deg_, static_cast<int>(row.size()));
+    csr_.insert(csr_.end(), row.begin(), row.end());
+    csr_off_[static_cast<std::size_t>(c) + 1] =
+        static_cast<int>(csr_.size());
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+}
+
+void FmEngine::build_area_cache() {
+  const std::size_t nc = static_cast<std::size_t>(nl_.cell_count());
+  area_cache_[0].assign(nc, 0.0);
+  area_cache_[1].assign(nc, 0.0);
+  if (d_.num_tiers() != 2) return;  // run() rejects such designs anyway
+  for (CellId c = 0; c < nl_.cell_count(); ++c) {
+    const auto& cc = nl_.cell(c);
+    if (!cc.is_comb() && !cc.is_sequential() && !cc.is_macro()) continue;
+    for (int t = 0; t < 2; ++t)
+      area_cache_[t][static_cast<std::size_t>(c)] = cell_area_on(d_, c, t);
+  }
 }
 
 void FmEngine::rebuild_counts() {
@@ -132,9 +288,9 @@ void FmEngine::rebuild_counts() {
     const std::size_t r = static_cast<std::size_t>(region_[
         static_cast<std::size_t>(c)]);
     if (d_.tier(c) == kTopTier)
-      area_top_[r] += cell_area_on(d_, c, kTopTier);
+      area_top_[r] += area_on(c, kTopTier);
     else
-      area_bottom_[r] += cell_area_on(d_, c, kBottomTier);
+      area_bottom_[r] += area_on(c, kBottomTier);
   }
 }
 
@@ -167,11 +323,11 @@ bool FmEngine::feasible(CellId c) const {
   double top = area_top_[r];
   double bottom = area_bottom_[r];
   if (from == kTopTier) {
-    top -= cell_area_on(d_, c, kTopTier);
-    bottom += cell_area_on(d_, c, kBottomTier);
+    top -= area_on(c, kTopTier);
+    bottom += area_on(c, kBottomTier);
   } else {
-    bottom -= cell_area_on(d_, c, kBottomTier);
-    top += cell_area_on(d_, c, kTopTier);
+    bottom -= area_on(c, kBottomTier);
+    top += area_on(c, kTopTier);
   }
   (void)to;
   const double total = top + bottom;
@@ -185,11 +341,11 @@ void FmEngine::apply_move(CellId c) {
   const std::size_t r =
       static_cast<std::size_t>(region_[static_cast<std::size_t>(c)]);
   if (from == kTopTier) {
-    area_top_[r] -= cell_area_on(d_, c, kTopTier);
-    area_bottom_[r] += cell_area_on(d_, c, kBottomTier);
+    area_top_[r] -= area_on(c, kTopTier);
+    area_bottom_[r] += area_on(c, kBottomTier);
   } else {
-    area_bottom_[r] -= cell_area_on(d_, c, kBottomTier);
-    area_top_[r] += cell_area_on(d_, c, kTopTier);
+    area_bottom_[r] -= area_on(c, kBottomTier);
+    area_top_[r] += area_on(c, kTopTier);
   }
   for (NetId n : nets_of(c)) {
     --cnt_[from][static_cast<std::size_t>(n)];
@@ -217,9 +373,9 @@ void FmEngine::initial_assignment() {
     double top = 0.0, bottom = 0.0;
     for (CellId c : cells)
       if (d_.tier(c) == kTopTier)
-        top += cell_area_on(d_, c, kTopTier);
+        top += area_on(c, kTopTier);
       else
-        bottom += cell_area_on(d_, c, kBottomTier);
+        bottom += area_on(c, kBottomTier);
 
     std::vector<char> in_region(
         static_cast<std::size_t>(nl_.cell_count()), 0);
@@ -256,8 +412,8 @@ void FmEngine::initial_assignment() {
       if (visited[static_cast<std::size_t>(c)]) continue;
       visited[static_cast<std::size_t>(c)] = 1;
       if (d_.tier(c) != kTopTier) {
-        bottom -= cell_area_on(d_, c, kBottomTier);
-        top += cell_area_on(d_, c, kTopTier);
+        bottom -= area_on(c, kBottomTier);
+        top += area_on(c, kTopTier);
         d_.set_tier(c, kTopTier);
       }
       // Expand through small nets only — huge nets connect everything and
@@ -293,10 +449,11 @@ int FmEngine::run() {
   for (int pass = 0; pass < opt_.max_passes; ++pass) {
     util::TraceSpan pass_span("fm_pass",
                               tracing ? std::to_string(pass) : std::string());
-    // Per-side gain-ordered candidate sets: (-gain, cell). Two buckets so
-    // that balance saturation on one side never starves the other —
-    // the classic FM arrangement.
-    std::set<std::pair<int, CellId>> bucket[2];
+    // Per-side gain-ordered candidate sets. Two buckets so that balance
+    // saturation on one side never starves the other — the classic FM
+    // arrangement, on hierarchical bitsets instead of an ordered tree.
+    GainBuckets bucket[2] = {GainBuckets(nc, max_deg_),
+                             GainBuckets(nc, max_deg_)};
     std::vector<int> gain(static_cast<std::size_t>(nc), 0);
     std::vector<char> locked_in_pass(
         static_cast<std::size_t>(nc), 0);
@@ -315,7 +472,7 @@ int FmEngine::run() {
     }
     for (CellId c = 0; c < nc; ++c) {
       if (!movable_[static_cast<std::size_t>(c)]) continue;
-      bucket[d_.tier(c)].insert({-gain[static_cast<std::size_t>(c)], c});
+      bucket[d_.tier(c)].insert(gain[static_cast<std::size_t>(c)], c);
     }
 
     const std::vector<int> tier_snapshot = [&] {
@@ -326,40 +483,66 @@ int FmEngine::run() {
     }();
 
     std::vector<CellId> moves;
+    std::vector<CellId> touched;
     int running_cut = cut;
     int best_cut = cut;
     std::size_t best_prefix = 0;
 
     while (!bucket[0].empty() || !bucket[1].empty()) {
-      // Best feasible candidate from either side's bucket front.
+      // Best feasible candidate from either side's bucket front: walk
+      // entries in descending gain (ascending id within a gain), probe
+      // at most 16, take the first feasible one — the identical
+      // traversal the ordered-set iterator performed.
       CellId c = kInvalidId;
       int c_gain = 0;
       for (int side : {0, 1}) {
+        GainBuckets& gb = bucket[side];
+        while (gb.cur_max > 0 &&
+               gb.cnt[static_cast<std::size_t>(gb.cur_max)] == 0)
+          --gb.cur_max;
         int probed = 0;
-        for (auto it = bucket[side].begin();
-             it != bucket[side].end() && probed < 16; ++it, ++probed) {
-          if (!feasible(it->second)) continue;
-          const int g = -it->first;
-          if (c == kInvalidId || g > c_gain) {
-            c = it->second;
-            c_gain = g;
+        for (int ix = gb.cur_max; ix >= 0 && probed < 16; --ix) {
+          if (gb.cnt[static_cast<std::size_t>(ix)] == 0) continue;
+          const IdBitset& ids = gb.bs[static_cast<std::size_t>(ix)];
+          bool found = false;
+          for (int id = ids.first(); id >= 0 && probed < 16;
+               id = ids.next_after(id)) {
+            ++probed;
+            if (!feasible(id)) continue;
+            const int g = ix - gb.off;
+            if (c == kInvalidId || g > c_gain) {
+              c = id;
+              c_gain = g;
+            }
+            found = true;
+            break;  // first feasible is this side's best
           }
-          break;  // bucket is sorted: first feasible is this side's best
+          if (found) break;
         }
       }
       if (c == kInvalidId) break;
-      bucket[d_.tier(c)].erase({-gain[static_cast<std::size_t>(c)], c});
+      bucket[d_.tier(c)].erase(gain[static_cast<std::size_t>(c)], c);
       locked_in_pass[static_cast<std::size_t>(c)] = 1;
 
-      // Neighbours whose gains change.
-      std::vector<CellId> touched;
-      for (NetId n : nets_of(c))
+      // Neighbours whose gains may change. Only a *critical* net can
+      // alter a pin's gain terms: with f pins on the mover's side and t
+      // on the other (pre-move), same-side gains change iff f==2 ||
+      // t==0 and other-side gains iff f==1 || t==1 — so a settled net
+      // (f >= 3 && t >= 2) keeps every neighbour's contribution
+      // unchanged and its pins need no revisit. This prunes the walk,
+      // not the math: gains of skipped cells are provably identical.
+      touched.clear();
+      const int c_from = d_.tier(c);
+      for (NetId n : nets_of(c)) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        if (cnt_[c_from][ni] >= 3 && cnt_[1 - c_from][ni] >= 2) continue;
         for (PinId p : nl_.net(n).pins) {
           const CellId nb = nl_.pin(p).cell;
           if (nb != c && movable_[static_cast<std::size_t>(nb)] &&
               !locked_in_pass[static_cast<std::size_t>(nb)])
             touched.push_back(nb);
         }
+      }
       running_cut -= gain[static_cast<std::size_t>(c)];
       apply_move(c);
       moves.push_back(c);
@@ -367,11 +550,15 @@ int FmEngine::run() {
       touched.erase(std::unique(touched.begin(), touched.end()),
                     touched.end());
       for (CellId nb : touched) {
-        bucket[d_.tier(nb)].erase(
-            {-gain[static_cast<std::size_t>(nb)], nb});
-        gain[static_cast<std::size_t>(nb)] = gain_of(nb);
-        bucket[d_.tier(nb)].insert(
-            {-gain[static_cast<std::size_t>(nb)], nb});
+        // Recompute first; an unchanged gain means the bucket entry is
+        // already right, and skipping the erase/insert pair avoids two
+        // tree rebalances for the common no-op case.
+        const int ng = gain_of(nb);
+        const int og = gain[static_cast<std::size_t>(nb)];
+        if (ng == og) continue;
+        bucket[d_.tier(nb)].erase(og, nb);
+        gain[static_cast<std::size_t>(nb)] = ng;
+        bucket[d_.tier(nb)].insert(ng, nb);
       }
       if (running_cut < best_cut) {
         best_cut = running_cut;

@@ -308,52 +308,363 @@ struct LegalRow {
   void init(double xlo, double xhi) {
     occ_.clear();
     // Sentinels outside the row bound all gaps.
-    occ_[xlo - 1.0] = xlo;
-    occ_[xhi] = xhi + 1.0;
+    occ_.push_back({xlo - 1.0, xlo});
+    occ_.push_back({xhi, xhi + 1.0});
+    free_ = 0.0;
+    hint_ = 0;
+    xlo_ = xlo;
+    const double span = std::max(1.0, xhi - xlo);
+    nbuck_ = std::clamp(static_cast<int>(span / 16.0) + 1, 1, 8192);
+    binv_ = nbuck_ / span;
+    c_lo_x_ = 0.0;
+    c_hi_x_ = -1.0;
+    c_w_ = std::numeric_limits<double>::max();
+    skip_w_ = std::numeric_limits<double>::max();
+    skip_lo_u_ = std::numeric_limits<double>::max();
+    skip_hi_u_ = -std::numeric_limits<double>::max();
   }
 
-  void block(double lo, double hi) { occ_[lo] = hi; }
+  void block(double lo, double hi) { occ_.push_back({lo, hi}); }
+
+  /// Call once after init() + block()s: sorts the cutouts into place and
+  /// sums the remaining gap widths. Overlapping macro cutouts can only
+  /// make the sum an over-estimate, so free_ stays an upper bound on
+  /// placeable width — cannot_fit() below prunes only rows where place()
+  /// was guaranteed to fail, keeping the legalized result identical to
+  /// the unpruned row walk.
+  void finalize() {
+    std::sort(occ_.begin(), occ_.end(),
+              [](const Iv& a, const Iv& b) { return a.lo < b.lo; });
+    free_ = 0.0;
+    clean_ = true;
+    widths_.resize(occ_.size() - 1);
+    bub_.assign(static_cast<std::size_t>(nbuck_), 0.0);
+    for (std::size_t i = 0; i + 1 < occ_.size(); ++i) {
+      widths_[i] = occ_[i + 1].lo - occ_[i].hi;
+      free_ += std::max(0.0, widths_[i]);
+      if (occ_[i].hi > occ_[i + 1].lo) clean_ = false;
+      // Seed the bucket bounds with each gap's exact width over the
+      // x-buckets it touches (rows have only a handful of gaps here).
+      if (widths_[i] > 0.0)
+        for (int b = bucket(occ_[i].hi); b <= bucket(occ_[i + 1].lo); ++b)
+          bub_[static_cast<std::size_t>(b)] =
+              std::max(bub_[static_cast<std::size_t>(b)], widths_[i]);
+    }
+  }
+
+  /// O(1) reject for the outward row search: true when no gap of width w
+  /// can exist. Full rows cost one compare instead of a 96-gap scan.
+  bool cannot_fit(double w) const { return free_ < w - 1e-9; }
+
+  /// Walk-free certificate reject, exposed so the outward row search can
+  /// skip a provably-failing place() call without paying its call and
+  /// cursor overhead: true exactly when place(want_x, w) would return
+  /// NaN through the skip-memo fast path below.
+  bool memo_rejects(double want_x, double w) const {
+    const double want_lo = want_x - w / 2.0;
+    return clean_ && w >= skip_w_ && want_lo >= skip_lo_u_ &&
+           want_lo < skip_hi_u_;
+  }
 
   /// Try to place a cell of width w near want_x; returns the placed center
   /// x or NaN when no gap within the search window fits.
+  ///
+  /// In rows whose intervals never overlap (clean_), the window scan is a
+  /// first-fit walk in each direction: among gaps entirely left of
+  /// want_lo, successive gap highs are non-increasing walking left, so
+  /// displacement cost only grows — and symmetrically walking right — so
+  /// the first such fit is that direction's minimum and the walk can
+  /// stop. The one probe that may precede them (the gap straddling or
+  /// right of want_lo reached via the left index) is taken before
+  /// breaking. Left candidates are probed first and later ones replace
+  /// only on strictly smaller cost, which reproduces the historical
+  /// full-window min-cost scan bit for bit; rows with overlapping macro
+  /// cutouts (where monotonicity can fail) keep the full 96-probe scan.
   double place(double want_x, double w) {
     const double want_lo = want_x - w / 2.0;
-    auto right = occ_.upper_bound(want_lo);  // first interval starting after
-    auto left = right;
-    if (left != occ_.begin()) --left;
+    // Walk-free reject: the skip memo is the no-fit certificate projected
+    // into want_lo space. Within [skip_lo_u_, skip_hi_u_) the upper_bound
+    // index is pinned to a range whose probe window provably sits inside
+    // the certificate (see build_skip_memo), so the certificate test
+    // below would fire; returning its NaN here skips the cursor walk
+    // entirely. hint_ is left untouched, which is harmless — any cursor
+    // start yields the same exact upper_bound on the next real call.
+    if (clean_ && w >= skip_w_ && want_lo >= skip_lo_u_ &&
+        want_lo < skip_hi_u_)
+      return std::numeric_limits<double>::quiet_NaN();
+    // First interval starting after want_lo (== upper_bound by lo).
+    // Walked from the previous call's position instead of binary-searched:
+    // legalize feeds each row cells in ascending x, so the cursor only
+    // creeps forward and the walk is amortized O(1); any start point
+    // yields the exact upper_bound, just with a longer walk.
+    std::size_t h = std::min(hint_, occ_.size());
+    while (h > 0 && occ_[h - 1].lo > want_lo) --h;
+    while (h < occ_.size() && occ_[h].lo <= want_lo) ++h;
+    const std::size_t right = h;
+    hint_ = h;
+    const std::size_t left = right > 0 ? right - 1 : right;
+
+    if (clean_) {
+      // Fast reject: in a clean row the probe window is the contiguous
+      // gap range [left-47, left] ∪ [right, right+47]. If its widest gap
+      // is under w - 1e-9 every probe below fails, so the call can
+      // return NaN without walking — this is what the outward row search
+      // hits ~50 times per cell on a million-cell design.
+      //
+      // Two reject tiers. bub_ holds, per ~16 µm x-bucket, the exact max
+      // width over gaps touching that bucket (maintained on every
+      // insert). The window's x-extent [occ_[wlo].hi, occ_[whi].lo]
+      // covers exactly the window gaps in a clean row, so when every
+      // covering bucket's bound is under w the window cannot fit — an
+      // O(few) reject instead of the 96-element max-scan. The exact scan
+      // stays as the authority when the bucket bounds are inconclusive
+      // (bucket edges see gaps just outside the window) or the extent is
+      // too wide to be worth bucketing.
+      const std::size_t wlo = left >= 47 ? left - 47 : 0;
+      const std::size_t whi = std::min(right + 48, widths_.size());
+      const double ext_lo = occ_[wlo].hi;
+      const double ext_hi = occ_[whi].lo;
+      // O(1) tier: the cached no-fit certificate. It asserts every gap
+      // lying inside [c_lo_x_, c_hi_x_] is narrower than c_w_ − 1e-9; a
+      // window whose extent sits inside it cannot fit any cell at least
+      // c_w_ wide. Gaps only ever shrink, so the claim stays true until
+      // an insert splits a boundary-crossing gap — place() clips the
+      // certificate then.
+      if (w >= c_w_ && ext_lo >= c_lo_x_ && ext_hi <= c_hi_x_)
+        return std::numeric_limits<double>::quiet_NaN();
+      const int b0 = bucket(ext_lo);
+      const int b1 = bucket(ext_hi);
+      bool need_scan = true;
+      if (b1 - b0 >= 2 && b1 - b0 <= 16) {
+        // Interior buckets lie strictly inside the window's x-extent, so
+        // every gap touching them is a window gap and bub_ bounds them.
+        // The two edge buckets also touch gaps outside the window (in a
+        // packed cluster the gap one index past the window is often a
+        // huge free region sharing the bucket), so their window gaps are
+        // scanned exactly — a handful each, capped so degenerate rows
+        // fall back to the full scan. A conclusive bound under w is
+        // exactly the full scan's reject; a conclusive bound over w
+        // means some window gap fits and the probes below will find it.
+        double bmax = 0.0;
+        bool conclusive = true;
+        for (int b = b0 + 1; b < b1; ++b)
+          bmax = std::max(bmax, bub_[static_cast<std::size_t>(b)]);
+        const double bw = 1.0 / binv_;
+        const double b0_end = xlo_ + (b0 + 1) * bw;
+        const double b1_start = xlo_ + b1 * bw;
+        int steps = 0;
+        for (std::size_t e = wlo; e < whi; ++e) {
+          if (occ_[e].hi >= b0_end) break;
+          if (++steps > 32) {
+            conclusive = false;
+            break;
+          }
+          bmax = std::max(bmax, widths_[e]);
+        }
+        if (conclusive) {
+          steps = 0;
+          for (std::size_t e = whi; e > wlo; --e) {
+            if (occ_[e].lo <= b1_start) break;
+            if (++steps > 32) {
+              conclusive = false;
+              break;
+            }
+            bmax = std::max(bmax, widths_[e - 1]);
+          }
+        }
+        if (conclusive) {
+          if (bmax < w - 1e-9) {
+            extend_cert(w, ext_lo, ext_hi, b0, b1);
+            return std::numeric_limits<double>::quiet_NaN();
+          }
+          need_scan = false;
+        }
+      }
+      if (need_scan) {
+        double wmax = 0.0;
+        for (std::size_t i = wlo; i < whi; ++i)
+          wmax = std::max(wmax, widths_[i]);
+        if (wmax < w - 1e-9) {
+          extend_cert(w, ext_lo, ext_hi, b0, b1);
+          return std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
 
     double best = std::numeric_limits<double>::quiet_NaN();
     double best_cost = std::numeric_limits<double>::max();
-    // Scan gaps outward from the desired spot (bounded window).
-    auto try_gap = [&](std::map<double, double>::iterator lo_it) {
-      auto hi_it = std::next(lo_it);
-      if (hi_it == occ_.end()) return;
-      const double gap_lo = lo_it->second;
-      const double gap_hi = hi_it->first;
-      if (gap_hi - gap_lo < w - 1e-9) return;
+    // Returns true when gap i fits (a candidate was recorded or it lost
+    // a cost tie to an earlier probe).
+    auto try_gap = [&](std::size_t i) {
+      if (i + 1 >= occ_.size()) return false;
+      const double gap_lo = occ_[i].hi;
+      const double gap_hi = occ_[i + 1].lo;
+      if (gap_hi - gap_lo < w - 1e-9) return false;
       const double x = std::clamp(want_lo, gap_lo, gap_hi - w);
       const double cost = std::abs(x - want_lo);
       if (cost < best_cost) {
         best_cost = cost;
         best = x;
       }
+      return true;
     };
-    auto l = left;
-    for (int i = 0; i < 48; ++i) {
-      try_gap(l);
-      if (l == occ_.begin()) break;
-      --l;
+    for (std::size_t i = 0, l = left; i < 48; ++i, --l) {
+      const bool fit = try_gap(l);
+      // Early exit only at a fitting gap entirely left of want_lo; a
+      // straddling/right-side gap at the left index has no monotonicity
+      // claim over the gaps beyond it.
+      if ((fit && clean_ && occ_[l].hi <= want_lo) || l == 0) break;
     }
-    auto r = right;
-    for (int i = 0; i < 48 && r != occ_.end(); ++i, ++r) try_gap(r);
+    for (std::size_t i = 0, r = right; i < 48 && r < occ_.size(); ++i, ++r)
+      if (try_gap(r) && clean_) break;
 
     if (std::isnan(best)) return best;
-    occ_[best] = best + w;
+    // Insert position: same exact-upper_bound walk, started from the
+    // cursor (best lies within the 48-gap window around it).
+    std::size_t ai = std::min(hint_, occ_.size());
+    while (ai > 0 && occ_[ai - 1].lo > best) --ai;
+    while (ai < occ_.size() && occ_[ai].lo <= best) ++ai;
+    const auto at = occ_.begin() + static_cast<std::ptrdiff_t>(ai);
+    // A fitted cell can protrude ≤ 1e-9 into the next interval (the fit
+    // tolerance); that would break the first-fit monotonicity argument,
+    // so such rows drop back to the full scan.
+    if (at != occ_.end() && best + w > at->lo) clean_ = false;
+    const std::size_t a = static_cast<std::size_t>(at - occ_.begin());
+    occ_.insert(at, {best, best + w});
+    // The new interval splits gap a-1 into a left and a right remainder
+    // (exact only while the row is clean; unclean rows never read
+    // widths_).
+    widths_.insert(widths_.begin() + static_cast<std::ptrdiff_t>(a),
+                   occ_[a + 1].lo - (best + w));
+    widths_[a - 1] = best - occ_[a - 1].hi;
+    if (a <= hint_) ++hint_;
+    // The insert shifted interval indices, so the memo's index-derived
+    // want_lo band no longer maps to the certificate range — drop it
+    // until the next reject rebuilds it.
+    skip_w_ = std::numeric_limits<double>::max();
+    if (clean_) {
+      // A boundary-crossing gap at least c_w_ wide may leave fragments
+      // inside the certificate range that exceed its claim — clip the
+      // range to the split gap's far edge. Gaps wholly inside the range
+      // are under c_w_ already, so their fragments are too.
+      const double g_lo = occ_[a - 1].hi;
+      const double g_hi = occ_[a + 1].lo;
+      if (g_hi - g_lo >= c_w_ - 1e-9 && g_lo < c_hi_x_ && g_hi > c_lo_x_) {
+        if (g_lo > c_lo_x_)
+          c_hi_x_ = std::min(c_hi_x_, g_lo);
+        else
+          c_lo_x_ = std::max(c_lo_x_, g_hi);
+      }
+      // Re-derive the exact bucket bounds the insert invalidated: only
+      // the split gap shrank, so only the buckets it touched —
+      // [occ_[a-1].hi, occ_[a+1].lo], both endpoints unchanged by the
+      // insert — can change. Rebuild each from the gaps overlapping it.
+      const int rb0 = bucket(occ_[a - 1].hi);
+      const int rb1 = bucket(occ_[a + 1].lo);
+      const double bw = 1.0 / binv_;
+      const double bx_lo = xlo_ + rb0 * bw;
+      const double bx_hi = xlo_ + (rb1 + 1) * bw;
+      for (int b = rb0; b <= rb1; ++b)
+        bub_[static_cast<std::size_t>(b)] = 0.0;
+      std::size_t s = a - 1;
+      while (s > 0 && occ_[s].lo > bx_lo) --s;
+      for (std::size_t e = s; e < widths_.size(); ++e) {
+        if (occ_[e].hi >= bx_hi) break;
+        if (widths_[e] <= 0.0) continue;
+        const int g0 = std::max(rb0, bucket(occ_[e].hi));
+        const int g1 = std::min(rb1, bucket(occ_[e + 1].lo));
+        for (int b = g0; b <= g1; ++b)
+          bub_[static_cast<std::size_t>(b)] =
+              std::max(bub_[static_cast<std::size_t>(b)], widths_[e]);
+      }
+    }
+    // The accepted gap may be up to 1e-9 narrower than w (the fit
+    // tolerance above), so at least w - 1e-9 of real gap was consumed;
+    // subtracting that keeps free_ an upper bound under accumulation.
+    free_ -= w - 1e-9;
     return best + w / 2.0;
   }
 
  private:
-  std::map<double, double> occ_;  // start -> end of occupied intervals
+  struct Iv {
+    double lo, hi;
+  };
+  /// x-bucket index for the stale gap-width bounds (clamped to the row).
+  int bucket(double x) const {
+    return std::clamp(static_cast<int>((x - xlo_) * binv_), 0, nbuck_ - 1);
+  }
+
+  /// After a proven reject (no window gap ≥ w − 1e-9 in [ext_lo,
+  /// ext_hi]), store a no-fit certificate: the window range extended
+  /// through every adjacent bucket whose exact bound is under w. A gap
+  /// inside the extension touches only such buckets, so it is under w
+  /// too; a gap straddling the window boundary intersects the extent and
+  /// is therefore a window gap. The walk is paid only on certificate
+  /// misses, so it amortizes against the O(1) rejects it enables.
+  void extend_cert(double w, double ext_lo, double ext_hi, int b0, int b1) {
+    const double bw = 1.0 / binv_;
+    int bl = b0;
+    while (bl > 0 && bub_[static_cast<std::size_t>(bl)] < w - 1e-9) --bl;
+    const double lo_ext =
+        xlo_ +
+        (bub_[static_cast<std::size_t>(bl)] < w - 1e-9 ? bl : bl + 1) * bw;
+    int bh = b1;
+    while (bh < nbuck_ - 1 && bub_[static_cast<std::size_t>(bh)] < w - 1e-9)
+      ++bh;
+    const double hi_ext =
+        xlo_ +
+        (bub_[static_cast<std::size_t>(bh)] < w - 1e-9 ? bh + 1 : bh) * bw;
+    c_w_ = w;
+    c_lo_x_ = std::min(ext_lo, lo_ext);
+    c_hi_x_ = std::max(ext_hi, hi_ext);
+    build_skip_memo();
+  }
+
+  /// Project the fresh certificate into want_lo space: find the interval
+  /// index range [L*, R*] the certificate covers (clean rows keep occ_
+  /// sorted by hi as well as lo, so both ends binary-search), then bound
+  /// the upper_bound index `right` so the probe window [right-48,
+  /// right+48] stays inside it. right >= L*+48 iff want_lo >=
+  /// occ_[L*+47].lo ensures ext_lo = occ_[right-48].hi >= occ_[L*].hi >=
+  /// c_lo_x_; right <= R*-48 iff want_lo < occ_[R*-48].lo ensures ext_hi
+  /// = occ_[right+48].lo <= occ_[R*].lo <= c_hi_x_ (and rules out the
+  /// end-of-row clamp). Any probe with w >= c_w_ inside the resulting
+  /// want_lo band therefore reaches the certificate reject — place() may
+  /// return its NaN without walking the cursor. Any insert into the row
+  /// shifts indices and clears the memo.
+  void build_skip_memo() {
+    skip_w_ = c_w_;
+    const auto itL =
+        std::lower_bound(occ_.begin(), occ_.end(), c_lo_x_,
+                         [](const Iv& iv, double v) { return iv.hi < v; });
+    const auto itR =
+        std::upper_bound(occ_.begin(), occ_.end(), c_hi_x_,
+                         [](double v, const Iv& iv) { return v < iv.lo; });
+    const std::size_t ls = static_cast<std::size_t>(itL - occ_.begin());
+    const std::size_t rn = static_cast<std::size_t>(itR - occ_.begin());
+    skip_lo_u_ = ls + 47 < occ_.size()
+                     ? occ_[ls + 47].lo
+                     : std::numeric_limits<double>::max();
+    skip_hi_u_ = rn >= 49 ? occ_[rn - 49].lo
+                          : -std::numeric_limits<double>::max();
+  }
+
+  std::vector<Iv> occ_;  // occupied intervals, sorted by lo
+  std::vector<double> widths_;  // gap i width = occ_[i+1].lo - occ_[i].hi
+  std::vector<double> bub_;  // per-x-bucket stale max-gap-width bound
+  std::size_t hint_ = 0;  // cursor for the amortized upper_bound walks
+  double xlo_ = 0.0;     // row left edge (bucket origin)
+  double binv_ = 1.0;    // buckets per µm
+  int nbuck_ = 1;        // bucket count (~16 µm each)
+  double c_lo_x_ = 0.0;  // no-fit certificate range (empty when lo > hi)
+  double c_hi_x_ = -1.0;
+  double c_w_ = std::numeric_limits<double>::max();  // certified width
+  // Want-lo projection of the certificate (walk-free reject band).
+  double skip_w_ = std::numeric_limits<double>::max();
+  double skip_lo_u_ = std::numeric_limits<double>::max();
+  double skip_hi_u_ = -std::numeric_limits<double>::max();
+  double free_ = 0.0;    // upper bound on remaining gap width
+  bool clean_ = true;    // no overlapping intervals → first-fit early exit
 };
 
 }  // namespace
@@ -377,6 +688,7 @@ void legalize(Design& d) {
         if (ob.tier == tier && ob.r.ylo <= row.y + row_h / 2.0 &&
             row.y - row_h / 2.0 <= ob.r.yhi)
           row.block(ob.r.xlo, ob.r.xhi);
+      row.finalize();
     }
 
     // Two passes keep legalization nearly idempotent — vital for the ECO
@@ -414,6 +726,7 @@ void legalize(Design& d) {
           const int r = r0 + sgn * off;
           if (r < 0 || r >= nrows) continue;
           LegalRow& row = rows[static_cast<std::size_t>(r)];
+          if (row.cannot_fit(w) || row.memo_rejects(want.x, w)) continue;
           const double x = row.place(want.x, w);
           if (!std::isnan(x)) {
             d.set_pos(c, {x, row.y});
@@ -483,32 +796,79 @@ void rescale_to_utilization(Design& d, double utilization) {
 
 double max_overlap_um2(const Design& d) {
   const auto& nl = d.nl();
-  // Sweep per tier: sort by x and compare neighbours within width range.
+  // Grid-bucket sweep per tier: every cell's bounding box is registered in
+  // each grid bucket it touches, and only cells sharing a bucket are
+  // compared. Any overlapping pair shares at least one bucket, so the pair
+  // set examined is exactly the set of candidate pairs the old sorted
+  // pairwise sweep saw — and max() over the same pair overlaps is
+  // order-independent, so the result is bit-identical to the O(k^2) scan
+  // (asserted by PlaceScale.GridOverlapMatchesBruteForce).
   double worst = 0.0;
+  const auto fp = d.floorplan();
+  std::vector<CellId> cells;
+  std::vector<int> bucket_of_start;  // per cell: first bucket-entry index
+  std::vector<int> head, next;       // bucket chains (cell entry lists)
   for (int tier = 0; tier < d.num_tiers(); ++tier) {
-    std::vector<CellId> cells;
+    cells.clear();
     for (CellId c = 0; c < nl.cell_count(); ++c)
       if (!nl.cell(c).is_port() && d.tier(c) == tier) cells.push_back(c);
-    std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
-      return d.pos(a).x < d.pos(b).x;
-    });
+    if (cells.size() < 2) continue;
+
+    // Aim for ~2 cells per bucket on a uniformly spread placement.
+    const double area = std::max(1e-6, fp.width() * fp.height());
+    const double bs = std::max(
+        1e-3, std::sqrt(2.0 * area / static_cast<double>(cells.size())));
+    const int nx = std::max(
+        1, static_cast<int>(std::ceil(fp.width() / bs)));
+    const int ny = std::max(
+        1, static_cast<int>(std::ceil(fp.height() / bs)));
+    const auto bucket_x = [&](double x) {
+      const int i = static_cast<int>(std::floor((x - fp.xlo) / bs));
+      return std::min(nx - 1, std::max(0, i));
+    };
+    const auto bucket_y = [&](double y) {
+      const int i = static_cast<int>(std::floor((y - fp.ylo) / bs));
+      return std::min(ny - 1, std::max(0, i));
+    };
+
+    head.assign(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny),
+                -1);
+    next.clear();
+    bucket_of_start.clear();
+    // Insert in cells[] order; chains are walked newest-first, but only
+    // the set of co-bucketed pairs matters (see above).
+    struct Box {
+      double x0, x1, y0, y1;
+    };
+    std::vector<Box> box(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      const CellId a = cells[i];
-      const double ax0 = d.pos(a).x - d.cell_width(a) / 2.0;
-      const double ax1 = d.pos(a).x + d.cell_width(a) / 2.0;
-      const double ay0 = d.pos(a).y - d.cell_height(a) / 2.0;
-      const double ay1 = d.pos(a).y + d.cell_height(a) / 2.0;
-      for (std::size_t j = i + 1; j < cells.size(); ++j) {
-        const CellId b = cells[j];
-        const double bx0 = d.pos(b).x - d.cell_width(b) / 2.0;
-        if (bx0 >= ax1) break;
-        const double bx1 = d.pos(b).x + d.cell_width(b) / 2.0;
-        const double by0 = d.pos(b).y - d.cell_height(b) / 2.0;
-        const double by1 = d.pos(b).y + d.cell_height(b) / 2.0;
-        const double ox = std::min(ax1, bx1) - std::max(ax0, bx0);
-        const double oy = std::min(ay1, by1) - std::max(ay0, by0);
-        if (ox > 1e-9 && oy > 1e-9) worst = std::max(worst, ox * oy);
-      }
+      const CellId c = cells[i];
+      const Point p = d.pos(c);
+      const double w2 = d.cell_width(c) / 2.0;
+      const double h2 = d.cell_height(c) / 2.0;
+      box[i] = {p.x - w2, p.x + w2, p.y - h2, p.y + h2};
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const int ix0 = bucket_x(box[i].x0), ix1 = bucket_x(box[i].x1);
+      const int iy0 = bucket_y(box[i].y0), iy1 = bucket_y(box[i].y1);
+      for (int iy = iy0; iy <= iy1; ++iy)
+        for (int ix = ix0; ix <= ix1; ++ix) {
+          const std::size_t b = static_cast<std::size_t>(iy) *
+                                    static_cast<std::size_t>(nx) +
+                                static_cast<std::size_t>(ix);
+          // Compare against everything already in this bucket, then link.
+          for (int e = head[b]; e != -1; e = next[static_cast<std::size_t>(e)]) {
+            const std::size_t j = bucket_of_start[static_cast<std::size_t>(e)];
+            const double ox =
+                std::min(box[i].x1, box[j].x1) - std::max(box[i].x0, box[j].x0);
+            const double oy =
+                std::min(box[i].y1, box[j].y1) - std::max(box[i].y0, box[j].y0);
+            if (ox > 1e-9 && oy > 1e-9) worst = std::max(worst, ox * oy);
+          }
+          next.push_back(head[b]);
+          bucket_of_start.push_back(static_cast<int>(i));
+          head[b] = static_cast<int>(next.size()) - 1;
+        }
     }
   }
   return worst;

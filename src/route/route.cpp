@@ -1,6 +1,7 @@
 #include "route/route.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <limits>
 
@@ -44,6 +45,364 @@ void chunked_net_loop(
       /*grain=*/1);
 }
 
+/// Fanout threshold above which route_net switches to the grid-bucketed
+/// Prim. Both paths compute the identical tree (see spatial_prim); the
+/// naive scans just have a lower constant at small k.
+constexpr std::size_t kSpatialTerminals = 64;
+
+/// Terminal count above which the per-sink path-walk fans out across the
+/// pool (one task per wave slice; see route_net). Below this the serial
+/// wave is faster than the scheduling overhead.
+constexpr std::size_t kParallelWalkMin = 32768;
+
+/// Grid-accelerated Prim over Manhattan distance. Produces *exactly* the
+/// tree, node insertion order, and length accumulation order of the naive
+/// ascending-j scans in route_net:
+///  - selection pops the lexicographically smallest (best, j) — the same
+///    lowest-j-among-minimal rule as the strict `best[j] < bd` scan;
+///  - relaxation is *deferred*: each tree node scans the grid in
+///    concentric rings, one ring per scan event, and a scan event only
+///    runs while its distance lower bound (ring-1)·bs is ≤ the current
+///    best candidate. At pop time every pending scan bound exceeds the
+///    popped distance d*, so any undiscovered (tree node v, node j) pair
+///    has dist(v,j) ≥ bound > d* — the pop is provably the true minimum,
+///    and every tree node within d* of j has already relaxed it;
+///  - naive relaxes strictly (`dist < best[j]`) in tree-insertion order,
+///    so its parent[j] is the *earliest-inserted* tree node of minimal
+///    distance. Deferred scans can reach j out of insertion order, so an
+///    equal-distance relaxation reparents iff the scanner was inserted
+///    earlier (`ord[v] < ord[parent[j]]`) — converging to the same
+///    argmin(dist, insertion-order) parent regardless of scan order.
+/// So r.length_um accumulates the same doubles in the same order and the
+/// result is bit-identical to the O(k^2) path at any fanout.
+void spatial_prim(RouteScratch& s, std::size_t k, NetRoute& r) {
+  const auto& pt = s.pt;
+  const auto& tier = s.tier;
+  auto& in_tree = s.in_tree;
+  auto& best = s.best;
+  auto& parent = s.parent;
+
+  double xlo = pt[0].x, xhi = pt[0].x, ylo = pt[0].y, yhi = pt[0].y;
+  for (std::size_t i = 1; i < k; ++i) {
+    xlo = std::min(xlo, pt[i].x);
+    xhi = std::max(xhi, pt[i].x);
+    ylo = std::min(ylo, pt[i].y);
+    yhi = std::max(yhi, pt[i].y);
+  }
+  const double w = std::max(xhi - xlo, 1e-6);
+  const double h = std::max(yhi - ylo, 1e-6);
+  const double kd = static_cast<double>(k);
+  // ~1 terminal per bucket; the w/k, h/k floors keep near-collinear nets
+  // from exploding one grid dimension.
+  const double bs =
+      std::max({std::sqrt(w * h / kd), w / kd, h / kd, 1e-9});
+  const int nx = std::max(1, static_cast<int>(std::ceil(w / bs)));
+  const int ny = std::max(1, static_cast<int>(std::ceil(h / bs)));
+  const auto bucket_x = [&](double x) {
+    return std::min(nx - 1,
+                    std::max(0, static_cast<int>((x - xlo) / bs)));
+  };
+  const auto bucket_y = [&](double y) {
+    return std::min(ny - 1,
+                    std::max(0, static_cast<int>((y - ylo) / bs)));
+  };
+
+  // Bucket the out-of-tree nodes (1..k-1) into a flat CSR; removal is a
+  // swap with the segment's last live entry.
+  auto& off = s.grid_off;
+  auto& live = s.grid_live;
+  auto& nodes = s.grid_nodes;
+  auto& pos = s.node_pos;
+  auto& bucket = s.node_bucket;
+  const std::size_t nb =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  off.assign(nb + 1, 0);
+  bucket.assign(k, 0);
+  pos.assign(k, 0);
+  for (std::size_t j = 1; j < k; ++j) {
+    bucket[j] = bucket_y(pt[j].y) * nx + bucket_x(pt[j].x);
+    ++off[static_cast<std::size_t>(bucket[j]) + 1];
+  }
+  for (std::size_t b = 0; b < nb; ++b) off[b + 1] += off[b];
+  // Coarse 8×8-bucket live counters let ring scans skip dead regions in
+  // O(1) per super cell. Skipping a dead super cell only skips empty
+  // buckets — a no-op — so the relaxation set, and thus the result, is
+  // unchanged. This bounds the end-game cost: the last stragglers of a
+  // big net pop long edges that wake every pending scan, and without the
+  // coarse layer each wake walks its whole (mostly dead) ring bucket by
+  // bucket.
+  constexpr int kCoarse = 8;
+  const int snx = (nx + kCoarse - 1) / kCoarse;
+  const int sny = (ny + kCoarse - 1) / kCoarse;
+  auto& super_live = s.super_live;
+  super_live.assign(
+      static_cast<std::size_t>(snx) * static_cast<std::size_t>(sny), 0);
+
+  // Live-count pyramid over the super grid (each level halves both dims)
+  // for O(log) nearest-live-super queries. Counts only ever decrease
+  // while the tree grows, so a distance bound read from the pyramid stays
+  // a valid lower bound forever.
+  auto& pyr = s.pyr;
+  auto& pyr_off = s.pyr_off;
+  auto& pyr_w = s.pyr_w;
+  auto& pyr_h = s.pyr_h;
+  pyr.clear();
+  pyr_off.assign(1, 0);
+  pyr_w.clear();
+  pyr_h.clear();
+  for (int lw = (snx + 1) / 2, lh = (sny + 1) / 2;;
+       lw = (lw + 1) / 2, lh = (lh + 1) / 2) {
+    pyr_w.push_back(lw);
+    pyr_h.push_back(lh);
+    pyr_off.push_back(pyr_off.back() + lw * lh);
+    if (lw == 1 && lh == 1) break;
+  }
+  pyr.assign(static_cast<std::size_t>(pyr_off.back()), 0);
+  const int pyr_levels = static_cast<int>(pyr_w.size());
+  const auto pyr_add = [&](int sx, int sy, int delta) {
+    for (int l = 1; l <= pyr_levels; ++l)
+      pyr[static_cast<std::size_t>(pyr_off[static_cast<std::size_t>(l - 1)] +
+                                   (sy >> l) * pyr_w[static_cast<std::size_t>(
+                                                    l - 1)] +
+                                   (sx >> l))] += delta;
+  };
+  nodes.assign(k - 1, 0);
+  live.assign(nb, 0);
+  for (std::size_t j = 1; j < k; ++j) {
+    const auto b = static_cast<std::size_t>(bucket[j]);
+    const int at = off[b] + live[b];
+    nodes[static_cast<std::size_t>(at)] = static_cast<int>(j);
+    pos[j] = at;
+    ++live[b];
+    const int sx = (static_cast<int>(b) % nx) / kCoarse;
+    const int sy = static_cast<int>(b) / nx / kCoarse;
+    ++super_live[static_cast<std::size_t>(sy * snx + sx)];
+    pyr_add(sx, sy, 1);
+  }
+  const auto grid_remove = [&](int j) {
+    const auto b = static_cast<std::size_t>(bucket[static_cast<std::size_t>(j)]);
+    const int last = off[b] + live[b] - 1;
+    const int pj = pos[static_cast<std::size_t>(j)];
+    const int moved = nodes[static_cast<std::size_t>(last)];
+    nodes[static_cast<std::size_t>(pj)] = moved;
+    pos[static_cast<std::size_t>(moved)] = pj;
+    --live[b];
+    const int sx = (static_cast<int>(b) % nx) / kCoarse;
+    const int sy = static_cast<int>(b) / nx / kCoarse;
+    --super_live[static_cast<std::size_t>(sy * snx + sx)];
+    pyr_add(sx, sy, -1);
+  };
+
+  // Exact Chebyshev distance (in super-cell units) from super cell
+  // (Vx, Vy) to the nearest live super cell: branch-and-bound descent of
+  // the pyramid, visiting children nearest-first and pruning subtrees
+  // whose bounding rect cannot beat the best found. Returns INT_MAX when
+  // no live cell remains.
+  const auto rect_cheby = [](int Vx, int Vy, int x0, int y0, int x1, int y1) {
+    const int dx = Vx < x0 ? x0 - Vx : (Vx > x1 ? Vx - x1 : 0);
+    const int dy = Vy < y0 ? y0 - Vy : (Vy > y1 ? Vy - y1 : 0);
+    return std::max(dx, dy);
+  };
+  const auto nearest_live_super = [&](int Vx, int Vy) {
+    int bestd = std::numeric_limits<int>::max();
+    const auto descend = [&](auto&& self, int l, int cx, int cy) -> void {
+      if (l == 0) {
+        if (super_live[static_cast<std::size_t>(cy * snx + cx)] == 0) return;
+        bestd = std::min(bestd, rect_cheby(Vx, Vy, cx, cy, cx, cy));
+        return;
+      }
+      if (pyr[static_cast<std::size_t>(
+              pyr_off[static_cast<std::size_t>(l - 1)] +
+              cy * pyr_w[static_cast<std::size_t>(l - 1)] + cx)] == 0)
+        return;
+      const int cw = l == 1 ? snx : pyr_w[static_cast<std::size_t>(l - 2)];
+      const int ch = l == 1 ? sny : pyr_h[static_cast<std::size_t>(l - 2)];
+      const int span = 1 << (l - 1);
+      struct Child {
+        int d, x, y;
+      } cs[4];
+      int nc = 0;
+      for (int jj = 0; jj < 2; ++jj)
+        for (int ii = 0; ii < 2; ++ii) {
+          const int x = 2 * cx + ii, y = 2 * cy + jj;
+          if (x >= cw || y >= ch) continue;
+          cs[nc++] = {rect_cheby(Vx, Vy, x * span, y * span,
+                                 std::min(snx, (x + 1) * span) - 1,
+                                 std::min(sny, (y + 1) * span) - 1),
+                      x, y};
+        }
+      for (int a = 1; a < nc; ++a)  // insertion sort by lower bound
+        for (int bq = a; bq > 0 && cs[bq].d < cs[bq - 1].d; --bq)
+          std::swap(cs[bq], cs[bq - 1]);
+      for (int a = 0; a < nc; ++a) {
+        if (cs[a].d >= bestd) break;
+        self(self, l - 1, cs[a].x, cs[a].y);
+      }
+    };
+    descend(descend, pyr_levels, 0, 0);
+    return bestd;
+  };
+
+  // Candidate min-heap over (best, node) — entries go stale when best[]
+  // improves or a node joins the tree; consumers skip stale entries. The
+  // route_net prologue already relaxed every node against the driver
+  // (node 0), so each node starts with one fresh entry and node 0 needs
+  // no scan events.
+  auto& minheap = s.minheap;
+  auto& scanheap = s.scanheap;
+  auto& ord = s.ord;
+  auto& ring_next = s.ring_next;
+  minheap.clear();
+  scanheap.clear();
+  minheap.reserve(k);
+  scanheap.reserve(k);
+  ord.assign(k, 0);
+  ring_next.assign(k, 0);
+  for (std::size_t j = 1; j < k; ++j)
+    minheap.push_back({best[j], static_cast<int>(j)});
+  const auto heap_cmp = std::greater<std::pair<double, int>>{};
+  std::make_heap(minheap.begin(), minheap.end(), heap_cmp);
+  const auto fresh = [&](const std::pair<double, int>& e) {
+    return !in_tree[static_cast<std::size_t>(e.second)] &&
+           best[static_cast<std::size_t>(e.second)] == e.first;
+  };
+
+  // Scan ring `ring` around tree node v, relaxing every live grid node.
+  // Returns whether any live node was seen — a dead ring makes the
+  // caller consult the pyramid and leapfrog the surrounding dead region.
+  const auto scan_ring = [&](std::size_t v, int ring) {
+    bool touched = false;
+    const int vx = bucket_x(pt[v].x);
+    const int vy = bucket_y(pt[v].y);
+    const auto scan_bucket = [&](int bxx, int byy) {
+      if (bxx < 0 || bxx >= nx || byy < 0 || byy >= ny) return;
+      const auto b = static_cast<std::size_t>(byy * nx + bxx);
+      const int base = off[b];
+      if (live[b] > 0) touched = true;
+      for (int idx = base; idx < base + live[b]; ++idx) {
+        const auto j =
+            static_cast<std::size_t>(nodes[static_cast<std::size_t>(idx)]);
+        const double dd = util::manhattan(pt[v], pt[j]);
+        if (dd < best[j]) {
+          best[j] = dd;
+          parent[j] = v;
+          minheap.push_back({dd, static_cast<int>(j)});
+          std::push_heap(minheap.begin(), minheap.end(), heap_cmp);
+        } else if (dd == best[j] && ord[v] < ord[parent[j]]) {
+          // Equal distance: naive's strict-< relaxation in insertion
+          // order keeps the earliest-inserted tree node as parent.
+          parent[j] = v;
+        }
+      }
+    };
+    if (ring == 0) {
+      scan_bucket(vx, vy);
+      return touched;
+    }
+    // Ring traversal strides over dead 8×8 super cells. Visit order
+    // within a ring differs from the plain x-then-y sweep, but each node
+    // is relaxed independently and the candidate heap's full (dist, node)
+    // ordering makes pop order independent of push order, so results are
+    // unchanged.
+    const auto scan_row = [&](int y, int x0, int x1) {
+      if (y < 0 || y >= ny) return;
+      const int sy = y / kCoarse;
+      const int xe = std::min(x1, nx - 1);
+      int x = std::max(x0, 0);
+      while (x <= xe) {
+        const int sx = x / kCoarse;
+        const int sx_last = std::min(xe, sx * kCoarse + kCoarse - 1);
+        if (super_live[static_cast<std::size_t>(sy * snx + sx)] == 0) {
+          x = sx_last + 1;
+          continue;
+        }
+        for (; x <= sx_last; ++x) scan_bucket(x, y);
+      }
+    };
+    const auto scan_col = [&](int x, int y0, int y1) {
+      if (x < 0 || x >= nx) return;
+      const int sx = x / kCoarse;
+      const int ye = std::min(y1, ny - 1);
+      int y = std::max(y0, 0);
+      while (y <= ye) {
+        const int sy = y / kCoarse;
+        const int sy_last = std::min(ye, sy * kCoarse + kCoarse - 1);
+        if (super_live[static_cast<std::size_t>(sy * snx + sx)] == 0) {
+          y = sy_last + 1;
+          continue;
+        }
+        for (; y <= sy_last; ++y) scan_bucket(x, y);
+      }
+    };
+    scan_row(vy - ring, vx - ring, vx + ring);
+    scan_row(vy + ring, vx - ring, vx + ring);
+    scan_col(vx - ring, vy - ring + 1, vy + ring - 1);
+    scan_col(vx + ring, vy - ring + 1, vy + ring - 1);
+    return touched;
+  };
+
+  const int max_ring = nx + ny;
+  for (std::size_t added = 1; added < k; ++added) {
+    std::size_t u = k;
+    for (;;) {
+      while (!minheap.empty() && !fresh(minheap.front())) {
+        std::pop_heap(minheap.begin(), minheap.end(), heap_cmp);
+        minheap.pop_back();
+      }
+      M3D_CHECK(!minheap.empty());
+      const double top = minheap.front().first;
+      // Run every pending scan whose lower bound could still surface a
+      // candidate at or below `top` (== included: a ring's bound is
+      // non-strict, a node at exactly `top` may hide there, and equal
+      // distances select the lowest node id / earliest parent).
+      if (!scanheap.empty() && scanheap.front().first <= top) {
+        const auto ev = scanheap.front();
+        std::pop_heap(scanheap.begin(), scanheap.end(), heap_cmp);
+        scanheap.pop_back();
+        const auto v = static_cast<std::size_t>(ev.second);
+        const int ring = ring_next[v]++;
+        const bool touched = scan_ring(v, ring);
+        int next_ring = ring + 1;
+        if (!touched && ring >= 1) {
+          // Dead ring: ask the pyramid how far the nearest live super
+          // cell is and leapfrog the dead region. A live super at
+          // Chebyshev distance Rs (super units) can only hold buckets at
+          // fine Chebyshev ≥ 8·Rs − 7, so every ring below that is
+          // provably empty and skipping it is a no-op — the relaxation
+          // set, and thus the tree, is unchanged. This is what keeps the
+          // end game of a 400k-sink clock net from waking every pending
+          // scan once per ring of empty space.
+          const int rs = nearest_live_super(bucket_x(pt[v].x) / kCoarse,
+                                            bucket_y(pt[v].y) / kCoarse);
+          if (rs == std::numeric_limits<int>::max()) continue;  // no nodes
+          if (rs >= 1)
+            next_ring = std::max(next_ring, kCoarse * rs - (kCoarse - 1));
+        }
+        if (next_ring <= max_ring) {
+          // Lower bound for ring r ≥ 1 is (r-1)·bs.
+          scanheap.push_back({static_cast<double>(next_ring - 1) * bs,
+                              static_cast<int>(v)});
+          std::push_heap(scanheap.begin(), scanheap.end(), heap_cmp);
+          ring_next[v] = next_ring;
+        }
+        continue;
+      }
+      u = static_cast<std::size_t>(minheap.front().second);
+      std::pop_heap(minheap.begin(), minheap.end(), heap_cmp);
+      minheap.pop_back();
+      break;
+    }
+    in_tree[u] = 1;
+    ord[u] = static_cast<int>(added);
+    grid_remove(static_cast<int>(u));
+    r.length_um += best[u];
+    if (tier[u] != tier[parent[u]]) ++r.miv_count;
+    ring_next[u] = 0;
+    scanheap.push_back({0.0, static_cast<int>(u)});
+    std::push_heap(scanheap.begin(), scanheap.end(), heap_cmp);
+  }
+}
+
 }  // namespace
 
 double hpwl(const Design& d, NetId n) {
@@ -72,6 +431,11 @@ NetRoute route_net(const Design& d, NetId n) {
 }
 
 NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch) {
+  return route_net(d, n, scratch, nullptr);
+}
+
+NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch,
+                   exec::Pool* pool) {
   NetRoute r;
   const auto& nl = d.nl();
   const auto& net = nl.net(n);
@@ -94,11 +458,11 @@ NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch) {
     tier[i + 1] = d.tier(nl.pin(sink_pins[i]).cell);
   }
 
-  // Prim MST on Manhattan distance, rooted at the driver. O(k²) — fine for
-  // signal fanouts; the raw clock net is replaced by CTS before routing
-  // matters. The inner scans keep the ascending-j visit order (ties pick
-  // the lowest j, as always) but stop once every out-of-tree node has been
-  // seen — a real saving on high-fanout nets once the tree fills up.
+  // Prim MST on Manhattan distance, rooted at the driver. Small nets use
+  // the direct O(k²) scans (ascending-j visit order, ties pick the lowest
+  // j, early exit once every out-of-tree node has been seen); fanouts of
+  // kSpatialTerminals and up switch to the grid-bucketed spatial_prim,
+  // which computes the identical tree in ~O(k log k).
   auto& in_tree = scratch.in_tree;
   auto& best = scratch.best;
   auto& parent = scratch.parent;
@@ -111,31 +475,36 @@ NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch) {
     best[j] = util::manhattan(pt[0], pt[j]);
     parent[j] = 0;
   }
-  for (std::size_t added = 1; added < k; ++added) {
-    const std::size_t out_count = k - added;
-    std::size_t u = k;
-    double bd = std::numeric_limits<double>::max();
-    std::size_t seen = 0;
-    for (std::size_t j = 1; j < k; ++j) {
-      if (in_tree[j]) continue;
-      if (best[j] < bd) {
-        bd = best[j];
-        u = j;
+  if (k >= kSpatialTerminals) {
+    // High fanout: grid-bucketed Prim, bit-identical result (see above).
+    spatial_prim(scratch, k, r);
+  } else {
+    for (std::size_t added = 1; added < k; ++added) {
+      const std::size_t out_count = k - added;
+      std::size_t u = k;
+      double bd = std::numeric_limits<double>::max();
+      std::size_t seen = 0;
+      for (std::size_t j = 1; j < k; ++j) {
+        if (in_tree[j]) continue;
+        if (best[j] < bd) {
+          bd = best[j];
+          u = j;
+        }
+        if (++seen == out_count) break;
       }
-      if (++seen == out_count) break;
-    }
-    M3D_CHECK(u < k);
-    in_tree[u] = 1;
-    r.length_um += bd;
-    if (tier[u] != tier[parent[u]]) ++r.miv_count;
-    seen = 0;
-    for (std::size_t j = 1; j < k && seen + 1 < out_count; ++j) {
-      if (in_tree[j]) continue;
-      ++seen;
-      const double dd = util::manhattan(pt[u], pt[j]);
-      if (dd < best[j]) {
-        best[j] = dd;
-        parent[j] = u;
+      M3D_CHECK(u < k);
+      in_tree[u] = 1;
+      r.length_um += bd;
+      if (tier[u] != tier[parent[u]]) ++r.miv_count;
+      seen = 0;
+      for (std::size_t j = 1; j < k && seen + 1 < out_count; ++j) {
+        if (in_tree[j]) continue;
+        ++seen;
+        const double dd = util::manhattan(pt[u], pt[j]);
+        if (dd < best[j]) {
+          best[j] = dd;
+          parent[j] = u;
+        }
       }
     }
   }
@@ -147,19 +516,82 @@ NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch) {
   auto& crosses = scratch.crosses;
   dist.assign(k, 0.0);
   crosses.assign(k, 0);
-  // parent[] forms a tree rooted at 0; compute by walking up (paths are
-  // short), memoization not needed at these fanouts.
-  for (std::size_t j = 1; j < k; ++j) {
-    double acc = 0.0;
-    bool x = false;
-    std::size_t v = j;
-    while (v != 0) {
-      acc += util::manhattan(pt[v], pt[parent[v]]);
-      x = x || (tier[v] != tier[parent[v]]);
-      v = parent[v];
+  // parent[] forms a tree rooted at 0; compute by walking up. best[v] is
+  // exactly manhattan(pt[v], pt[parent[v]]) for every tree node (it is
+  // never written after insertion, and an equal-distance reparent keeps
+  // the value), so each hop is one load instead of a recomputation. The
+  // per-sink leaf-to-root fold order is load-bearing: memoizing
+  // dist[parent] would re-associate the floating-point sum and change
+  // results, so each sink walks its full path — Σ depth(j) hops total,
+  // over a billion on a 400k-sink clock net. Two things make that cheap:
+  // each node's {edge length, parent, tier-crossing flag} is packed into
+  // one 16-byte record so a hop touches a single cache line, and all
+  // sinks advance in lock-step waves (one tree level per round), so the
+  // random-access loads of different sinks overlap in the memory system
+  // instead of serializing on one pointer chase. Each sink's own fold
+  // still runs leaf→root one hop per round, so every dist[j] is
+  // bit-identical to the plain walk.
+  auto& rec = scratch.walk_rec;
+  auto& wave = scratch.wave;
+  rec.assign(k, {0.0, 0});
+  for (std::size_t v = 1; v < k; ++v)
+    rec[v] = {best[v], (static_cast<int>(parent[v]) << 1) |
+                           (tier[v] != tier[parent[v]] ? 1 : 0)};
+  // Wave entry: running sum plus (flag << 60 | sink << 30 | cursor)
+  // packed into one word, so a round streams the wave array and the only
+  // random access per hop is the (prefetched) record load. dist[j] and
+  // crosses[j] are written once, when a sink's walk reaches the root.
+  constexpr unsigned long long kM30 = (1ULL << 30) - 1;
+  wave.resize(k - 1);
+  for (std::size_t j = 1; j < k; ++j)
+    wave[j - 1] = {0.0, (static_cast<unsigned long long>(j) << 30) |
+                            static_cast<unsigned long long>(j)};
+  const auto run_wave = [&](std::size_t lo, std::size_t hi) {
+    std::size_t n_active = hi;
+    while (n_active > lo) {
+      std::size_t w = lo;
+      for (std::size_t i = lo; i < n_active; ++i) {
+#if defined(__GNUC__)
+        // The whole round's cursors are already in wave[], so the record
+        // fetches can be issued well ahead of use.
+        if (i + 8 < n_active)
+          __builtin_prefetch(
+              &rec[static_cast<std::size_t>(wave[i + 8].second & kM30)]);
+#endif
+        auto e = wave[i];
+        const auto& rv = rec[static_cast<std::size_t>(e.second & kM30)];
+        e.first += rv.first;
+        e.second |= static_cast<unsigned long long>(rv.second & 1) << 60;
+        const int up = rv.second >> 1;
+        if (up != 0) {
+          e.second = (e.second & ~kM30) | static_cast<unsigned long long>(up);
+          wave[w++] = e;
+        } else {
+          const auto j = static_cast<std::size_t>((e.second >> 30) & kM30);
+          dist[j] = e.first;
+          crosses[j] = static_cast<char>((e.second >> 60) & 1);
+        }
+      }
+      n_active = w;
     }
-    dist[j] = acc;
-    crosses[j] = x ? 1 : 0;
+  };
+  // Sinks fold independently of each other, so huge nets split the wave
+  // into contiguous slices, one task each, no barriers: every slice runs
+  // its own rounds and writes only its own sinks' dist/crosses slots.
+  // Slice boundaries affect scheduling only — results are byte-identical
+  // at any pool size, including serial.
+  if (pool != nullptr && pool->size() > 1 && k - 1 >= kParallelWalkMin) {
+    const int slices = pool->size() * 4;
+    const std::size_t total = k - 1;
+    pool->parallel_for(0, slices, [&](int s) {
+      const std::size_t lo = total * static_cast<std::size_t>(s) /
+                             static_cast<std::size_t>(slices);
+      const std::size_t hi = total * (static_cast<std::size_t>(s) + 1) /
+                             static_cast<std::size_t>(slices);
+      if (lo < hi) run_wave(lo, hi);
+    });
+  } else {
+    run_wave(0, k - 1);
   }
   for (std::size_t i = 0; i < sink_pins.size(); ++i) {
     r.sink_path_um[i] = dist[i + 1];
@@ -184,7 +616,8 @@ RoutingEstimate route_design(const Design& d, const RouteOptions& opt) {
   est.nets.resize(static_cast<std::size_t>(n));
   chunked_net_loop(opt.pool, n, [&](int lo, int hi, RouteScratch& scratch) {
     for (int i = lo; i < hi; ++i)
-      est.nets[static_cast<std::size_t>(i)] = route_net(d, i, scratch);
+      est.nets[static_cast<std::size_t>(i)] = route_net(d, i, scratch,
+                                                        opt.pool);
   });
   // Serial in-order reduction keeps the totals bitwise-identical to the
   // old per-net accumulation at any pool size.
@@ -228,7 +661,7 @@ void update_routes_for_cells(const Design& d, const std::vector<CellId>& cells,
                        est->nets[static_cast<std::size_t>(
                            dirty[static_cast<std::size_t>(i)])] =
                            route_net(d, dirty[static_cast<std::size_t>(i)],
-                                     scratch);
+                                     scratch, opt.pool);
                    });
 
   for (std::size_t i = 0; i < dirty.size(); ++i) {

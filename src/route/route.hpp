@@ -62,6 +62,25 @@ struct RouteScratch {
   std::vector<std::size_t> parent;
   std::vector<double> dist;
   std::vector<char> crosses;
+  // Spatial-Prim working set (high-fanout nets only, see route_net).
+  std::vector<std::pair<double, int>> minheap;   ///< candidate edges
+  std::vector<std::pair<double, int>> scanheap;  ///< deferred ring scans
+  std::vector<int> grid_off;
+  std::vector<int> grid_live;
+  std::vector<int> grid_nodes;
+  std::vector<int> node_pos;
+  std::vector<int> node_bucket;
+  std::vector<int> ord;        ///< tree-insertion order (parent tie-break)
+  std::vector<int> ring_next;  ///< next unscanned ring per tree node
+  std::vector<int> super_live;  ///< live counts per 8×8 coarse grid cell
+  std::vector<int> pyr;      ///< live-count pyramid over the coarse grid
+  std::vector<int> pyr_off;  ///< per-level offsets into pyr
+  std::vector<int> pyr_w;    ///< per-level widths
+  std::vector<int> pyr_h;    ///< per-level heights
+  /// Path-walk wave state: per-node {edge length, parent<<1 | crossing}
+  /// records and {running sum, packed flag/sink/cursor} wave entries.
+  std::vector<std::pair<double, int>> walk_rec;
+  std::vector<std::pair<double, unsigned long long>> wave;
 };
 
 /// Whole-design routing estimate.
@@ -86,6 +105,12 @@ NetRoute route_net(const Design& d, NetId n);
 /// route_net with caller-owned scratch buffers (hot loops reuse one
 /// RouteScratch across many nets). Results are identical to route_net.
 NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch);
+
+/// route_net that may fan the per-sink path walk out across `pool` for
+/// huge-fanout nets (raw clock meshes). Sinks fold independently, so the
+/// result is byte-identical at any pool size including nullptr.
+NetRoute route_net(const Design& d, NetId n, RouteScratch& scratch,
+                   exec::Pool* pool);
 
 /// Route every net and compute aggregate metrics.
 RoutingEstimate route_design(const Design& d, const RouteOptions& opt = {});

@@ -96,8 +96,8 @@ int TechLib::find_index(CellFunc func, int drive) const {
   return it == by_func_drive_.end() ? -1 : it->second;
 }
 
-int TechLib::find_macro(const std::string& name) const {
-  const auto it = macro_by_name_.find(name);
+int TechLib::find_macro(std::string_view name) const {
+  const auto it = macro_by_name_.find(std::string(name));
   return it == macro_by_name_.end() ? -1 : it->second;
 }
 

@@ -55,7 +55,7 @@ class TechLib {
   int find_index(CellFunc func, int drive) const;
 
   /// Macro lookup by name; returns -1 if absent.
-  int find_macro(const std::string& name) const;
+  int find_macro(std::string_view name) const;
 
   /// Available drive strengths for a function, ascending.
   std::vector<int> drives_for(CellFunc func) const;

@@ -190,3 +190,41 @@ TEST_F(CoreFlow, ClockReportPopulated) {
   EXPECT_GT(r.metrics.clock.max_latency_ns, 0.0);
   EXPECT_GT(r.metrics.clock_power_mw, 0.0);
 }
+
+// Frozen run_flow metrics, recorded with the table-6/7 golden CSVs in
+// the tree (which byte-match the pre-arena seed build). Any hot-path
+// optimization — the SoA netlist arena, the bucketed legalizer, the
+// spatial router, batched CTS detach — must reproduce these doubles
+// bit-for-bit; a change here is a determinism break, not noise, and has
+// to be called out with a golden regeneration.
+TEST_F(CoreFlow, GoldenMetricsMatchSeedFlow) {
+  struct Golden {
+    mc::Config cfg;
+    double wns_ns, wirelength_m;
+    long long mivs;
+    double total_power_mw, clock_power_mw, silicon_area_mm2;
+    double density_pct, die_cost_e6, ppc;
+  };
+  const Golden goldens[] = {
+      {mc::Config::TwoD12T, 0.85562949063245786, 0.015928954297995134, 0,
+       1.1654664692609398, 0.51186347465710447, 0.002140800000000036,
+       70.644618834080688, 0.030631393374721348, 23342.760709221533},
+      {mc::Config::Hetero3D, 0.76450296212855939, 0.013365063274424643, 816,
+       0.98225908688071162, 0.47439879384803718, 0.0020097138461538373,
+       64.812659896472951, 0.031046163849613635, 27326.546758843091},
+  };
+  for (const auto& g : goldens) {
+    const auto r = mc::run_flow(small("aes"), g.cfg, fast_opts());
+    const auto& m = r.metrics;
+    EXPECT_EQ(m.wns_ns, g.wns_ns) << m.config_name;
+    EXPECT_EQ(m.tns_ns, 0.0) << m.config_name;
+    EXPECT_EQ(m.wirelength_m, g.wirelength_m) << m.config_name;
+    EXPECT_EQ(m.mivs, g.mivs) << m.config_name;
+    EXPECT_EQ(m.total_power_mw, g.total_power_mw) << m.config_name;
+    EXPECT_EQ(m.clock_power_mw, g.clock_power_mw) << m.config_name;
+    EXPECT_EQ(m.silicon_area_mm2, g.silicon_area_mm2) << m.config_name;
+    EXPECT_EQ(m.density_pct, g.density_pct) << m.config_name;
+    EXPECT_EQ(m.die_cost_e6, g.die_cost_e6) << m.config_name;
+    EXPECT_EQ(m.ppc, g.ppc) << m.config_name;
+  }
+}

@@ -289,7 +289,7 @@ TEST_F(ExecFlowCache, FingerprintSeparatesNetlists) {
   EXPECT_NE(me::FlowCache::fingerprint(a), me::FlowCache::fingerprint(b));
 
   auto c = a;
-  c.net(0).activity += 0.01;  // any structural/electrical change shows up
+  c.set_activity(0, c.net(0).activity + 0.01);  // any electrical change shows up
   EXPECT_NE(me::FlowCache::fingerprint(a), me::FlowCache::fingerprint(c));
 }
 

@@ -68,7 +68,7 @@ TEST(Gen, CpuHasMacrosAndBlocks) {
   const auto nl = mg::make_cpu(tiny());
   EXPECT_EQ(nl.stats().macros, 4);
   std::set<std::string> blocks;
-  for (int b = 0; b < nl.block_count(); ++b) blocks.insert(nl.block_name(b));
+  for (int b = 0; b < nl.block_count(); ++b) blocks.insert(std::string(nl.block_name(b)));
   for (const char* want : {"ifu", "decode", "alu", "mul", "fpu", "lsu",
                            "regfile"})
     EXPECT_TRUE(blocks.count(want)) << want;

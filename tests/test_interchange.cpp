@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "gen/designs.hpp"
+#include "netlist/design.hpp"
 #include "netlist/verilog_reader.hpp"
 #include "netlist/writer.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
 #include "tech/liberty.hpp"
 #include "tech/library_factory.hpp"
 
@@ -148,9 +151,9 @@ TEST(Verilog, RoundTripPreservesConnectivity) {
   // cell functions by name.
   std::map<std::string, int> orig_fanout, back_fanout;
   for (mn::NetId n = 0; n < orig.net_count(); ++n)
-    orig_fanout[orig.net(n).name] = orig.fanout(n);
+    orig_fanout[std::string(orig.net(n).name)] = orig.fanout(n);
   for (mn::NetId n = 0; n < back.net_count(); ++n)
-    back_fanout[back.net(n).name] = back.fanout(n);
+    back_fanout[std::string(back.net(n).name)] = back.fanout(n);
   EXPECT_EQ(back_fanout, orig_fanout);
 }
 
@@ -173,19 +176,55 @@ TEST(Verilog, RoundTripPreservesDrivesAndFunctions) {
   for (mn::CellId c = 0; c < orig.cell_count(); ++c) {
     const auto& cc = orig.cell(c);
     if (cc.is_comb() || cc.is_sequential())
-      orig_cells[cc.name] = {static_cast<int>(cc.func), cc.drive};
+      orig_cells[std::string(cc.name)] = {static_cast<int>(cc.func), cc.drive};
   }
   int matched = 0;
   for (mn::CellId c = 0; c < back.cell_count(); ++c) {
     const auto& cc = back.cell(c);
     if (!cc.is_comb() && !cc.is_sequential()) continue;
-    auto it = orig_cells.find(cc.name);
+    auto it = orig_cells.find(std::string(cc.name));
     ASSERT_NE(it, orig_cells.end()) << cc.name;
     EXPECT_EQ(static_cast<int>(cc.func), it->second.first);
     EXPECT_EQ(cc.drive, it->second.second);
     ++matched;
   }
   EXPECT_EQ(matched, static_cast<int>(orig_cells.size()));
+}
+
+// The generated mesh/NoC fabric must survive writer → reader unchanged:
+// same structure by name, and — because the writer emits cells and nets
+// in id order and the reader rebuilds in file order — the same ids, so a
+// placement + routing pass over the reparsed netlist reproduces the
+// original flow metrics bit for bit (the "flow digest").
+TEST(Verilog, MeshRoundTripPreservesStructureAndFlowDigest) {
+  mg::GenOptions g;
+  g.scale = 0.05;
+  const auto orig = mg::make_mesh(g);
+  const auto back = mn::parse_verilog(mn::verilog_string(orig));
+
+  const auto a = orig.stats();
+  const auto b = back.stats();
+  EXPECT_EQ(b.cells, a.cells);
+  EXPECT_EQ(b.seq_cells, a.seq_cells);
+  EXPECT_EQ(b.ports, a.ports);
+  EXPECT_EQ(b.nets, a.nets);
+  EXPECT_EQ(b.pins, a.pins);
+
+  // Structural isomorphism by name: identical fanout per net.
+  std::map<std::string, int> orig_fanout, back_fanout;
+  for (mn::NetId n = 0; n < orig.net_count(); ++n)
+    orig_fanout[std::string(orig.net(n).name)] = orig.fanout(n);
+  for (mn::NetId n = 0; n < back.net_count(); ++n)
+    back_fanout[std::string(back.net(n).name)] = back.fanout(n);
+  EXPECT_EQ(back_fanout, orig_fanout);
+
+  // Flow digest: identical placement and routed wirelength.
+  auto flow_wl = [](const mn::Netlist& nl) {
+    mn::Design d(nl, mt::make_12track(), mt::make_9track());
+    m3d::place::place_design(d);
+    return m3d::route::route_design(d).total_wirelength_um;
+  };
+  EXPECT_EQ(flow_wl(orig), flow_wl(back));
 }
 
 TEST(Verilog, ReaderRejectsMalformedInput) {

@@ -184,6 +184,60 @@ TEST(Place, DeterministicForSameSeed) {
     EXPECT_EQ(d1.pos(c), d2.pos(c));
 }
 
+// Brute-force reference for max_overlap_um2: examine every same-tier pair.
+// The grid-bucket sweep must agree bit for bit — it compares a superset
+// of pairs through an order-independent max over the same pair overlaps.
+static double brute_force_max_overlap(const mn::Design& d) {
+  const auto& nl = d.nl();
+  double worst = 0.0;
+  for (int tier = 0; tier < d.num_tiers(); ++tier) {
+    std::vector<mn::CellId> cells;
+    for (mn::CellId c = 0; c < nl.cell_count(); ++c)
+      if (!nl.cell(c).is_port() && d.tier(c) == tier) cells.push_back(c);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto pi = d.pos(cells[i]);
+      const double wi = d.cell_width(cells[i]) / 2.0;
+      const double hi = d.cell_height(cells[i]) / 2.0;
+      for (std::size_t j = i + 1; j < cells.size(); ++j) {
+        const auto pj = d.pos(cells[j]);
+        const double wj = d.cell_width(cells[j]) / 2.0;
+        const double hj = d.cell_height(cells[j]) / 2.0;
+        const double ox =
+            std::min(pi.x + wi, pj.x + wj) - std::max(pi.x - wi, pj.x - wj);
+        const double oy =
+            std::min(pi.y + hi, pj.y + hj) - std::max(pi.y - hi, pj.y - hj);
+        if (ox > 1e-9 && oy > 1e-9) worst = std::max(worst, ox * oy);
+      }
+    }
+  }
+  return worst;
+}
+
+TEST(PlaceScale, GridOverlapMatchesBruteForce) {
+  // Overlapping snapshot: global placement before legalization piles
+  // cells up, exercising the multi-bucket and cross-bucket pair paths.
+  auto d = small_design(true);
+  mp::PlaceOptions opt;
+  mp::init_floorplan(d, opt);
+  mp::global_place(d, opt);
+  EXPECT_GT(mp::max_overlap_um2(d), 0.0);
+  EXPECT_EQ(mp::max_overlap_um2(d), brute_force_max_overlap(d));
+
+  // Legal snapshot: both sides must agree the placement is clean.
+  mp::legalize(d);
+  EXPECT_EQ(mp::max_overlap_um2(d), brute_force_max_overlap(d));
+}
+
+TEST(PlaceScale, GridOverlapMatchesBruteForceOnMesh) {
+  mg::GenOptions g;
+  g.scale = 0.05;  // a few hundred cells: brute force stays cheap
+  mn::Design d(mg::make_mesh(g), mt::make_12track(), mt::make_9track());
+  mp::PlaceOptions opt;
+  mp::init_floorplan(d, opt);
+  mp::global_place(d, opt);
+  EXPECT_EQ(mp::max_overlap_um2(d), brute_force_max_overlap(d));
+}
+
 TEST(Place, MeanDisplacementMeasuresChange) {
   auto d = small_design();
   mp::place_design(d, {});

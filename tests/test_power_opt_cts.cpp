@@ -164,7 +164,7 @@ TEST(Opt, PowerRecoveryDownsizesIdleCells) {
   d.set_clock_period_ns(5.0);  // everything has slack
   // Upsize everything artificially first.
   for (mn::CellId c = 0; c < d.nl().cell_count(); ++c)
-    if (d.nl().cell(c).is_comb()) d.nl().cell(c).drive = 4;
+    if (d.nl().cell(c).is_comb()) d.nl().set_drive(c, 4);
   const auto routes = mr::route_design(d);
   const auto timing = ms::run_sta(d, &routes);
   const int changed = mo::recover_power(d, timing, 1.0);

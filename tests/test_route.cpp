@@ -261,6 +261,88 @@ TEST(Route, UpdateRoutesByteIdenticalAcrossPoolSizes) {
   expect_identical(est0, est4);
 }
 
+// High-fanout nets switch route_net to the grid-bucketed spatial Prim;
+// this replays the documented naive reference (ascending-j min scans,
+// strict-< relaxation, leaf-to-root path folds) on the same terminals and
+// demands bitwise agreement — the load-bearing invariant behind every
+// O(k log k) shortcut in spatial_prim.
+TEST(Route, SpatialPrimMatchesNaiveReference) {
+  constexpr int kSinks = 300;  // well above the spatial threshold (64)
+  mn::Netlist nl("hifan");
+  const auto drv = nl.add_comb("drv", mt::CellFunc::Inv, 2);
+  const auto net = nl.add_net("n");
+  nl.connect(net, nl.output_pin(drv));
+  for (int i = 0; i < kSinks; ++i) {
+    const auto c =
+        nl.add_comb("s" + std::to_string(i), mt::CellFunc::Inv, 1);
+    nl.connect(net, nl.input_pin(c, 0));
+  }
+  mn::Design d(std::move(nl), mt::make_12track(), mt::make_9track());
+  d.set_floorplan({0, 0, 200, 200});
+  m3d::util::Rng rng(7);
+  for (mn::CellId c = 0; c < d.nl().cell_count(); ++c) {
+    d.set_pos(c, {rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)});
+    d.set_tier(c, rng.uniform_int(0, 1));
+  }
+
+  const auto r = mr::route_net(d, net);
+  ASSERT_EQ(r.sink_path_um.size(), static_cast<std::size_t>(kSinks));
+
+  // Naive Prim reference, replicating route_net's documented small-net
+  // branch: terminals are driver then sinks in Netlist::sinks order.
+  const auto& dnl = d.nl();
+  std::vector<m3d::util::Point> pt;
+  std::vector<int> tier;
+  pt.push_back(d.pin_pos(dnl.net(net).driver));
+  tier.push_back(d.tier(dnl.pin(dnl.net(net).driver).cell));
+  for (mn::PinId p : dnl.sinks(net)) {
+    pt.push_back(d.pin_pos(p));
+    tier.push_back(d.tier(dnl.pin(p).cell));
+  }
+  const std::size_t k = pt.size();
+  std::vector<char> in_tree(k, 0);
+  std::vector<double> best(k, std::numeric_limits<double>::max());
+  std::vector<std::size_t> parent(k, 0);
+  in_tree[0] = 1;
+  for (std::size_t j = 1; j < k; ++j)
+    best[j] = m3d::util::manhattan(pt[0], pt[j]);
+  double length = 0.0;
+  int mivs = 0;
+  for (std::size_t added = 1; added < k; ++added) {
+    std::size_t u = k;
+    double bd = std::numeric_limits<double>::max();
+    for (std::size_t j = 1; j < k; ++j)
+      if (!in_tree[j] && best[j] < bd) {
+        bd = best[j];
+        u = j;
+      }
+    ASSERT_LT(u, k);
+    in_tree[u] = 1;
+    length += bd;
+    if (tier[u] != tier[parent[u]]) ++mivs;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (in_tree[j]) continue;
+      const double dd = m3d::util::manhattan(pt[u], pt[j]);
+      if (dd < best[j]) {
+        best[j] = dd;
+        parent[j] = u;
+      }
+    }
+  }
+  EXPECT_EQ(r.length_um, length);
+  EXPECT_EQ(r.miv_count, mivs);
+  for (std::size_t j = 1; j < k; ++j) {
+    double acc = 0.0;
+    bool x = false;
+    for (std::size_t v = j; v != 0; v = parent[v]) {
+      acc += m3d::util::manhattan(pt[v], pt[parent[v]]);
+      x = x || (tier[v] != tier[parent[v]]);
+    }
+    EXPECT_EQ(r.sink_path_um[j - 1], acc) << "sink " << j - 1;
+    EXPECT_EQ(r.sink_crosses_tier[j - 1], x) << "sink " << j - 1;
+  }
+}
+
 TEST(Route, ScratchOverloadMatchesPlainRouteNet) {
   const auto d = placed_wide("ldpc", 0.05);
   mr::RouteScratch scratch;
