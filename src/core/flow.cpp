@@ -64,6 +64,7 @@ FlowOptions with_pool(FlowOptions o) {
   if (o.timing_part.fm.pool == nullptr) o.timing_part.fm.pool = o.pool;
   if (o.opt.sta.pool == nullptr) o.opt.sta.pool = o.pool;
   if (o.repart.sta.pool == nullptr) o.repart.sta.pool = o.pool;
+  if (o.repart.pool == nullptr) o.repart.pool = o.pool;
   if (o.cts.pool == nullptr) o.cts.pool = o.pool;
   return o;
 }
@@ -285,7 +286,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
         sopt.pool = opt.pool;
         const auto timing = sta::run_sta(d, &routes, sopt);
         part::rebalance_to_top(d, timing, 0.05 * d.clock_period_ns(),
-                               opt.utilization);
+                               opt.utilization, opt.pool);
       }
       place::rescale_to_utilization(d, opt.utilization);
       place::legalize(d);

@@ -69,6 +69,7 @@ void Pool::push(std::function<void()> fn) {
     queues_[q]->tasks.push_back(std::move(fn));
   }
   pending_.fetch_add(1);
+  posted_.fetch_add(1, std::memory_order_relaxed);
   idle_cv_.notify_one();
 }
 
@@ -81,6 +82,7 @@ bool Pool::pop_or_steal(int self, std::function<void()>& out) {
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.back());
       q.tasks.pop_back();
+      local_pops_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -93,6 +95,7 @@ bool Pool::pop_or_steal(int self, std::function<void()>& out) {
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -146,11 +149,14 @@ void Pool::parallel_for(int begin, int end,
   }
   struct State {
     std::atomic<int> remaining;
+    std::atomic<int> caller_chunks{0};
+    std::thread::id caller;
     std::mutex err_mu;
     std::exception_ptr error;
   };
   auto st = std::make_shared<State>();
   st->remaining.store(n_chunks);
+  st->caller = std::this_thread::get_id();
   for (int c = 0; c < n_chunks; ++c) {
     const int lo = begin + c * grain;
     const int hi = std::min(end, lo + grain);
@@ -161,10 +167,32 @@ void Pool::parallel_for(int begin, int end,
         std::lock_guard<std::mutex> lock(st->err_mu);
         if (!st->error) st->error = std::current_exception();
       }
+      if (std::this_thread::get_id() == st->caller)
+        st->caller_chunks.fetch_add(1, std::memory_order_relaxed);
       st->remaining.fetch_sub(1);
     });
   }
   help_until([&] { return st->remaining.load() == 0; });
+  if (util::trace_enabled()) {
+    // Chunk-occupancy telemetry: how much of this parallel_for the pool
+    // actually absorbed vs. the caller executing its own chunks while
+    // helping. caller share ~1.0 on a saturated pool means the sweep ran
+    // essentially serial. Cumulative steal count rides along so trace
+    // viewers get all contention tracks without a second hook point.
+    pf_chunks_total_.fetch_add(n_chunks, std::memory_order_relaxed);
+    pf_chunks_caller_.fetch_add(st->caller_chunks.load(),
+                                std::memory_order_relaxed);
+    util::trace_counter(
+        "pool_pf_chunks",
+        static_cast<double>(pf_chunks_total_.load(std::memory_order_relaxed)));
+    util::trace_counter(
+        "pool_pf_caller_chunks",
+        static_cast<double>(
+            pf_chunks_caller_.load(std::memory_order_relaxed)));
+    util::trace_counter(
+        "pool_steals",
+        static_cast<double>(steals_.load(std::memory_order_relaxed)));
+  }
   if (st->error) std::rethrow_exception(st->error);
 }
 

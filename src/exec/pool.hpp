@@ -57,6 +57,22 @@ class Pool {
   /// caller acts on it.
   int pending() const { return pending_.load(std::memory_order_relaxed); }
 
+  /// Contention telemetry: monotonic counters maintained with relaxed
+  /// atomics (zero contention on the hot path, TSan-clean). `steals` is
+  /// the classic load-imbalance signal — a task executed from another
+  /// worker's deque; `local_pops` are cache-warm own-deque executions;
+  /// `posted` counts every task pushed. Snapshot is racy by nature.
+  struct Stats {
+    long long posted = 0;
+    long long local_pops = 0;
+    long long steals = 0;
+  };
+  Stats stats() const {
+    return {posted_.load(std::memory_order_relaxed),
+            local_pops_.load(std::memory_order_relaxed),
+            steals_.load(std::memory_order_relaxed)};
+  }
+
   /// Schedule a callable; returns a future for its result. Exceptions
   /// thrown by the callable surface at future.get(). Prefer wait()/get()
   /// below over future.get() when the caller may itself be a pool task.
@@ -123,6 +139,11 @@ class Pool {
   std::atomic<bool> stop_{false};
   std::atomic<unsigned> next_queue_{0};
   std::atomic<int> pending_{0};
+  std::atomic<long long> posted_{0};
+  std::atomic<long long> local_pops_{0};
+  std::atomic<long long> steals_{0};
+  std::atomic<long long> pf_chunks_total_{0};
+  std::atomic<long long> pf_chunks_caller_{0};
 
   // Sleep/wake for idle workers and helping waiters.
   std::mutex idle_mu_;

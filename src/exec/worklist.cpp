@@ -1,0 +1,155 @@
+#include "exec/worklist.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/trace.hpp"
+
+namespace m3d::exec {
+
+namespace {
+
+/// Small open-addressed (item, slot) view over one round's predictions.
+/// Width is bounded (≤ max_width), so linear scans beat any map.
+struct SlotTable {
+  std::vector<int> items;
+  std::vector<int> slots;
+
+  void clear() {
+    items.clear();
+    slots.clear();
+  }
+  void add(int item, int slot) {
+    items.push_back(item);
+    slots.push_back(slot);
+  }
+  /// Slot of `item` and removal from the table, or -1 if not predicted.
+  int take(int item) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i] != item) continue;
+      const int slot = slots[i];
+      items[i] = items.back();
+      slots[i] = slots.back();
+      items.pop_back();
+      slots.pop_back();
+      return slot;
+    }
+    return -1;
+  }
+  bool empty() const { return items.empty(); }
+  std::size_t size() const { return items.size(); }
+};
+
+}  // namespace
+
+WorklistStats run_worklist(const WorklistHooks& h,
+                           const WorklistOptions& opt) {
+  M3D_CHECK(h.predict && h.evaluate && h.select && h.valid && h.commit &&
+            h.commit_serial);
+  WorklistStats st;
+  Pool& pool = opt.pool != nullptr ? *opt.pool : Pool::global();
+  const bool tracing = util::trace_enabled();
+
+  int width = std::max(1, opt.min_width);
+  const int max_width = std::max(width, opt.max_width);
+  std::vector<int> preds;
+  SlotTable table;
+
+  for (;;) {
+    if (h.begin_round) h.begin_round();
+    preds.clear();
+    table.clear();
+    for (int k = 0; k < width; ++k) {
+      const int p = h.predict();
+      if (p < 0) break;
+      table.add(p, static_cast<int>(preds.size()));
+      preds.push_back(p);
+    }
+
+    if (preds.empty()) {
+      // Nothing to speculate on (exhausted buckets, width 1, ...): fall
+      // back to one pure serial step so the run still drains.
+      const int item = h.select();
+      if (item < 0) return st;
+      h.commit_serial(item);
+      ++st.serial_commits;
+      continue;
+    }
+
+    ++st.rounds;
+    st.predicted += static_cast<long long>(preds.size());
+
+    // Parallel phase: each slot evaluates one predicted item against the
+    // round-start state. Slots are independent; the shared state is
+    // frozen until the commit loop below.
+    pool.parallel_for(
+        0, static_cast<int>(preds.size()),
+        [&](int j) { h.evaluate(j, preds[static_cast<std::size_t>(j)]); },
+        /*grain=*/1);
+
+    // Ordered commit: the authoritative selection alone decides the
+    // sequence; speculative evaluations are reused when conflict
+    // detection proves them exact, redone inline otherwise. A round
+    // whose predictions go stale is cut short (the serial budget) so
+    // the next round can re-predict from fresher state.
+    long long spec = 0, serial = 0;
+    const long long serial_budget = 2 + width / 2;
+    bool done = false;
+    while (!table.empty()) {
+      const int item = h.select();
+      if (item < 0) {
+        done = true;
+        break;
+      }
+      const int slot = table.take(item);
+      if (slot >= 0) {
+        if (h.valid(slot, item)) {
+          h.commit(slot, item);
+          ++spec;
+        } else {
+          h.commit_serial(item);
+          ++serial;
+          ++st.conflicts;
+        }
+      } else {
+        h.commit_serial(item);
+        ++serial;
+        ++st.mispredicts;
+        if (serial > serial_budget) break;
+      }
+    }
+    st.spec_commits += spec;
+    st.serial_commits += serial;
+    st.discarded += static_cast<long long>(table.size());
+
+    if (tracing) {
+      if (opt.trace_span != nullptr) {
+        // Retroactive span of zero length would be useless; emit the
+        // round as an instant-style short span with its outcome packed
+        // into the detail string instead.
+        util::TraceSpan span(
+            opt.trace_span,
+            "w=" + std::to_string(preds.size()) + " spec=" +
+                std::to_string(spec) + " serial=" + std::to_string(serial) +
+                " drop=" + std::to_string(table.size()));
+      }
+      if (opt.trace_counter != nullptr)
+        util::trace_counter(opt.trace_counter,
+                            static_cast<double>(st.conflicts +
+                                                st.mispredicts));
+    }
+
+    // Width adaptation, branch-predictor style: full speculative rounds
+    // widen (more parallelism available), wasteful rounds shrink toward
+    // the minimum so conflict storms degrade to near-serial cost.
+    if (spec == static_cast<long long>(preds.size())) {
+      width = std::min(max_width, width * 2);
+    } else if (spec * 2 < static_cast<long long>(preds.size())) {
+      width = std::max(opt.min_width, width / 2);
+    }
+    if (done) return st;
+  }
+}
+
+}  // namespace m3d::exec

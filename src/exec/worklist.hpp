@@ -1,0 +1,166 @@
+#pragma once
+/// \file worklist.hpp
+/// \brief Speculative worklist execution: rounds of predict → parallel
+///        evaluate → deterministic ordered commit, plus the epoch-stamp
+///        conflict-detection primitive and a deterministic parallel gather.
+///
+/// The engine adopts the Galois operator formulation for irregular
+/// algorithms whose inner loop is "pick the highest-priority item, apply a
+/// localized update, repeat" (FM move passes, the repartition-ECO batch
+/// construction): workers *speculatively* evaluate the expensive part of
+/// several likely-next items against a frozen snapshot of the shared
+/// state, and a serial commit loop then walks the **authoritative**
+/// priority order, accepting a speculative evaluation only when epoch
+/// stamps prove no earlier-committed item touched its neighborhood.
+///
+/// Determinism contract — the reason speculation is safe to enable by
+/// default: the committed item sequence is chosen exclusively by the
+/// client's serial `select()` hook against authoritative state, never by
+/// the predictor or by worker timing. Speculation only decides whether an
+/// item's expensive evaluation is *reused* (it was computed against state
+/// that conflict detection proves equivalent) or *redone inline*. Both
+/// paths produce bit-identical state, so the result equals the pure serial
+/// algorithm at any pool size — the repository's established invariant —
+/// and mispredictions or conflict storms cost wall-clock only, never
+/// correctness.
+///
+/// The same structure is what distributed sharding of bench::run_sweep
+/// needs: a deterministic commit order over speculatively computed work
+/// units, with conflicts detected by neighborhood stamps.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/pool.hpp"
+
+namespace m3d::exec {
+
+/// O(1) membership marks over a dense id space with O(1) bulk clear:
+/// ids are stamped with the current epoch, and advancing the epoch
+/// invalidates every mark at once. One instance backs one conflict
+/// neighborhood dimension (per-net, per-cell) of a speculative round.
+class EpochMarks {
+ public:
+  /// Size (or resize) the id space; all marks cleared.
+  void reset(std::size_t n) {
+    stamp_.assign(n, 0);
+    epoch_ = 0;
+  }
+
+  /// Invalidate every mark. O(1) except on epoch wrap (every ~4G rounds).
+  void next_epoch() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  void mark(int id) { stamp_[static_cast<std::size_t>(id)] = epoch_; }
+  bool marked(int id) const {
+    return stamp_[static_cast<std::size_t>(id)] == epoch_;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Per-run accounting; every committed item is counted exactly once, so
+/// `spec_commits + serial_commits` is the total accepted sequence length.
+struct WorklistStats {
+  long long rounds = 0;         ///< speculation rounds executed
+  long long predicted = 0;      ///< items speculatively evaluated
+  long long spec_commits = 0;   ///< evaluations reused at commit
+  long long serial_commits = 0; ///< items evaluated inline at commit
+  long long conflicts = 0;      ///< predicted right, invalidated by a
+                                ///  lower-priority in-flight neighbor
+  long long mispredicts = 0;    ///< authoritative order diverged from the
+                                ///  prediction (eval unusable, not wrong)
+  long long discarded = 0;      ///< evaluations dropped at round end
+                                ///  (run finished / round cut short)
+
+  long long committed() const { return spec_commits + serial_commits; }
+};
+
+struct WorklistOptions {
+  /// Pool for the parallel evaluation phase; nullptr = Pool::global().
+  Pool* pool = nullptr;
+  /// Speculation width bounds: the number of items evaluated per round
+  /// adapts inside [min_width, max_width] by commit success rate.
+  int min_width = 4;
+  int max_width = 64;
+  /// When set, each round emits a TraceSpan under this name (detail:
+  /// width/spec/serial counts) — `fm_spec_round` for the FM client.
+  const char* trace_span = nullptr;
+  /// When set, cumulative conflict+mispredict retries are emitted as a
+  /// counter track under this name (`fm_conflict_retry` for FM).
+  const char* trace_counter = nullptr;
+};
+
+/// Client hooks. All hooks except `evaluate` run on the calling thread
+/// and may freely mutate the client's authoritative state; `evaluate`
+/// runs on pool workers and must only read shared state and write its
+/// own slot.
+struct WorklistHooks {
+  /// Start of a speculation round: reset any optimistic predictor state
+  /// to the authoritative state.
+  std::function<void()> begin_round;
+  /// Predict the next item the authoritative selection is likely to
+  /// yield, assuming earlier predictions of this round commit; return a
+  /// negative id when out of predictions. Accuracy affects speed only.
+  std::function<int()> predict;
+  /// Parallel: evaluate predicted `item` into `slot` against the
+  /// round-start state (plus the item's own hypothetical update).
+  std::function<void(int slot, int item)> evaluate;
+  /// The authoritative priority selection; negative ends the run.
+  /// This hook alone decides the committed sequence.
+  std::function<int()> select;
+  /// Is slot's evaluation still exact given the items committed earlier
+  /// this round (epoch-stamp neighborhood check)?
+  std::function<bool(int slot, int item)> valid;
+  /// Commit `item` reusing the evaluation in `slot`.
+  std::function<void(int slot, int item)> commit;
+  /// Commit `item` evaluating inline (conflict / misprediction path).
+  std::function<void(int item)> commit_serial;
+};
+
+/// Drive the hooks to completion (until select() returns a negative id).
+/// The committed sequence is identical at any pool size, including the
+/// degenerate serial execution of the same hooks.
+WorklistStats run_worklist(const WorklistHooks& h,
+                           const WorklistOptions& opt = {});
+
+/// Deterministic parallel gather: runs `fn(i, out)` for i in [0, n) where
+/// each chunk appends to its own vector, then concatenates the chunk
+/// results in ascending chunk order — byte-identical to the serial
+/// append loop at any pool size. Falls back to the serial loop below the
+/// chunk threshold or on a single-worker pool.
+template <typename T, typename Fn>
+std::vector<T> ordered_gather(Pool& pool, int n, int grain, Fn&& fn) {
+  std::vector<T> out;
+  if (n <= 0) return out;
+  const int n_chunks = (n + grain - 1) / grain;
+  if (n_chunks <= 1 || pool.size() <= 1) {
+    for (int i = 0; i < n; ++i) fn(i, out);
+    return out;
+  }
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(n_chunks));
+  pool.parallel_for(
+      0, n_chunks,
+      [&](int c) {
+        auto& part = parts[static_cast<std::size_t>(c)];
+        const int lo = c * grain;
+        const int hi = lo + grain < n ? lo + grain : n;
+        for (int i = lo; i < hi; ++i) fn(i, part);
+      },
+      /*grain=*/1);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (auto& part : parts)
+    out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
+
+}  // namespace m3d::exec

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "exec/pool.hpp"
+#include "exec/worklist.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -130,32 +133,59 @@ class IdBitset {
 /// allocation per update, ruinous at a million entries) to O(1) word
 /// writes.
 struct GainBuckets {
+  int ncells;         // id-space size for lazily built bitsets
   int off;            // bucket index = gain + off
   int cur_max = 0;    // highest index that may be non-empty
   long long total = 0;
   std::vector<int> cnt;
-  std::vector<IdBitset> bs;
+  // Bitsets are built lazily on first insert at a gain value: a pass only
+  // ever populates a handful of distinct gains (|gain| <= the cell's net
+  // degree, and most cells cluster near zero), while 2*dmax+1 eagerly
+  // built bitsets cost tens of MB per pass at a million cells. reset()
+  // frees them again between passes so long-lived in-process flows (the
+  // m3dd daemon) don't carry a pass's peak footprint forward.
+  std::vector<std::unique_ptr<IdBitset>> bs;
 
-  GainBuckets(int ncells, int dmax)
-      : off(dmax),
+  GainBuckets(int ncells_, int dmax)
+      : ncells(ncells_),
+        off(dmax),
         cnt(static_cast<std::size_t>(2 * dmax + 1), 0),
-        bs(static_cast<std::size_t>(2 * dmax + 1), IdBitset(ncells)) {}
+        bs(static_cast<std::size_t>(2 * dmax + 1)) {}
+
+  /// Empty the buckets and release every bitset (shrink-to-fit).
+  void reset() {
+    cur_max = 0;
+    total = 0;
+    std::fill(cnt.begin(), cnt.end(), 0);
+    for (auto& p : bs) p.reset();
+  }
 
   void insert(int g, CellId c) {
     const int ix = g + off;
-    bs[static_cast<std::size_t>(ix)].set(c);
+    auto& b = bs[static_cast<std::size_t>(ix)];
+    if (!b) b = std::make_unique<IdBitset>(ncells);
+    b->set(c);
     ++cnt[static_cast<std::size_t>(ix)];
     ++total;
     cur_max = std::max(cur_max, ix);
   }
   void erase(int g, CellId c) {
     const int ix = g + off;
-    bs[static_cast<std::size_t>(ix)].clear(c);
+    bs[static_cast<std::size_t>(ix)]->clear(c);
     --cnt[static_cast<std::size_t>(ix)];
     --total;
   }
   bool empty() const { return total == 0; }
 };
+
+/// Resolve the speculation knob: an explicit FmOptions::speculate wins,
+/// otherwise M3D_FM_SPECULATE (unset or non-zero means on).
+bool speculation_enabled(const FmOptions& opt) {
+  if (opt.speculate >= 0) return opt.speculate != 0;
+  const char* s = std::getenv("M3D_FM_SPECULATE");
+  if (s == nullptr || *s == '\0') return true;
+  return std::atoi(s) != 0;
+}
 
 /// Shared FM engine; `region` assigns each cell to a balance domain
 /// (a single domain for whole-design FM, a placement bin for the
@@ -201,6 +231,23 @@ class FmEngine {
   int current_cut() const;
   int gain_of(CellId c) const;
   bool feasible(CellId c) const;
+  /// feasible() against caller-supplied balance arrays — the speculative
+  /// predictor runs the real feasibility math on its optimistic copy.
+  bool feasible_in(CellId c, const std::vector<double>& top,
+                   const std::vector<double>& bottom) const;
+  /// gain_of(c) with `moved`'s tier flip overlaid on the frozen counts —
+  /// the speculative evaluation of a neighbor's post-move gain without
+  /// touching shared state. `moved_from` is moved's pre-flip tier.
+  int gain_of_with_move(CellId c, CellId moved, int moved_from) const;
+  /// The FM candidate scan: best feasible cell across both sides' bucket
+  /// fronts, walking descending gain / ascending id, probing at most 16
+  /// entries per side. `skip` hides cells from the walk without charging
+  /// the probe budget (the predictor skips already-predicted cells; the
+  /// authoritative selection never skips, making the scan literally the
+  /// historical serial selection).
+  template <typename Skip, typename Feas>
+  CellId scan_candidate(GainBuckets (&bucket)[2], Skip&& skip,
+                        Feas&& feas) const;
   void apply_move(CellId c);
   NetSpan nets_of(CellId c) const {
     const std::size_t i = static_cast<std::size_t>(c);
@@ -316,12 +363,16 @@ int FmEngine::gain_of(CellId c) const {
 }
 
 bool FmEngine::feasible(CellId c) const {
+  return feasible_in(c, area_top_, area_bottom_);
+}
+
+bool FmEngine::feasible_in(CellId c, const std::vector<double>& atop,
+                           const std::vector<double>& abottom) const {
   const int from = d_.tier(c);
-  const int to = 1 - from;
   const std::size_t r =
       static_cast<std::size_t>(region_[static_cast<std::size_t>(c)]);
-  double top = area_top_[r];
-  double bottom = area_bottom_[r];
+  double top = atop[r];
+  double bottom = abottom[r];
   if (from == kTopTier) {
     top -= area_on(c, kTopTier);
     bottom += area_on(c, kBottomTier);
@@ -329,10 +380,75 @@ bool FmEngine::feasible(CellId c) const {
     bottom -= area_on(c, kBottomTier);
     top += area_on(c, kTopTier);
   }
-  (void)to;
   const double total = top + bottom;
   if (total <= 0.0) return true;
   return std::abs(top / total - opt_.target_top_share) <= opt_.balance_tol;
+}
+
+int FmEngine::gain_of_with_move(CellId c, CellId moved,
+                                int moved_from) const {
+  const int from = d_.tier(c);
+  const int to = 1 - from;
+  const NetSpan mn = nets_of(moved);
+  int g = 0;
+  for (NetId n : nets_of(c)) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    int cf = cnt_[from][ni];
+    int ct = cnt_[to][ni];
+    // CSR rows are sorted ascending, so membership of n in moved's row is
+    // a binary search; a hit means moved's flip shifts this net's counts.
+    if (std::binary_search(mn.begin(), mn.end(), n)) {
+      if (from == moved_from) {
+        --cf;
+        ++ct;
+      } else {
+        ++cf;
+        --ct;
+      }
+    }
+    if (cf == 1 && ct > 0) ++g;
+    if (ct == 0) --g;
+  }
+  return g;
+}
+
+template <typename Skip, typename Feas>
+CellId FmEngine::scan_candidate(GainBuckets (&bucket)[2], Skip&& skip,
+                                Feas&& feas) const {
+  // Best feasible candidate from either side's bucket front: walk entries
+  // in descending gain (ascending id within a gain), probe at most 16,
+  // take the first feasible one — the identical traversal the old
+  // ordered-set iterator performed. Two buckets so that balance
+  // saturation on one side never starves the other.
+  CellId c = kInvalidId;
+  int c_gain = 0;
+  for (int side : {0, 1}) {
+    GainBuckets& gb = bucket[side];
+    while (gb.cur_max > 0 &&
+           gb.cnt[static_cast<std::size_t>(gb.cur_max)] == 0)
+      --gb.cur_max;
+    int probed = 0;
+    for (int ix = gb.cur_max; ix >= 0 && probed < 16; --ix) {
+      if (gb.cnt[static_cast<std::size_t>(ix)] == 0) continue;
+      const IdBitset& ids = *gb.bs[static_cast<std::size_t>(ix)];
+      bool found = false;
+      for (int id = ids.first(); id >= 0 && probed < 16;
+           id = ids.next_after(id)) {
+        if (skip(id)) continue;
+        ++probed;
+        if (!feas(id)) continue;
+        const int g = ix - gb.off;
+        if (c == kInvalidId || g > c_gain) {
+          c = id;
+          c_gain = g;
+        }
+        found = true;
+        break;  // first feasible is this side's best
+      }
+      if (found) break;
+    }
+  }
+  return c;
 }
 
 void FmEngine::apply_move(CellId c) {
@@ -445,18 +561,50 @@ int FmEngine::run() {
   const int nc = nl_.cell_count();
   const bool tracing = util::trace_enabled();
   constexpr int kParallelMin = 2048;
+  // Speculation needs spare workers and enough cells to amortize a round;
+  // below either threshold the pure serial loop is strictly faster. The
+  // committed move sequence is identical either way.
+  const bool speculate = speculation_enabled(opt_) && pool.size() > 1 &&
+                         nc >= kParallelMin;
+
+  // Per-side gain-ordered candidate sets, hoisted out of the pass loop:
+  // reset() empties them and frees their bitsets between passes, so peak
+  // footprint tracks the gains a pass actually visits instead of the
+  // worst-case gain range.
+  GainBuckets bucket[2] = {GainBuckets(nc, max_deg_),
+                           GainBuckets(nc, max_deg_)};
+  std::vector<int> gain(static_cast<std::size_t>(nc), 0);
+  std::vector<char> locked_in_pass(static_cast<std::size_t>(nc), 0);
+
+  // Speculative-engine state, sized once per run and epoch-reset per
+  // round: conflict stamps over nets and cells, the predictor's
+  // predicted-set, and evaluation slots.
+  exec::EpochMarks net_marks, cell_marks, pred_marks;
+  struct Slot {
+    std::vector<CellId> touched;
+    std::vector<int> ng;
+  };
+  std::vector<Slot> slots;
+  std::vector<double> pred_top, pred_bottom;
+  exec::WorklistOptions wl_opt;
+  if (speculate) {
+    net_marks.reset(static_cast<std::size_t>(nl_.net_count()));
+    cell_marks.reset(static_cast<std::size_t>(nc));
+    pred_marks.reset(static_cast<std::size_t>(nc));
+    wl_opt.pool = &pool;
+    wl_opt.trace_span = "fm_spec_round";
+    wl_opt.trace_counter = "fm_conflict_retry";
+    slots.resize(static_cast<std::size_t>(wl_opt.max_width));
+  }
 
   for (int pass = 0; pass < opt_.max_passes; ++pass) {
     util::TraceSpan pass_span("fm_pass",
                               tracing ? std::to_string(pass) : std::string());
-    // Per-side gain-ordered candidate sets. Two buckets so that balance
-    // saturation on one side never starves the other — the classic FM
-    // arrangement, on hierarchical bitsets instead of an ordered tree.
-    GainBuckets bucket[2] = {GainBuckets(nc, max_deg_),
-                             GainBuckets(nc, max_deg_)};
-    std::vector<int> gain(static_cast<std::size_t>(nc), 0);
-    std::vector<char> locked_in_pass(
-        static_cast<std::size_t>(nc), 0);
+    if (opt_.stats != nullptr) ++opt_.stats->passes;
+    bucket[0].reset();
+    bucket[1].reset();
+    std::fill(gain.begin(), gain.end(), 0);
+    std::fill(locked_in_pass.begin(), locked_in_pass.end(), 0);
     // Initial gains are independent integer computations over frozen net
     // counts — each cell writes only its own slot, so the parallel pass is
     // exactly the serial one. Bucket insertion stays serial and id-ordered.
@@ -488,83 +636,174 @@ int FmEngine::run() {
     int best_cut = cut;
     std::size_t best_prefix = 0;
 
-    while (!bucket[0].empty() || !bucket[1].empty()) {
-      // Best feasible candidate from either side's bucket front: walk
-      // entries in descending gain (ascending id within a gain), probe
-      // at most 16, take the first feasible one — the identical
-      // traversal the ordered-set iterator performed.
-      CellId c = kInvalidId;
-      int c_gain = 0;
-      for (int side : {0, 1}) {
-        GainBuckets& gb = bucket[side];
-        while (gb.cur_max > 0 &&
-               gb.cnt[static_cast<std::size_t>(gb.cur_max)] == 0)
-          --gb.cur_max;
-        int probed = 0;
-        for (int ix = gb.cur_max; ix >= 0 && probed < 16; --ix) {
-          if (gb.cnt[static_cast<std::size_t>(ix)] == 0) continue;
-          const IdBitset& ids = gb.bs[static_cast<std::size_t>(ix)];
-          bool found = false;
-          for (int id = ids.first(); id >= 0 && probed < 16;
-               id = ids.next_after(id)) {
-            ++probed;
-            if (!feasible(id)) continue;
-            const int g = ix - gb.off;
-            if (c == kInvalidId || g > c_gain) {
-              c = id;
-              c_gain = g;
-            }
-            found = true;
-            break;  // first feasible is this side's best
-          }
-          if (found) break;
-        }
-      }
-      if (c == kInvalidId) break;
+    // The one and only commit path — the historical serial loop body.
+    // When `pre_touched`/`pre_ng` are supplied (a validated speculative
+    // evaluation) they are exact by the conflict check, so reusing them
+    // is bit-identical to the inline recompute.
+    auto commit_move = [&](CellId c, const std::vector<CellId>* pre_touched,
+                           const std::vector<int>* pre_ng) {
       bucket[d_.tier(c)].erase(gain[static_cast<std::size_t>(c)], c);
       locked_in_pass[static_cast<std::size_t>(c)] = 1;
-
-      // Neighbours whose gains may change. Only a *critical* net can
-      // alter a pin's gain terms: with f pins on the mover's side and t
-      // on the other (pre-move), same-side gains change iff f==2 ||
-      // t==0 and other-side gains iff f==1 || t==1 — so a settled net
-      // (f >= 3 && t >= 2) keeps every neighbour's contribution
-      // unchanged and its pins need no revisit. This prunes the walk,
-      // not the math: gains of skipped cells are provably identical.
-      touched.clear();
       const int c_from = d_.tier(c);
-      for (NetId n : nets_of(c)) {
-        const std::size_t ni = static_cast<std::size_t>(n);
-        if (cnt_[c_from][ni] >= 3 && cnt_[1 - c_from][ni] >= 2) continue;
-        for (PinId p : nl_.net(n).pins) {
-          const CellId nb = nl_.pin(p).cell;
-          if (nb != c && movable_[static_cast<std::size_t>(nb)] &&
-              !locked_in_pass[static_cast<std::size_t>(nb)])
-            touched.push_back(nb);
+      if (pre_touched == nullptr) {
+        // Neighbours whose gains may change. Only a *critical* net can
+        // alter a pin's gain terms: with f pins on the mover's side and t
+        // on the other (pre-move), same-side gains change iff f==2 ||
+        // t==0 and other-side gains iff f==1 || t==1 — so a settled net
+        // (f >= 3 && t >= 2) keeps every neighbour's contribution
+        // unchanged and its pins need no revisit. This prunes the walk,
+        // not the math: gains of skipped cells are provably identical.
+        touched.clear();
+        for (NetId n : nets_of(c)) {
+          const std::size_t ni = static_cast<std::size_t>(n);
+          if (cnt_[c_from][ni] >= 3 && cnt_[1 - c_from][ni] >= 2) continue;
+          for (PinId p : nl_.net(n).pins) {
+            const CellId nb = nl_.pin(p).cell;
+            if (nb != c && movable_[static_cast<std::size_t>(nb)] &&
+                !locked_in_pass[static_cast<std::size_t>(nb)])
+              touched.push_back(nb);
+          }
         }
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
       }
+      const std::vector<CellId>& tt =
+          pre_touched != nullptr ? *pre_touched : touched;
       running_cut -= gain[static_cast<std::size_t>(c)];
       apply_move(c);
       moves.push_back(c);
-      std::sort(touched.begin(), touched.end());
-      touched.erase(std::unique(touched.begin(), touched.end()),
-                    touched.end());
-      for (CellId nb : touched) {
+      for (std::size_t i = 0; i < tt.size(); ++i) {
+        const CellId nb = tt[i];
         // Recompute first; an unchanged gain means the bucket entry is
         // already right, and skipping the erase/insert pair avoids two
-        // tree rebalances for the common no-op case.
-        const int ng = gain_of(nb);
+        // bitset updates for the common no-op case.
+        const int ng = pre_ng != nullptr ? (*pre_ng)[i] : gain_of(nb);
         const int og = gain[static_cast<std::size_t>(nb)];
         if (ng == og) continue;
         bucket[d_.tier(nb)].erase(og, nb);
         gain[static_cast<std::size_t>(nb)] = ng;
         bucket[d_.tier(nb)].insert(ng, nb);
       }
+      if (speculate) {
+        // Stamp the committed move's neighborhood: any pending evaluation
+        // whose mover shares a net with c, or whose touched set overlaps
+        // c's gain updates, is no longer provably exact.
+        for (NetId n : nets_of(c)) net_marks.mark(n);
+        for (CellId nb : tt) cell_marks.mark(nb);
+      }
       if (running_cut < best_cut) {
         best_cut = running_cut;
         best_prefix = moves.size();
       }
+    };
+
+    if (!speculate) {
+      while (!bucket[0].empty() || !bucket[1].empty()) {
+        const CellId c = scan_candidate(
+            bucket, [](CellId) { return false; },
+            [&](CellId id) { return feasible(id); });
+        if (c == kInvalidId) break;
+        commit_move(c, nullptr, nullptr);
+      }
+    } else {
+      // Speculative worklist: predict likely movers, evaluate their
+      // touched sets and neighbor gains in parallel against the frozen
+      // round-start state, then commit in the authoritative serial order,
+      // reusing an evaluation only when epoch stamps prove no
+      // earlier-committed move invalidated it. Why a validated reuse is
+      // exact: unstamped nets mean no prior mover this round shares a net
+      // with c, so c's pre-move counts equal the round-start counts the
+      // evaluation read (identical touched set); and an unstamped
+      // neighbor's gain contributions can differ from round-start only
+      // through settled nets, which by the pruning invariant above
+      // contribute identically before and after — so the precomputed
+      // post-move gain equals the inline recompute, bit for bit.
+      exec::WorklistHooks h;
+      h.begin_round = [&] {
+        pred_top = area_top_;
+        pred_bottom = area_bottom_;
+        pred_marks.next_epoch();
+        net_marks.next_epoch();
+        cell_marks.next_epoch();
+      };
+      h.predict = [&]() -> int {
+        const CellId c = scan_candidate(
+            bucket, [&](CellId id) { return pred_marks.marked(id); },
+            [&](CellId id) {
+              return feasible_in(id, pred_top, pred_bottom);
+            });
+        if (c == kInvalidId) return -1;
+        pred_marks.mark(c);
+        // Optimistically account the balance change so later predictions
+        // of this round see the would-be state. Gains are not simulated;
+        // predictor accuracy costs wall-clock only, never results.
+        const std::size_t r = static_cast<std::size_t>(
+            region_[static_cast<std::size_t>(c)]);
+        if (d_.tier(c) == kTopTier) {
+          pred_top[r] -= area_on(c, kTopTier);
+          pred_bottom[r] += area_on(c, kBottomTier);
+        } else {
+          pred_bottom[r] -= area_on(c, kBottomTier);
+          pred_top[r] += area_on(c, kTopTier);
+        }
+        return c;
+      };
+      h.evaluate = [&](int slot, int item) {
+        // Pool-parallel; reads frozen shared state, writes only its slot.
+        Slot& s = slots[static_cast<std::size_t>(slot)];
+        s.touched.clear();
+        s.ng.clear();
+        const CellId c = item;
+        const int c_from = d_.tier(c);
+        for (NetId n : nets_of(c)) {
+          const std::size_t ni = static_cast<std::size_t>(n);
+          if (cnt_[c_from][ni] >= 3 && cnt_[1 - c_from][ni] >= 2) continue;
+          for (PinId p : nl_.net(n).pins) {
+            const CellId nb = nl_.pin(p).cell;
+            if (nb != c && movable_[static_cast<std::size_t>(nb)] &&
+                !locked_in_pass[static_cast<std::size_t>(nb)])
+              s.touched.push_back(nb);
+          }
+        }
+        std::sort(s.touched.begin(), s.touched.end());
+        s.touched.erase(std::unique(s.touched.begin(), s.touched.end()),
+                        s.touched.end());
+        s.ng.reserve(s.touched.size());
+        for (CellId nb : s.touched)
+          s.ng.push_back(gain_of_with_move(nb, c, c_from));
+      };
+      h.select = [&]() -> int {
+        if (bucket[0].empty() && bucket[1].empty()) return -1;
+        return scan_candidate(
+            bucket, [](CellId) { return false; },
+            [&](CellId id) { return feasible(id); });
+      };
+      h.valid = [&](int slot, int item) {
+        for (NetId n : nets_of(item))
+          if (net_marks.marked(n)) return false;
+        for (CellId nb : slots[static_cast<std::size_t>(slot)].touched)
+          if (cell_marks.marked(nb)) return false;
+        return true;
+      };
+      h.commit = [&](int slot, int item) {
+        const Slot& s = slots[static_cast<std::size_t>(slot)];
+        commit_move(item, &s.touched, &s.ng);
+      };
+      h.commit_serial = [&](int item) { commit_move(item, nullptr, nullptr); };
+
+      const exec::WorklistStats ws = exec::run_worklist(h, wl_opt);
+      if (opt_.stats != nullptr) {
+        opt_.stats->spec_rounds += ws.rounds;
+        opt_.stats->predicted += ws.predicted;
+        opt_.stats->spec_commits += ws.spec_commits;
+        opt_.stats->serial_commits += ws.serial_commits;
+        opt_.stats->conflicts += ws.conflicts;
+        opt_.stats->mispredicts += ws.mispredicts;
+      }
     }
+    if (opt_.stats != nullptr)
+      opt_.stats->moves += static_cast<long long>(moves.size());
 
     // Roll back to the best prefix.
     for (std::size_t i = moves.size(); i > best_prefix; --i)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/pool.hpp"
+#include "exec/worklist.hpp"
 #include "part/fm.hpp"
 #include "route/route.hpp"
 #include "util/log.hpp"
@@ -14,6 +16,43 @@ using netlist::kBottomTier;
 using netlist::kInvalidId;
 using netlist::kTopTier;
 
+namespace {
+
+/// Slack-ordered candidate scan shared by rebalance_to_top and the ECO's
+/// counterweight selection: bottom-tier std cells passing `keep`, keyed
+/// (-slack, cell) so a plain sort yields most-slack-first with cell id as
+/// the deterministic tiebreak. Gathered in chunk order on the pool —
+/// byte-identical to the serial append loop at any pool size; the sort
+/// key set is the same either way.
+template <typename Keep>
+std::vector<std::pair<double, CellId>> bottom_slack_cands(
+    const Design& d, const sta::StaResult& timing, exec::Pool& pool,
+    Keep&& keep) {
+  constexpr int kParallelMin = 2048;
+  constexpr int kGrain = 2048;
+  const int nc = d.nl().cell_count();
+  auto scan = [&](int ci, std::vector<std::pair<double, CellId>>& out) {
+    const CellId c = ci;
+    const auto& cc = d.nl().cell(c);
+    if (!cc.is_comb() && !cc.is_sequential()) return;
+    if (d.tier(c) != kBottomTier) return;
+    const double s = timing.cell_slack(c);
+    if (!keep(c, s)) return;
+    out.emplace_back(-s, c);
+  };
+  std::vector<std::pair<double, CellId>> cands;
+  if (nc >= kParallelMin && pool.size() > 1) {
+    cands = exec::ordered_gather<std::pair<double, CellId>>(pool, nc, kGrain,
+                                                            scan);
+  } else {
+    for (int ci = 0; ci < nc; ++ci) scan(ci, cands);
+  }
+  std::sort(cands.begin(), cands.end());
+  return cands;
+}
+
+}  // namespace
+
 double tier_unbalance(const Design& d) {
   const double top = d.tier_std_cell_area(kTopTier);
   const double bottom = d.tier_std_cell_area(kBottomTier);
@@ -22,7 +61,8 @@ double tier_unbalance(const Design& d) {
 }
 
 int rebalance_to_top(Design& d, const sta::StaResult& timing,
-                     double min_slack_ns, double utilization) {
+                     double min_slack_ns, double utilization,
+                     exec::Pool* pool) {
   M3D_CHECK(d.num_tiers() == 2);
   auto tier_req = [&](int tier) {
     double macro = 0.0;
@@ -33,16 +73,11 @@ int rebalance_to_top(Design& d, const sta::StaResult& timing,
   };
 
   // Candidates: bottom-tier std cells, most slack first.
-  std::vector<std::pair<double, CellId>> cands;
-  for (CellId c = 0; c < d.nl().cell_count(); ++c) {
-    const auto& cc = d.nl().cell(c);
-    if (!cc.is_comb() && !cc.is_sequential()) continue;
-    if (d.tier(c) != kBottomTier) continue;
-    const double s = timing.cell_slack(c);
-    if (!std::isfinite(s) || s < min_slack_ns) continue;
-    cands.emplace_back(-s, c);
-  }
-  std::sort(cands.begin(), cands.end());
+  exec::Pool& pl = pool != nullptr ? *pool : exec::Pool::global();
+  const std::vector<std::pair<double, CellId>> cands = bottom_slack_cands(
+      d, timing, pl, [&](CellId, double s) {
+        return std::isfinite(s) && s >= min_slack_ns;
+      });
 
   // Batch-verified migration: move a slack-ordered batch, re-time, undo the
   // batch if WNS degraded (the 12T→9T remap costs ~2× per stage, so the
@@ -111,6 +146,8 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt,
                                   const EcoHooks* hooks) {
   M3D_CHECK(d.num_tiers() == 2);
   RepartitionResult res;
+  exec::Pool& pool =
+      opt.pool != nullptr ? *opt.pool : exec::Pool::global();
 
   // One routing estimate and one Sta persist across the whole ECO: every
   // accept/reject re-times only the cone of the touched cells instead of
@@ -203,17 +240,12 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt,
     double area_added = 0.0;
     for (CellId c : move_list)
       area_added += cell_area_on(d, c, kBottomTier);
-    std::vector<std::pair<double, CellId>> counter_cands;
-    for (CellId c = 0; c < d.nl().cell_count(); ++c) {
-      const auto& cc = d.nl().cell(c);
-      if (!cc.is_comb() && !cc.is_sequential()) continue;
-      if (d.tier(c) != kBottomTier) continue;
-      if (in_list[static_cast<std::size_t>(c)]) continue;
-      const double s = timing.cell_slack(c);
-      if (!std::isfinite(s) || s < 0.05 * d.clock_period_ns()) continue;
-      counter_cands.emplace_back(-s, c);
-    }
-    std::sort(counter_cands.begin(), counter_cands.end());
+    const double counter_min_slack = 0.05 * d.clock_period_ns();
+    const std::vector<std::pair<double, CellId>> counter_cands =
+        bottom_slack_cands(d, timing, pool, [&](CellId c, double s) {
+          return !in_list[static_cast<std::size_t>(c)] &&
+                 std::isfinite(s) && s >= counter_min_slack;
+        });
     std::vector<CellId> counter_list;
     double area_removed = 0.0;
     for (const auto& [neg_s, c] : counter_cands) {

@@ -20,6 +20,10 @@
 #include "netlist/design.hpp"
 #include "sta/sta.hpp"
 
+namespace m3d::exec {
+class Pool;
+}
+
 namespace m3d::part {
 
 using netlist::CellId;
@@ -36,6 +40,11 @@ struct RepartitionOptions {
   double tns_th = 0.0;         ///< required TNS improvement per iteration
   int max_iters = 12;
   sta::StaOptions sta;         ///< timing options for the ECO updates
+  /// Worker pool for the per-iteration candidate scans (counterweight
+  /// selection); nullptr means exec::Pool::global(). The scans gather in
+  /// deterministic chunk order, so results are byte-identical at any pool
+  /// size and the field is excluded from flow-cache option hashes.
+  exec::Pool* pool = nullptr;
 };
 
 /// Outcome diagnostics.
@@ -94,6 +103,7 @@ double tier_unbalance(const Design& d);
 /// area/power recovery lever — non-critical logic belongs on the small,
 /// low-power 9-track die. Returns cells moved.
 int rebalance_to_top(Design& d, const sta::StaResult& timing,
-                     double min_slack_ns, double utilization);
+                     double min_slack_ns, double utilization,
+                     exec::Pool* pool = nullptr);
 
 }  // namespace m3d::part

@@ -1,6 +1,7 @@
 #include "sta/sta.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -786,11 +787,70 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
   };
   std::vector<PinId> redo_eps;
   std::vector<double> old_row;
+  // Batch-retime scratch: per-slot old-value capture for the parallel
+  // recompute of a large level bucket (ECO move batches dirty thousands
+  // of cones at once; their same-level pins are independent — the exact
+  // invariant run_level() already exploits in run()).
+  std::vector<std::array<double, 7>> olds;
+  std::vector<std::vector<double>> old_rows;
+  const bool par_retime = pool_.size() > 1;
   int recomputed = 0;
   for (std::size_t lv = 0; lv < wl.size(); ++lv) {
     auto& bucket = wl[lv];
     if (bucket.empty()) continue;
     std::sort(bucket.begin(), bucket.end());
+    const int bn = static_cast<int>(bucket.size());
+    if (par_retime && bn >= kParallelLevelMin) {
+      // Phase 1 (parallel): capture each pin's old values into its own
+      // slot and recompute. Phase 2 (serial, sorted bucket order): the
+      // bitwise compares and worklist seeding, so propagation decisions
+      // happen in the exact serial order — results are bit-identical to
+      // the serial walk at any pool size.
+      olds.resize(static_cast<std::size_t>(bn));
+      old_rows.resize(static_cast<std::size_t>(bn));
+      pool_.parallel_for(
+          0, bn,
+          [&](int i) {
+            const auto ii = static_cast<std::size_t>(i);
+            const PinId p = bucket[ii];
+            const auto pi = static_cast<std::size_t>(p);
+            olds[ii] = {res_.arr_[0][pi],  res_.arr_[1][pi],
+                        arr_min_[0][pi],   arr_min_[1][pi],
+                        res_.slew_[0][pi], res_.slew_[1][pi],
+                        net_arc_delay_[pi]};
+            if (role_[pi] == Role::kCombOut)
+              old_rows[ii] = cell_arc_[pi];
+            else
+              old_rows[ii].clear();
+            compute_forward(p);
+          },
+          kParallelGrain);
+      for (int i = 0; i < bn; ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        const PinId p = bucket[ii];
+        const auto pi = static_cast<std::size_t>(p);
+        ++recomputed;
+        const auto& o = olds[ii];
+        const bool comb_out = role_[pi] == Role::kCombOut;
+        const bool fwd_changed =
+            o[0] != res_.arr_[0][pi] || o[1] != res_.arr_[1][pi] ||
+            o[2] != arr_min_[0][pi] || o[3] != arr_min_[1][pi] ||
+            o[4] != res_.slew_[0][pi] || o[5] != res_.slew_[1][pi];
+        if (fwd_changed)
+          for (int k = succ_off_[pi]; k < succ_off_[pi + 1]; ++k)
+            seed(succ_[static_cast<std::size_t>(k)]);
+        const bool arcs_changed =
+            (role_[pi] == Role::kNetSink && o[6] != net_arc_delay_[pi]) ||
+            (comb_out && old_rows[ii] != cell_arc_[pi]);
+        if (fwd_changed || arcs_changed) {
+          bwd_seed(p);
+          for (int k = preds_off_[pi]; k < preds_off_[pi + 1]; ++k)
+            bwd_seed(preds_[static_cast<std::size_t>(k)]);
+        }
+        if (ep_index_[pi] >= 0) redo_eps.push_back(p);
+      }
+      continue;
+    }
     for (const PinId p : bucket) {
       const auto pi = static_cast<std::size_t>(p);
       ++recomputed;
@@ -834,10 +894,36 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
   }
 
   // ---- backward worklist by descending level -----------------------------
+  std::vector<std::array<double, 2>> old_reqs;
   for (std::size_t lv = bwl.size(); lv-- > 0;) {
     auto& bucket = bwl[lv];
     if (bucket.empty()) continue;
     std::sort(bucket.begin(), bucket.end());
+    const int bn = static_cast<int>(bucket.size());
+    if (par_retime && bn >= kParallelLevelMin) {
+      // Same batch shape as the forward pass: parallel recompute with
+      // per-slot old-value capture, serial seeding in sorted order.
+      old_reqs.resize(static_cast<std::size_t>(bn));
+      pool_.parallel_for(
+          0, bn,
+          [&](int i) {
+            const auto ii = static_cast<std::size_t>(i);
+            const PinId p = bucket[ii];
+            const auto pi = static_cast<std::size_t>(p);
+            old_reqs[ii] = {res_.req_[0][pi], res_.req_[1][pi]};
+            compute_required(p);
+          },
+          kParallelGrain);
+      for (int i = 0; i < bn; ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        const auto pi = static_cast<std::size_t>(bucket[ii]);
+        if (old_reqs[ii][0] != res_.req_[0][pi] ||
+            old_reqs[ii][1] != res_.req_[1][pi])
+          for (int k = preds_off_[pi]; k < preds_off_[pi + 1]; ++k)
+            bwd_seed(preds_[static_cast<std::size_t>(k)]);
+      }
+      continue;
+    }
     for (const PinId p : bucket) {
       const auto pi = static_cast<std::size_t>(p);
       const double or0 = res_.req_[0][pi], or1 = res_.req_[1][pi];

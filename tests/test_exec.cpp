@@ -642,3 +642,176 @@ TEST_F(ExecFlowCache, PrewarmAndLookupSameKeyNeverDeadlock) {
   // And the shared results are the same objects every requester saw.
   EXPECT_EQ(cache.size(), 2u);
 }
+
+// ---- speculative worklist ------------------------------------------------
+
+#include "exec/worklist.hpp"
+
+namespace {
+
+/// Toy speculative client over n items: priority order is (prio desc,
+/// id asc), conflict neighborhood of a commit is {item, item+1 mod n}.
+/// Every hook is deterministic, so the committed sequence and checksum
+/// must be identical at any pool size.
+struct ToyWorklist {
+  int n;
+  std::vector<int> prio;
+  std::vector<char> committed;
+  me::EpochMarks marks, predicted;
+  std::vector<long long> slot_val;
+  std::vector<int> seq;
+  long long sum = 0;
+
+  explicit ToyWorklist(int n_, bool flat_priority)
+      : n(n_), prio(static_cast<std::size_t>(n_)),
+        committed(static_cast<std::size_t>(n_), 0), slot_val(64, 0) {
+    for (int i = 0; i < n; ++i)
+      prio[static_cast<std::size_t>(i)] = flat_priority ? 0 : (i * 37) % 101;
+    marks.reset(static_cast<std::size_t>(n));
+    predicted.reset(static_cast<std::size_t>(n));
+  }
+
+  template <typename Skip>
+  int best(Skip&& skip) const {
+    int bi = -1;
+    for (int i = 0; i < n; ++i) {
+      if (committed[static_cast<std::size_t>(i)] || skip(i)) continue;
+      if (bi < 0 || prio[static_cast<std::size_t>(i)] >
+                        prio[static_cast<std::size_t>(bi)])
+        bi = i;
+    }
+    return bi;
+  }
+
+  static long long eval_of(int i) { return 1000003LL * i + i * i; }
+
+  void do_commit(int item, long long v) {
+    committed[static_cast<std::size_t>(item)] = 1;
+    seq.push_back(item);
+    sum += v;
+    marks.mark(item);
+    marks.mark((item + 1) % n);
+  }
+
+  me::WorklistStats run(me::Pool* pool) {
+    me::WorklistHooks h;
+    h.begin_round = [&] {
+      marks.next_epoch();
+      predicted.next_epoch();
+    };
+    h.predict = [&]() -> int {
+      const int i = best([&](int j) { return predicted.marked(j); });
+      if (i >= 0) predicted.mark(i);
+      return i;
+    };
+    h.evaluate = [&](int slot, int item) {
+      slot_val[static_cast<std::size_t>(slot)] = eval_of(item);
+    };
+    h.select = [&] { return best([](int) { return false; }); };
+    h.valid = [&](int, int item) {
+      return !marks.marked(item) && !marks.marked((item + 1) % n);
+    };
+    h.commit = [&](int slot, int item) {
+      do_commit(item, slot_val[static_cast<std::size_t>(slot)]);
+    };
+    h.commit_serial = [&](int item) { do_commit(item, eval_of(item)); };
+    me::WorklistOptions o;
+    o.pool = pool;
+    return me::run_worklist(h, o);
+  }
+};
+
+}  // namespace
+
+using ExecWorklist = Quiet;
+
+TEST_F(ExecWorklist, CommitSequenceByteIdenticalAcrossPoolSizes) {
+  constexpr int kN = 600;
+  ToyWorklist ref(kN, /*flat_priority=*/false);
+  me::Pool p1(1);
+  const auto ref_stats = ref.run(&p1);
+  EXPECT_EQ(ref_stats.committed(), kN);
+
+  for (int workers : {2, 4, 8}) {
+    ToyWorklist t(kN, /*flat_priority=*/false);
+    me::Pool p(workers);
+    const auto st = t.run(&p);
+    EXPECT_EQ(t.seq, ref.seq) << "pool " << workers;
+    EXPECT_EQ(t.sum, ref.sum) << "pool " << workers;
+    // Accounting identities: every item commits exactly once, and every
+    // speculative evaluation is reused, invalidated, or discarded.
+    EXPECT_EQ(st.spec_commits + st.serial_commits, kN);
+    EXPECT_EQ(st.predicted, st.spec_commits + st.conflicts + st.discarded);
+  }
+}
+
+TEST_F(ExecWorklist, ConflictStormStillCommitsInPriorityOrder) {
+  // Flat priorities force ascending-id commits, and the {i, i+1}
+  // neighborhood then invalidates almost every speculative slot — the
+  // engine must degrade to serial commits without reordering anything.
+  constexpr int kN = 300;
+  ToyWorklist t(kN, /*flat_priority=*/true);
+  me::Pool p(4);
+  const auto st = t.run(&p);
+  ASSERT_EQ(static_cast<int>(t.seq.size()), kN);
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(t.seq[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(st.spec_commits + st.serial_commits, kN);
+  EXPECT_GT(st.conflicts, 0);
+}
+
+TEST_F(ExecWorklist, EpochMarksInvalidateInBulk) {
+  me::EpochMarks m;
+  m.reset(16);
+  m.next_epoch();
+  m.mark(3);
+  m.mark(15);
+  EXPECT_TRUE(m.marked(3));
+  EXPECT_TRUE(m.marked(15));
+  EXPECT_FALSE(m.marked(4));
+  m.next_epoch();
+  EXPECT_FALSE(m.marked(3));
+  EXPECT_FALSE(m.marked(15));
+}
+
+TEST_F(ExecWorklist, OrderedGatherMatchesSerialAppend) {
+  auto fn = [](int i, std::vector<int>& out) {
+    if (i % 3 != 1) out.push_back(i * 5);
+  };
+  std::vector<int> serial;
+  for (int i = 0; i < 1000; ++i) fn(i, serial);
+  for (int workers : {1, 4}) {
+    me::Pool p(workers);
+    const auto par = me::ordered_gather<int>(p, 1000, 7, fn);
+    EXPECT_EQ(par, serial) << "pool " << workers;
+  }
+}
+
+TEST_F(ExecPool, ContentionStatsAccountForEveryTask) {
+  me::Pool p(3);
+  std::atomic<int> ran{0};
+  p.parallel_for(0, 500, [&](int) { ran.fetch_add(1); }, /*grain=*/1);
+  EXPECT_EQ(ran.load(), 500);
+  // parallel_for returns only after every chunk executed, and each
+  // executed task was popped exactly once (locally or via a steal).
+  const auto s = p.stats();
+  EXPECT_EQ(s.posted, 500);
+  EXPECT_EQ(s.posted, s.local_pops + s.steals);
+}
+
+TEST_F(ExecTrace, PoolTelemetryCountersAppearInTrace) {
+  const std::string path = ::testing::TempDir() + "m3d_pool_trace.json";
+  mu::trace_begin(path);
+  {
+    me::Pool p(2);
+    p.parallel_for(0, 64, [](int) {}, /*grain=*/1);
+  }
+  mu::trace_end();
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("pool_pf_chunks"), std::string::npos);
+  EXPECT_NE(json.find("pool_pf_caller_chunks"), std::string::npos);
+  EXPECT_NE(json.find("pool_steals"), std::string::npos);
+  std::remove(path.c_str());
+}

@@ -539,3 +539,32 @@ TEST(Sta, ByteIdenticalAcrossPoolSizes) {
   mr::update_routes_for_cells(d, moved, &routes);
   expect_identical(a.retime(moved), b.retime(moved), d);
 }
+
+TEST(Sta, RetimeBigBatchByteIdenticalAcrossPoolSizes) {
+  // An ECO-sized batch move: enough dirty cones that per-level retime
+  // buckets clear the parallel threshold, exercising the batched
+  // (capture-then-recompute) path. It must stay bitwise equal to the
+  // single-worker walk and to a from-scratch run on the moved design.
+  auto d = routed_hetero("netcard", kWideScale, 0.8);
+  auto routes = mr::route_design(d);
+
+  mex::Pool serial(1), wide(4);
+  ms::StaOptions o1;
+  o1.pool = &serial;
+  ms::StaOptions o4;
+  o4.pool = &wide;
+  ms::Sta a(d, &routes, o1);
+  ms::Sta b(d, &routes, o4);
+  a.run();
+  b.run();
+
+  const auto cells = movable_std_cells(d);
+  std::vector<mn::CellId> moved;
+  for (std::size_t i = 0; i < cells.size(); i += 3) moved.push_back(cells[i]);
+  for (mn::CellId c : moved) d.set_tier(c, 1 - d.tier(c));
+  mr::update_routes_for_cells(d, moved, &routes);
+  expect_identical(a.retime(moved), b.retime(moved), d);
+
+  ms::Sta fresh(d, &routes, o4);
+  expect_identical(fresh.run(), b.result(), d);
+}
