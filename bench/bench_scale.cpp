@@ -19,7 +19,10 @@
 ///
 /// Knobs: M3D_SCALE_POINTS — comma-separated generator scales (e.g.
 /// "1,4,16"); sizes always run ascending so the monotone peak-RSS
-/// readings stay attributable.
+/// readings stay attributable. With M3D_STA_CORNERS > 1 each point also
+/// runs a post-route multi-corner STA sweep (tech::corner_spec_from_env)
+/// and records its wall-clock as `sta_s` — the K-lane sweep must ride the
+/// same near-linear curve as the structural stages.
 
 #include <algorithm>
 #include <chrono>
@@ -37,6 +40,8 @@
 #include "part/fm.hpp"
 #include "place/place.hpp"
 #include "route/route.hpp"
+#include "sta/sta.hpp"
+#include "tech/corners.hpp"
 
 namespace {
 
@@ -73,6 +78,8 @@ struct Point {
   double part_s = 0.0;
   double cts_s = 0.0;
   double route_s = 0.0;
+  double sta_s = 0.0;   ///< multi-corner sweep; 0 when M3D_STA_CORNERS off
+  int sta_corners = 1;
   double total_s = 0.0;
   long rss_kb = 0;
   double wirelength_um = 0.0;
@@ -138,6 +145,19 @@ int main() {
     p.route_s = seconds_since(t);
     p.wirelength_um = est.total_wirelength_um;
 
+    // Optional multi-corner sweep on the routed point: one K-lane STA
+    // pass over the same graph the flow's signoff would walk.
+    const auto cspec = m3d::tech::corner_spec_from_env();
+    if (cspec.count > 1) {
+      t = Clock::now();
+      m3d::sta::StaOptions sopt;
+      sopt.pool = &m3d::exec::Pool::global();
+      sopt.corners = cspec;
+      m3d::sta::run_sta(d, &est, sopt);
+      p.sta_s = seconds_since(t);
+      p.sta_corners = cspec.count;
+    }
+
     p.total_s = seconds_since(t_total);
     p.rss_kb = m3d::bench::peak_rss_kb();
     points.push_back(p);
@@ -166,12 +186,12 @@ int main() {
         buf, sizeof buf,
         "    {\"scale\": %g, \"cells\": %d, \"nets\": %d, \"gen_s\": %.3f, "
         "\"place_s\": %.3f, \"part_s\": %.3f, \"cts_s\": %.3f, "
-        "\"route_s\": %.3f, "
+        "\"route_s\": %.3f, \"sta_s\": %.3f, \"sta_corners\": %d, "
         "\"total_s\": %.3f, \"peak_rss_kb\": %ld, \"wirelength_um\": %.0f, "
         "\"cut\": %d, \"linear_ratio\": %.3f}%s\n",
         p.scale, p.cells, p.nets, p.gen_s, p.place_s, p.part_s, p.cts_s,
-        p.route_s, p.total_s, p.rss_kb, p.wirelength_um, p.cut,
-        ratio, i + 1 < points.size() ? "," : "");
+        p.route_s, p.sta_s, p.sta_corners, p.total_s, p.rss_kb,
+        p.wirelength_um, p.cut, ratio, i + 1 < points.size() ? "," : "");
     os << buf;
   }
   os << "  ]\n}\n";

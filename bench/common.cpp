@@ -40,6 +40,10 @@ netlist::Netlist build(const std::string& name) {
 core::FlowOptions flow_options(double period_ns) {
   core::FlowOptions o;
   o.clock_period_ns = period_ns;
+  // Multi-corner signoff from M3D_STA_CORNERS / M3D_TIER_SIGMA /
+  // M3D_TIER_DERATE; unset leaves the default single-corner spec and
+  // byte-identical artifacts.
+  o.sta_corners = tech::corner_spec_from_env();
   return o;
 }
 

@@ -10,6 +10,9 @@
 ///                     full 4×5 sweep in tens of seconds).
 ///   M3D_BENCH_OUT   — directory for SVG/CSV artifacts (default
 ///                     "bench_artifacts").
+///   M3D_STA_CORNERS / M3D_TIER_SIGMA / M3D_TIER_DERATE — multi-corner
+///                     signoff spec (tech::corner_spec_from_env), threaded
+///                     into every flow's FlowOptions::sta_corners.
 
 #include <string>
 #include <vector>

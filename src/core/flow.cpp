@@ -69,14 +69,28 @@ FlowOptions with_pool(FlowOptions o) {
   return o;
 }
 
-/// Final analysis common to all flows: route, time, power, metrics.
+/// Propagate the flow-level corner spec into the ECO's STA options: the
+/// repartition loop is the flow's variation-aware stage (guard-banded
+/// accept metric). The synth/opt/partition-stage STAs deliberately stay
+/// single-corner — see FlowOptions::sta_corners.
+FlowOptions with_corners(FlowOptions o) {
+  if (o.repart.sta.corners == tech::CornerSpec{})
+    o.repart.sta.corners = o.sta_corners;
+  return o;
+}
+
+/// Final analysis common to all flows: route, time, power, metrics. The
+/// signoff STA sweeps the flow's corner spec, so the metrics carry the
+/// guard-banded WNS and the timing yield.
 void finalize(FlowResult& res, const cts::ClockTreeReport& clock,
-              const std::string& nl_name, Config cfg, exec::Pool* pool) {
+              const std::string& nl_name, Config cfg,
+              const tech::CornerSpec& corners, exec::Pool* pool) {
   util::TraceSpan span("finalize", nl_name);
   Design& d = res.design;
   const auto routes = route::route_design(d, {pool});
   sta::StaOptions sopt;
   sopt.pool = pool;
+  sopt.corners = corners;
   const auto timing = sta::run_sta(d, &routes, sopt);
   power::PowerOptions popt;
   popt.pool = pool;
@@ -104,7 +118,7 @@ part::FmOptions macro_aware_fm(const Design& d, part::FmOptions fm,
 }  // namespace
 
 FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
-  const FlowOptions opt = with_pool(opt_in);
+  const FlowOptions opt = with_corners(with_pool(opt_in));
   util::TraceSpan flow_span(
       "flow", std::string(config_name(cfg)) + " " + nl.name());
   util::log_info("=== flow ", config_name(cfg), " on ", nl.name(), " @ ",
@@ -284,9 +298,10 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
         const auto routes = route::route_design(d, {opt.pool});
         sta::StaOptions sopt;
         sopt.pool = opt.pool;
+        sopt.corners = opt.sta_corners;
         const auto timing = sta::run_sta(d, &routes, sopt);
         part::rebalance_to_top(d, timing, 0.05 * d.clock_period_ns(),
-                               opt.utilization, opt.pool);
+                               opt.utilization, opt.pool, sopt);
       }
       place::rescale_to_utilization(d, opt.utilization);
       place::legalize(d);
@@ -313,7 +328,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
     }
   }
 
-  finalize(res, clock, nl.name(), cfg, opt.pool);
+  finalize(res, clock, nl.name(), cfg, opt.sta_corners, opt.pool);
   ckpt.finish();
   util::log_info("=== ", config_name(cfg), " done: wns ",
                  res.metrics.wns_ns, " ns, power ",
@@ -336,7 +351,10 @@ double find_max_frequency(const Netlist& nl, Config cfg, FlowOptions opt,
     FlowOptions o = opt;
     o.clock_period_ns = 1.0 / ghz;
     const auto res = cache.get_or_run(nl, cfg, o);
-    return -res->metrics.wns_ns <= wns_budget_frac * o.clock_period_ns;
+    // Variation-aware "timing met": the worst corner's WNS must fit the
+    // budget. Equal to wns_ns when the flow runs single-corner.
+    return -res->metrics.wns_worst_corner_ns <=
+           wns_budget_frac * o.clock_period_ns;
   };
 
   // The paper sweeps 12-track 2-D frequencies and accepts designs whose

@@ -32,6 +32,7 @@
 #include "part/repartition.hpp"
 #include "part/timing_partition.hpp"
 #include "place/place.hpp"
+#include "tech/corners.hpp"
 
 namespace m3d::exec {
 class Pool;
@@ -78,6 +79,17 @@ struct FlowOptions {
   /// names one. Flow results are byte-identical for any pool size, so pool
   /// fields are deliberately NOT part of exec::FlowCache::options_hash.
   exec::Pool* pool = nullptr;
+
+  /// Multi-corner signoff: when sta_corners.count > 1, the repartition
+  /// ECO, the tier rebalance and the final analysis all time the design
+  /// across K inter-tier process corners in one vectorized STA sweep, and
+  /// accept/undo decisions use the guard-banded (worst-over-corners)
+  /// WNS/TNS. The mid-flow synthesis/optimization/partition STAs stay
+  /// single-corner — variation awareness belongs to signoff and the ECO,
+  /// not to every inner sizing loop. With the default (count == 1) spec
+  /// every artifact is byte-identical to the single-corner flow. Unlike
+  /// `pool`, this field IS hashed into exec::FlowCache::options_hash.
+  tech::CornerSpec sta_corners;
 
   /// Stage-level checkpoint/restart (see core/checkpoint.hpp): when this
   /// names a directory — or, if empty, when M3D_CHECKPOINT_DIR does —

@@ -74,6 +74,11 @@ DesignMetrics collect_metrics(const netlist::Design& d,
   m.frequency_ghz = 1.0 / d.clock_period_ns();
   m.wns_ns = timing.wns();
   m.tns_ns = timing.tns();
+  m.sta_corners = timing.corner_count();
+  m.wns_worst_corner_ns = timing.guard_wns();
+  // Yield against the paper's "timing met" rule: a corner passes when its
+  // WNS stays within 5 % of the period.
+  m.timing_yield = timing.timing_yield(-0.05 * d.clock_period_ns());
   m.effective_delay_ns =
       cost::effective_delay_ns(d.clock_period_ns(), m.wns_ns);
 

@@ -35,6 +35,12 @@ struct DesignMetrics {
   double wns_ns = 0.0;
   double tns_ns = 0.0;
   double effective_delay_ns = 0.0;
+  /// Multi-corner signoff view (FlowOptions::sta_corners). Single-corner
+  /// flows report sta_corners == 1, wns_worst_corner_ns == wns_ns and
+  /// yield 1.0, and the report writers omit the yield columns entirely.
+  int sta_corners = 1;
+  double wns_worst_corner_ns = 0.0;  ///< guard-banded (worst-corner) WNS
+  double timing_yield = 1.0;  ///< corners meeting WNS ≥ −5 %·T
 
   // Area.
   double footprint_mm2 = 0.0;     ///< one tier's plan-view area

@@ -58,6 +58,15 @@ struct Hasher {
   }
 };
 
+void mix_corners(Hasher& h, const tech::CornerSpec& c) {
+  h.mix(c.count);
+  h.mix(c.derate[0]);
+  h.mix(c.derate[1]);
+  h.mix(c.sigma[0]);
+  h.mix(c.sigma[1]);
+  h.mix(c.seed);
+}
+
 void mix_sta(Hasher& h, const sta::StaOptions& o) {
   h.mix(o.input_slew_ns);
   h.mix(o.input_delay_ns);
@@ -66,6 +75,7 @@ void mix_sta(Hasher& h, const sta::StaOptions& o) {
   h.mix(o.ideal_clock);
   h.mix(o.hold_analysis);
   h.mix(o.compensate_port_latency);
+  mix_corners(h, o.corners);
 }
 
 void mix_fm(Hasher& h, const part::FmOptions& o) {
@@ -170,6 +180,10 @@ std::uint64_t FlowCache::options_hash(const core::FlowOptions& o) {
   h.mix(o.enable_cover_cts);
   h.mix(o.path_based_criticality);
   h.mix(o.path_based_paths);
+  // multi-corner signoff spec — a corner sweep changes the ECO's accept
+  // decisions and the signoff metrics, so different specs must not share
+  // a cached flow.
+  mix_corners(h, o.sta_corners);
   return h.h;
 }
 
@@ -235,7 +249,7 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
   if (existing.valid()) return existing.get();
 
   if (bypass) {
-    ResultPtr result = disk_load(key, cfg);
+    ResultPtr result = disk_load(key, cfg, opt.sta_corners);
     if (result) return result;
     return std::make_shared<core::FlowResult>(core::run_flow(nl, cfg, opt));
   }
@@ -270,7 +284,7 @@ FlowCache::ResultPtr FlowCache::compute_entry(const Key& key,
   // from an earlier process deserializes in a fraction of a flow run.
   try {
     ComputeDepthGuard nested;
-    ResultPtr result = disk_load(key, cfg);
+    ResultPtr result = disk_load(key, cfg, opt.sta_corners);
     const bool from_disk = result != nullptr;
     bool wrote_disk = false;
     if (!result) {

@@ -157,7 +157,10 @@ class FlowCache {
 
   // Disk tier (flow_cache_disk.cpp). disk_load returns nullptr on any
   // miss/validation failure; disk_store returns whether a file landed.
-  ResultPtr disk_load(const Key& key, core::Config cfg) const;
+  // The loader re-runs the signoff analysis on the restored design, so it
+  // needs the flow's corner spec to reproduce the multi-corner metrics.
+  ResultPtr disk_load(const Key& key, core::Config cfg,
+                      const tech::CornerSpec& corners) const;
   bool disk_store(const Key& key, const core::FlowResult& res) const;
 
   /// Counters behind FlowCacheStats, kept as relaxed atomics so

@@ -66,8 +66,9 @@ std::string FlowCache::disk_dir() {
   return {};
 }
 
-FlowCache::ResultPtr FlowCache::disk_load(const Key& key,
-                                          core::Config cfg) const {
+FlowCache::ResultPtr FlowCache::disk_load(
+    const Key& key, core::Config cfg,
+    const tech::CornerSpec& corners) const {
   const std::string dir = disk_dir();
   if (dir.empty()) return nullptr;
   std::ifstream is(key_file(dir, key.netlist_fp, key.config, key.opt_hash),
@@ -96,7 +97,9 @@ FlowCache::ResultPtr FlowCache::disk_load(const Key& key,
     // here only recovers the ClockTreeReport that collect_metrics needs.
     const auto clock = cts::annotate_clock_latencies(d);
     const auto routes = route::route_design(d);
-    const auto timing = sta::run_sta(d, &routes);
+    sta::StaOptions sopt;
+    sopt.corners = corners;
+    const auto timing = sta::run_sta(d, &routes, sopt);
     const auto pw =
         power::analyze_power(d, &routes, 1.0 / d.clock_period_ns());
     res->metrics = core::collect_metrics(d, routes, timing, pw, clock,

@@ -1,5 +1,6 @@
 #include "io/reports.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -7,6 +8,18 @@
 namespace m3d::io {
 
 using util::TextTable;
+
+namespace {
+
+/// Did any implementation in the set run a multi-corner signoff? The
+/// yield rows/columns below are additive: single-corner metric sets keep
+/// every table and CSV byte-identical to the historical output.
+bool any_multi_corner(const std::vector<DesignMetrics>& ms) {
+  return std::any_of(ms.begin(), ms.end(),
+                     [](const DesignMetrics& m) { return m.sta_corners > 1; });
+}
+
+}  // namespace
 
 util::TextTable table6_ppac(const std::vector<DesignMetrics>& hetero) {
   M3D_CHECK(!hetero.empty());
@@ -31,6 +44,12 @@ util::TextTable table6_ppac(const std::vector<DesignMetrics>& hetero) {
   row("Total Power", "mW", [](const DesignMetrics& m) { return m.total_power_mw; }, 1);
   row("WNS", "ns", [](const DesignMetrics& m) { return m.wns_ns; }, 3);
   row("TNS", "ns", [](const DesignMetrics& m) { return m.tns_ns; }, 2);
+  if (any_multi_corner(hetero)) {
+    row("Worst-Corner WNS", "ns",
+        [](const DesignMetrics& m) { return m.wns_worst_corner_ns; }, 3);
+    row("Timing Yield", "%",
+        [](const DesignMetrics& m) { return m.timing_yield * 100.0; }, 1);
+  }
   row("Effective Delay", "ns", [](const DesignMetrics& m) { return m.effective_delay_ns; }, 3);
   row("PDP", "pJ", [](const DesignMetrics& m) { return m.pdp_pj; }, 1);
   row("Die Cost", "1e-6 C'", [](const DesignMetrics& m) { return m.die_cost_e6; }, 2);
@@ -76,6 +95,10 @@ util::TextTable table7_deltas(const std::string& config_label,
   raw("Width (um)", [](const DesignMetrics& m) { return m.chip_width_um; }, 0);
   raw("WNS (ns)", [](const DesignMetrics& m) { return m.wns_ns; }, 3);
   raw("TNS (ns)", [](const DesignMetrics& m) { return m.tns_ns; }, 2);
+  if (any_multi_corner(hetero) || any_multi_corner(config)) {
+    raw("Timing Yield (%)",
+        [](const DesignMetrics& m) { return m.timing_yield * 100.0; }, 1);
+  }
   return t;
 }
 
@@ -173,18 +196,27 @@ util::TextTable table8_deepdive(const std::vector<DesignMetrics>& impls) {
 }
 
 std::string metrics_csv(const std::vector<DesignMetrics>& ms) {
+  // Yield columns are appended only when some implementation ran a
+  // multi-corner signoff, so single-corner CSV artifacts stay
+  // byte-identical to the historical 17-column layout.
+  const bool corners = any_multi_corner(ms);
   std::ostringstream os;
   os << "netlist,config,freq_ghz,wns_ns,tns_ns,eff_delay_ns,si_area_mm2,"
         "width_um,density_pct,wl_m,mivs,power_mw,clock_power_mw,pdp_pj,"
-        "die_cost_e6,cost_per_cm2,ppc\n";
+        "die_cost_e6,cost_per_cm2,ppc";
+  if (corners) os << ",sta_corners,wns_worst_corner_ns,timing_yield";
+  os << '\n';
   for (const auto& m : ms) {
     os << m.netlist_name << ',' << m.config_name << ',' << m.frequency_ghz
        << ',' << m.wns_ns << ',' << m.tns_ns << ',' << m.effective_delay_ns
        << ',' << m.silicon_area_mm2 << ',' << m.chip_width_um << ','
        << m.density_pct << ',' << m.wirelength_m << ',' << m.mivs << ','
        << m.total_power_mw << ',' << m.clock_power_mw << ',' << m.pdp_pj
-       << ',' << m.die_cost_e6 << ',' << m.cost_per_cm2 << ',' << m.ppc
-       << '\n';
+       << ',' << m.die_cost_e6 << ',' << m.cost_per_cm2 << ',' << m.ppc;
+    if (corners)
+      os << ',' << m.sta_corners << ',' << m.wns_worst_corner_ns << ','
+         << m.timing_yield;
+    os << '\n';
   }
   return os.str();
 }

@@ -62,7 +62,7 @@ double tier_unbalance(const Design& d) {
 
 int rebalance_to_top(Design& d, const sta::StaResult& timing,
                      double min_slack_ns, double utilization,
-                     exec::Pool* pool) {
+                     exec::Pool* pool, const sta::StaOptions& sta_opt) {
   M3D_CHECK(d.num_tiers() == 2);
   auto tier_req = [&](int tier) {
     double macro = 0.0;
@@ -84,12 +84,15 @@ int rebalance_to_top(Design& d, const sta::StaResult& timing,
   // slack filter alone is not a safety proof). Re-timing is incremental:
   // one Sta instance persists across batches and only the moved cells'
   // cones (plus their re-estimated incident nets) are re-propagated.
+  // Accept/undo decisions run on the guard-banded WNS: the worst corner
+  // of a multi-corner spec, or exactly the nominal WNS when sta_opt is
+  // single-corner (guard_wns() == wns() bitwise at K = 1).
   route::RoutingEstimate routes = route::route_design(d);
-  sta::Sta sta(d, &routes);
-  const double wns_start = sta.run().wns();
+  sta::Sta sta(d, &routes, sta_opt);
+  const double wns_start = sta.run().guard_wns();
   auto retime_moved = [&](const std::vector<CellId>& moved_cells) {
     route::update_routes_for_cells(d, moved_cells, &routes);
-    return sta.retime(moved_cells).wns();
+    return sta.retime(moved_cells).guard_wns();
   };
   // Migration may consume positive slack and even dip negative up to the
   // paper's own acceptance band (WNS within ~7 % of the period — its
@@ -160,8 +163,11 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt,
     route::update_routes_for_cells(d, moved_cells, &routes);
     sta.retime(moved_cells);
   };
-  res.wns_before = timing.wns();
-  res.tns_before = timing.tns();
+  // Variation-aware accept metric: guard-banded (worst-over-corners)
+  // WNS/TNS, which degenerate to the nominal values bitwise when the ECO's
+  // StaOptions carry a single corner — decisions are unchanged then.
+  res.wns_before = timing.guard_wns();
+  res.tns_before = timing.guard_tns();
   double wns = res.wns_before;
   double tns = res.tns_before;
 
@@ -261,8 +267,8 @@ RepartitionResult repartition_eco(Design& d, const RepartitionOptions& opt,
     for (CellId c : move_list) d.set_tier(c, kBottomTier);
     for (CellId c : counter_list) d.set_tier(c, kTopTier);
     retime_moved(touched);
-    const double new_wns = timing.wns();
-    const double new_tns = timing.tns();
+    const double new_wns = timing.guard_wns();
+    const double new_tns = timing.guard_tns();
 
     if (new_wns - wns < opt.wns_th || new_tns - tns < opt.tns_th) {
       // Not enough improvement: undo and tighten the threshold.

@@ -102,8 +102,14 @@ double tier_unbalance(const Design& d);
 /// (slack above `min_slack_ns`) to the top tier. This is the flow's
 /// area/power recovery lever — non-critical logic belongs on the small,
 /// low-power 9-track die. Returns cells moved.
+///
+/// `sta_opt` configures the verification STA the batches are accepted
+/// against; with a multi-corner spec the WNS floor is checked on the
+/// guard-banded (worst-over-corners) WNS, so a migration that only breaks
+/// a slow-tier corner is undone too.
 int rebalance_to_top(Design& d, const sta::StaResult& timing,
                      double min_slack_ns, double utilization,
-                     exec::Pool* pool = nullptr);
+                     exec::Pool* pool = nullptr,
+                     const sta::StaOptions& sta_opt = {});
 
 }  // namespace m3d::part

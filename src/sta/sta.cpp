@@ -5,6 +5,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 
 #include "exec/pool.hpp"
 #include "util/check.hpp"
@@ -47,6 +48,22 @@ namespace detail {
 /// retime() re-propagates only the cone of a dirty cell set using
 /// level-bucketed worklists with exact (bitwise) change detection, and is
 /// bitwise-identical to a full run() — see DESIGN.md for the invariants.
+///
+/// Corner vectorization: with K = opt.corners.count > 1 the arrival,
+/// min-arrival, required and endpoint slack/hold arrays become stride-K
+/// SoA lanes — lane k of pin p lives at p*K + k — and the gather kernels
+/// run a tight contiguous inner loop over the lanes. Expensive shared
+/// work (NLDM index search + bilinear interpolation, Elmore net delays,
+/// graph structure) is computed once at the nominal corner and scaled
+/// per lane by the cell tier's factor, which models inter-tier process
+/// variation as a multiplicative device-delay shift — the same
+/// delay-only derating a `set_timing_derate` OCV flow applies, so slews
+/// (and the NLDM lookups they index) stay corner-shared. Wire delays
+/// are also corner-shared: the modeled variation is FEOL (transistors
+/// differ between the tiers' fabrication passes), not BEOL. Because
+/// lane 0's factor is exactly the spec's derate (1.0 by default) and
+/// x*1.0 is bit-exact for every finite double, lane 0 reproduces the
+/// scalar engine bit for bit at any pool size, and lanes never interact.
 class StaEngine {
  public:
   StaEngine(const Design& d, const route::RoutingEstimate* routes,
@@ -56,6 +73,10 @@ class StaEngine {
         routes_(routes),
         opt_(opt),
         pool_(opt.pool != nullptr ? *opt.pool : exec::Pool::global()) {
+    const tech::CornerSet corners = tech::CornerSet::generate(opt.corners);
+    K_ = corners.count();
+    fac_[0] = corners.factors(0);
+    fac_[1] = corners.factors(1);
     build_structure();
   }
 
@@ -120,7 +141,20 @@ class StaEngine {
   std::vector<int> ep_index_;     // per pin: index into ep arrays, -1
   std::size_t participating_ = 0;
 
+  /// Corner-factor lane index of a cell: its tier's contiguous factors.
+  const double* factors(CellId c) const {
+    return fac_[d_.tier(c) == netlist::kTopTier ? 1 : 0].data();
+  }
+
+  // ---- corner lanes -------------------------------------------------------
+  int K_ = 1;                   // corner lanes; 1 = scalar engine
+  std::vector<double> fac_[2];  // per tier: K delay factors (lane 0 nominal)
+
   // ---- dynamic state (res_ holds arr/req/slew/pred) -----------------------
+  // arr_min_, ep_slack_ and ep_hold_ are stride-K like res_'s arr/req;
+  // slew_, pred_, net_arc_delay_, cell_arc_ and ep_required_ stay
+  // corner-shared (delay-only derating: slews, wire delays and clock
+  // constraints do not vary across the modeled corners).
   std::vector<double> arr_min_[2];
   std::vector<double> net_arc_delay_;          // per sink pin
   std::vector<std::vector<double>> cell_arc_;  // per out pin: [in*2 + T]
@@ -339,18 +373,21 @@ void StaEngine::build_structure() {
     ep_index_[static_cast<std::size_t>(p)] = static_cast<int>(ep_pins_.size());
     ep_pins_.push_back(p);
   }
-  ep_slack_.assign(ep_pins_.size(), kPosInf);
-  ep_hold_.assign(ep_pins_.size(), kPosInf);
+  const auto K = static_cast<std::size_t>(K_);
+  ep_slack_.assign(ep_pins_.size() * K, kPosInf);
+  ep_hold_.assign(ep_pins_.size() * K, kPosInf);
   ep_required_.assign(ep_pins_.size(), 0.0);
 
   // ---- dynamic-state storage ---------------------------------------------
   for (int t : {0, 1}) {
-    res_.arr_[t].assign(np, kNegInf);
-    res_.req_[t].assign(np, kPosInf);
+    res_.arr_[t].assign(np * K, kNegInf);
+    res_.req_[t].assign(np * K, kPosInf);
     res_.slew_[t].assign(np, 0.0);
     res_.pred_[t].assign(np, {});
-    arr_min_[t].assign(np, kPosInf);
+    arr_min_[t].assign(np * K, kPosInf);
   }
+  res_.lanes_ = K_;
+  res_.corners_ = K_;
   net_arc_delay_.assign(np, 0.0);
   cell_arc_.assign(np, {});
   for (CellId c = 0; c < nl_.cell_count(); ++c) {
@@ -422,10 +459,14 @@ void StaEngine::init_launch(PinId p) {
   const Pin& pp = nl_.pin(p);
   const Cell& cc = nl_.cell(pp.cell);
   const double lat = opt_.ideal_clock ? 0.0 : d_.clock_latency(pp.cell);
+  const std::size_t K = static_cast<std::size_t>(K_);
+  const std::size_t pb = static_cast<std::size_t>(p) * K;
   switch (cc.kind) {
     case CellKind::PrimaryIn:
       for (int t : {0, 1}) {
-        res_.arr_[t][static_cast<std::size_t>(p)] = opt_.input_delay_ns;
+        // PI arrival/slew are external constraints (set_input_delay), not
+        // device delays: every corner lane sees the same value.
+        std::fill_n(res_.arr_[t].data() + pb, K, opt_.input_delay_ns);
         // Primary inputs do not launch hold races: port min-arrival is an
         // external constraint (set_input_delay -min) we do not model, so
         // PI-launched paths stay unconstrained for hold.
@@ -435,11 +476,15 @@ void StaEngine::init_launch(PinId p) {
     case CellKind::Seq: {
       const tech::LibCell* lc = d_.lib_cell(pp.cell);
       const double load = pp.net == kInvalidId ? 0.0 : net_load_ff(pp.net);
+      const double* fac = factors(pp.cell);
       for (int t : {0, 1}) {
         const auto& arc = lc->arc(0);  // DFF arc 0 models CLK→Q
         const double c2q = arc.delay[t].lookup(kClockPinSlew, load);
-        res_.arr_[t][static_cast<std::size_t>(p)] = lat + c2q;
-        arr_min_[t][static_cast<std::size_t>(p)] = lat + c2q;
+        for (std::size_t k = 0; k < K; ++k) {
+          const double v = lat + c2q * fac[k];
+          res_.arr_[t][pb + k] = v;
+          arr_min_[t][pb + k] = v;
+        }
         res_.slew_[t][static_cast<std::size_t>(p)] =
             arc.out_slew[t].lookup(kClockPinSlew, load);
       }
@@ -447,9 +492,13 @@ void StaEngine::init_launch(PinId p) {
     }
     case CellKind::Macro: {
       const tech::MacroCell* mc = d_.macro(pp.cell);
+      const double* fac = factors(pp.cell);
       for (int t : {0, 1}) {
-        res_.arr_[t][static_cast<std::size_t>(p)] = lat + mc->access_ns;
-        arr_min_[t][static_cast<std::size_t>(p)] = lat + mc->access_ns;
+        for (std::size_t k = 0; k < K; ++k) {
+          const double v = lat + mc->access_ns * fac[k];
+          res_.arr_[t][pb + k] = v;
+          arr_min_[t][pb + k] = v;
+        }
         res_.slew_[t][static_cast<std::size_t>(p)] = mc->out_slew_ns;
       }
       break;
@@ -466,37 +515,55 @@ void StaEngine::eval_cell_arc(CellId c, PinId in_pin, PinId out_pin) {
   const Pin& op = nl_.pin(out_pin);
   const double load = op.net == kInvalidId ? 0.0 : net_load_ff(op.net);
   const double derate = arc_derate(c, in_pin);
+  const double* fac = factors(c);
+  const std::size_t K = static_cast<std::size_t>(K_);
   const auto pi = static_cast<std::size_t>(in_pin);
   const auto po = static_cast<std::size_t>(out_pin);
+  const std::size_t pib = pi * K;
+  const std::size_t pob = po * K;
   for (int t : {0, 1}) {
     const int in_t = arc.inverting ? opp(t) : t;
-    const double a_in = res_.arr_[in_t][pi];
-    if (a_in == kNegInf) continue;
+    const double* ain = res_.arr_[in_t].data() + pib;
+    // Reachability is structural (factors are finite and positive), so
+    // lane 0's -inf speaks for every lane.
+    if (ain[0] == kNegInf) continue;
     const double s_in = std::max(res_.slew_[in_t][pi], 1e-4);
     const double dly = arc.delay[t].lookup(s_in, load) * derate;
     cell_arc_[po][static_cast<std::size_t>(ip.index * 2 + t)] = dly;
-    const double cand = a_in + dly;
-    if (cand > res_.arr_[t][po]) {
-      res_.arr_[t][po] = cand;
-      res_.pred_[t][po] = {in_pin, in_t, dly, 0.0, false, false};
-      // Winner-slew propagation: the output edge is shaped by the input
-      // that switches last. (Max-slew propagation would let one slow
-      // side-input poison every downstream path — overly pessimistic in
-      // the heterogeneous setting where slow-tier fan-in is routine.)
-      res_.slew_[t][po] = arc.out_slew[t].lookup(s_in, load) * derate;
+    double* arrt = res_.arr_[t].data() + pob;
+    const double* amin_in = arr_min_[in_t].data() + pib;
+    double* amin_out = arr_min_[t].data() + pob;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double dk = dly * fac[k];
+      const double cand = ain[k] + dk;
+      if (cand > arrt[k]) {
+        arrt[k] = cand;
+        if (k == 0) {
+          res_.pred_[t][po] = {in_pin, in_t, dly, 0.0, false, false};
+          // Winner-slew propagation: the output edge is shaped by the
+          // input that switches last. (Max-slew propagation would let one
+          // slow side-input poison every downstream path — overly
+          // pessimistic in the heterogeneous setting where slow-tier
+          // fan-in is routine.) Slews are corner-shared, so the nominal
+          // lane's winner decides the stored slew.
+          res_.slew_[t][po] = arc.out_slew[t].lookup(s_in, load) * derate;
+        }
+      }
+      // Min-delay (hold) propagation shares the same arc delays.
+      const double a_in_min = amin_in[k];
+      if (a_in_min != kPosInf)
+        amin_out[k] = std::min(amin_out[k], a_in_min + dk);
     }
-    // Min-delay (hold) propagation shares the same arc delays.
-    const double a_in_min = arr_min_[in_t][pi];
-    if (a_in_min != kPosInf)
-      arr_min_[t][po] = std::min(arr_min_[t][po], a_in_min + dly);
   }
 }
 
 void StaEngine::compute_forward(PinId p) {
   const auto pi = static_cast<std::size_t>(p);
+  const std::size_t K = static_cast<std::size_t>(K_);
+  const std::size_t pb = pi * K;
   for (int t : {0, 1}) {
-    res_.arr_[t][pi] = kNegInf;
-    arr_min_[t][pi] = kPosInf;
+    std::fill_n(res_.arr_[t].data() + pb, K, kNegInf);
+    std::fill_n(arr_min_[t].data() + pb, K, kPosInf);
     res_.slew_[t][pi] = 0.0;
     res_.pred_[t][pi] = {};
   }
@@ -511,11 +578,17 @@ void StaEngine::compute_forward(PinId p) {
       bool via_miv;
       net_arc(u, sink_ord_[pi], p, &dly, &slew_add, &via_miv, &wlen);
       net_arc_delay_[pi] = dly;
+      const std::size_t ub = ui * K;
       for (int t : {0, 1}) {
-        if (arr_min_[t][ui] != kPosInf)
-          arr_min_[t][pi] = arr_min_[t][ui] + dly;
-        if (res_.arr_[t][ui] == kNegInf) continue;
-        res_.arr_[t][pi] = res_.arr_[t][ui] + dly;
+        // Wire delay is corner-shared; each lane just shifts by it.
+        const double* amin_u = arr_min_[t].data() + ub;
+        double* amin_p = arr_min_[t].data() + pb;
+        for (std::size_t k = 0; k < K; ++k)
+          if (amin_u[k] != kPosInf) amin_p[k] = amin_u[k] + dly;
+        const double* arr_u = res_.arr_[t].data() + ub;
+        if (arr_u[0] == kNegInf) continue;
+        double* arr_p = res_.arr_[t].data() + pb;
+        for (std::size_t k = 0; k < K; ++k) arr_p[k] = arr_u[k] + dly;
         res_.pred_[t][pi] = {u, t, dly, wlen, true, via_miv};
         res_.slew_[t][pi] = std::hypot(res_.slew_[t][ui], slew_add);
       }
@@ -554,72 +627,100 @@ void StaEngine::eval_endpoint(PinId p) {
     setup = opt_.output_margin_ns;
     lat = port_latency_;
   }
+  const std::size_t K = static_cast<std::size_t>(K_);
+  const std::size_t pb = pi * K;
+  const std::size_t eb = static_cast<std::size_t>(ei) * K;
   // Hold check (min-delay race): earliest arrival vs capture edge.
-  ep_hold_[static_cast<std::size_t>(ei)] = kPosInf;
+  std::fill_n(ep_hold_.data() + eb, K, kPosInf);
   if (opt_.hold_analysis && cc.kind != CellKind::PrimaryOut) {
-    double earliest = kPosInf;
-    for (int t : {0, 1}) earliest = std::min(earliest, arr_min_[t][pi]);
-    if (earliest != kPosInf)
-      ep_hold_[static_cast<std::size_t>(ei)] = earliest - (lat + hold_req);
+    for (std::size_t k = 0; k < K; ++k) {
+      double earliest = kPosInf;
+      for (int t : {0, 1})
+        earliest = std::min(earliest, arr_min_[t][pb + k]);
+      if (earliest != kPosInf) ep_hold_[eb + k] = earliest - (lat + hold_req);
+    }
   }
+  // The capture edge is clock-network state, corner-shared across lanes.
   const double required = d_.clock_period_ns() + lat - setup;
   ep_required_[static_cast<std::size_t>(ei)] = required;
   res_.setup_at_endpoint_[pi] = setup;
-  double worst = kPosInf;
-  bool reachable = false;
-  for (int t : {0, 1}) {
-    if (res_.arr_[t][pi] == kNegInf) continue;
-    reachable = true;
-    worst = std::min(worst, required - res_.arr_[t][pi]);
+  for (std::size_t k = 0; k < K; ++k) {
+    double worst = kPosInf;
+    bool reachable = false;
+    for (int t : {0, 1}) {
+      if (res_.arr_[t][pb + k] == kNegInf) continue;
+      reachable = true;
+      worst = std::min(worst, required - res_.arr_[t][pb + k]);
+    }
+    ep_slack_[eb + k] = reachable ? worst : kPosInf;
   }
-  ep_slack_[static_cast<std::size_t>(ei)] = reachable ? worst : kPosInf;
 }
 
 void StaEngine::compute_required(PinId p) {
   const auto pi = static_cast<std::size_t>(p);
-  double req[2] = {kPosInf, kPosInf};
+  const std::size_t K = static_cast<std::size_t>(K_);
+  const std::size_t pb = pi * K;
+  // Gathered in place: the backward pass only reads strictly-higher
+  // levels' required times, never a same-level pin's, so resetting our
+  // own lanes before the gather is race-free at any pool size.
+  double* req[2] = {res_.req_[0].data() + pb, res_.req_[1].data() + pb};
+  for (int t : {0, 1}) std::fill_n(req[t], K, kPosInf);
   const int ei = ep_index_[pi];
   if (ei >= 0) {
     const double required = ep_required_[static_cast<std::size_t>(ei)];
-    for (int t : {0, 1})
-      if (res_.arr_[t][pi] != kNegInf) req[t] = std::min(req[t], required);
+    for (int t : {0, 1}) {
+      const double* arrt = res_.arr_[t].data() + pb;
+      for (std::size_t k = 0; k < K; ++k)
+        if (arrt[k] != kNegInf) req[t][k] = std::min(req[t][k], required);
+    }
   }
   const Pin& pp = nl_.pin(p);
   if (pp.dir == PinDir::Output) {
     // Gather through the net arcs: required at each sink minus its stored
-    // net delay (same transition).
-    for (int k = succ_off_[pi]; k < succ_off_[pi + 1]; ++k) {
-      const auto si = static_cast<std::size_t>(succ_[static_cast<std::size_t>(k)]);
+    // net delay (same transition; wire delay is corner-shared).
+    for (int s = succ_off_[pi]; s < succ_off_[pi + 1]; ++s) {
+      const auto si =
+          static_cast<std::size_t>(succ_[static_cast<std::size_t>(s)]);
+      const double nd = net_arc_delay_[si];
+      const double* reqs0 = res_.req_[0].data() + si * K;
+      const double* reqs1 = res_.req_[1].data() + si * K;
+      const double* reqs[2] = {reqs0, reqs1};
       for (int t : {0, 1}) {
-        if (res_.req_[t][si] == kPosInf) continue;
-        req[t] = std::min(req[t], res_.req_[t][si] - net_arc_delay_[si]);
+        for (std::size_t k = 0; k < K; ++k) {
+          if (reqs[t][k] == kPosInf) continue;
+          req[t][k] = std::min(req[t][k], reqs[t][k] - nd);
+        }
       }
     }
   } else {
     const Cell& cc = nl_.cell(pp.cell);
     if (cc.is_comb() && !clkbuf_[static_cast<std::size_t>(pp.cell)]) {
       // Gather through this cell's arcs: required at each output minus the
-      // stored forward arc delay, with the inverting transition mapping.
-      // Arcs whose forward arrival was -inf keep their stored 0.0 delay —
-      // deliberately matching the original engine's backward pass.
+      // stored forward arc delay (scaled by the lane's corner factor, the
+      // exact delay the forward pass added), with the inverting transition
+      // mapping. Arcs whose forward arrival was -inf keep their stored 0.0
+      // delay — deliberately matching the original engine's backward pass.
       const tech::LibCell* lc = d_.lib_cell(pp.cell);
       const auto& arc = lc->arc(pp.index);
+      const double* fac = factors(pp.cell);
       const auto ci = static_cast<std::size_t>(pp.cell);
-      for (int k = cell_out_off_[ci]; k < cell_out_off_[ci + 1]; ++k) {
+      for (int s = cell_out_off_[ci]; s < cell_out_off_[ci + 1]; ++s) {
         const auto oi =
-            static_cast<std::size_t>(cell_out_[static_cast<std::size_t>(k)]);
+            static_cast<std::size_t>(cell_out_[static_cast<std::size_t>(s)]);
         for (int t : {0, 1}) {
-          if (res_.req_[t][oi] == kPosInf) continue;
           const double dly =
               cell_arc_[oi][static_cast<std::size_t>(pp.index * 2 + t)];
           const int in_t = arc.inverting ? opp(t) : t;
-          req[in_t] = std::min(req[in_t], res_.req_[t][oi] - dly);
+          const double* reqo = res_.req_[t].data() + oi * K;
+          double* r = req[in_t];
+          for (std::size_t k = 0; k < K; ++k) {
+            if (reqo[k] == kPosInf) continue;
+            r[k] = std::min(r[k], reqo[k] - dly * fac[k]);
+          }
         }
       }
     }
   }
-  res_.req_[0][pi] = req[0];
-  res_.req_[1][pi] = req[1];
 }
 
 void StaEngine::compute_port_latency() {
@@ -655,10 +756,12 @@ void StaEngine::run_level(const std::vector<PinId>& pins, bool forward) {
 }
 
 void StaEngine::aggregate() {
+  const std::size_t K = static_cast<std::size_t>(K_);
   std::vector<std::pair<double, PinId>> eps;
   eps.reserve(ep_pins_.size());
   for (std::size_t i = 0; i < ep_pins_.size(); ++i)
-    if (ep_slack_[i] != kPosInf) eps.emplace_back(ep_slack_[i], ep_pins_[i]);
+    if (ep_slack_[i * K] != kPosInf)
+      eps.emplace_back(ep_slack_[i * K], ep_pins_[i]);
   std::sort(eps.begin(), eps.end());
   res_.endpoints_.clear();
   res_.endpoint_slack_.clear();
@@ -679,18 +782,54 @@ void StaEngine::aggregate() {
     double whs = kPosInf;
     bool any = false;
     for (std::size_t i = 0; i < ep_pins_.size(); ++i) {
-      if (ep_hold_[i] == kPosInf) continue;
+      if (ep_hold_[i * K] == kPosInf) continue;
       any = true;
-      whs = std::min(whs, ep_hold_[i]);
-      if (ep_hold_[i] < 0.0) ++res_.hold_violations_;
+      whs = std::min(whs, ep_hold_[i * K]);
+      if (ep_hold_[i * K] < 0.0) ++res_.hold_violations_;
     }
     res_.whs_ = any ? whs : 0.0;
   }
+
+  // ---- per-corner aggregates ---------------------------------------------
+  // Corner 0 mirrors the nominal wns_/tns_/violated_ bit for bit — copied
+  // rather than re-summed, because tns_ accumulates in sorted-slack order
+  // and a re-summation in endpoint order would only match to rounding.
+  // Corners >= 1 are summed in endpoint order (no identity to preserve).
+  res_.corner_wns_.assign(K, kPosInf);
+  res_.corner_tns_.assign(K, 0.0);
+  res_.corner_violated_.assign(K, 0);
+  if (K_ > 1) {
+    for (std::size_t i = 0; i < ep_pins_.size(); ++i) {
+      const double* sl = ep_slack_.data() + i * K;
+      for (std::size_t k = 1; k < K; ++k) {
+        const double s = sl[k];
+        if (s == kPosInf) continue;
+        res_.corner_wns_[k] = std::min(res_.corner_wns_[k], s);
+        if (s < 0.0) {
+          res_.corner_tns_[k] += s;
+          ++res_.corner_violated_[k];
+        }
+      }
+    }
+    for (std::size_t k = 1; k < K; ++k)
+      if (res_.corner_wns_[k] == kPosInf) res_.corner_wns_[k] = 0.0;
+  }
+  res_.corner_wns_[0] = res_.wns_;
+  res_.corner_tns_[0] = res_.tns_;
+  res_.corner_violated_[0] = res_.violated_;
+  if (K_ > 1 && util::trace_enabled())
+    util::trace_counter("sta_timing_yield", res_.timing_yield());
 }
 
 const StaResult& StaEngine::run() {
   compute_port_latency();
   const bool tracing = util::trace_enabled();
+  // One span around the whole K-lane sweep: forward + endpoints +
+  // backward cover all corners in this single pass.
+  std::optional<util::TraceSpan> sweep;
+  if (tracing && K_ > 1)
+    sweep.emplace("sta_corner_sweep",
+                  nl_.name() + " K=" + std::to_string(K_));
   {
     util::TraceSpan span("sta_forward", nl_.name());
     for (std::size_t lv = 0; lv < levels_.size(); ++lv) {
@@ -787,12 +926,48 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
   };
   std::vector<PinId> redo_eps;
   std::vector<double> old_row;
+  // Lane-aware old-value capture: a pin's forward state is 4 corner-lane
+  // blocks (arr rise/fall, arr_min rise/fall) plus the two corner-shared
+  // slews and the stored net-arc delay in the trailing slots. Change
+  // detection stays bitwise over every lane, so retime() remains
+  // bit-identical to run() for any K.
+  const std::size_t K = static_cast<std::size_t>(K_);
+  const std::size_t fwd_words = 4 * K + 3;
+  auto capture_fwd = [&](std::size_t pi, double* dst) {
+    const std::size_t pb = pi * K;
+    for (int t : {0, 1}) {
+      std::copy_n(res_.arr_[t].data() + pb, K, dst);
+      dst += K;
+    }
+    for (int t : {0, 1}) {
+      std::copy_n(arr_min_[t].data() + pb, K, dst);
+      dst += K;
+    }
+    dst[0] = res_.slew_[0][pi];
+    dst[1] = res_.slew_[1][pi];
+    dst[2] = net_arc_delay_[pi];
+  };
+  // Successors read arr/arr_min/slew; a bitwise compare over the lanes
+  // decides whether the change propagates.
+  auto fwd_changed_at = [&](std::size_t pi, const double* o) {
+    const std::size_t pb = pi * K;
+    for (int t : {0, 1}) {
+      if (!std::equal(o, o + K, res_.arr_[t].data() + pb)) return true;
+      o += K;
+    }
+    for (int t : {0, 1}) {
+      if (!std::equal(o, o + K, arr_min_[t].data() + pb)) return true;
+      o += K;
+    }
+    return o[0] != res_.slew_[0][pi] || o[1] != res_.slew_[1][pi];
+  };
   // Batch-retime scratch: per-slot old-value capture for the parallel
   // recompute of a large level bucket (ECO move batches dirty thousands
   // of cones at once; their same-level pins are independent — the exact
   // invariant run_level() already exploits in run()).
-  std::vector<std::array<double, 7>> olds;
+  std::vector<double> olds;  // flat, fwd_words per slot
   std::vector<std::vector<double>> old_rows;
+  std::vector<double> old_fwd(fwd_words);
   const bool par_retime = pool_.size() > 1;
   int recomputed = 0;
   for (std::size_t lv = 0; lv < wl.size(); ++lv) {
@@ -806,7 +981,7 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
       // bitwise compares and worklist seeding, so propagation decisions
       // happen in the exact serial order — results are bit-identical to
       // the serial walk at any pool size.
-      olds.resize(static_cast<std::size_t>(bn));
+      olds.resize(static_cast<std::size_t>(bn) * fwd_words);
       old_rows.resize(static_cast<std::size_t>(bn));
       pool_.parallel_for(
           0, bn,
@@ -814,10 +989,7 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
             const auto ii = static_cast<std::size_t>(i);
             const PinId p = bucket[ii];
             const auto pi = static_cast<std::size_t>(p);
-            olds[ii] = {res_.arr_[0][pi],  res_.arr_[1][pi],
-                        arr_min_[0][pi],   arr_min_[1][pi],
-                        res_.slew_[0][pi], res_.slew_[1][pi],
-                        net_arc_delay_[pi]};
+            capture_fwd(pi, olds.data() + ii * fwd_words);
             if (role_[pi] == Role::kCombOut)
               old_rows[ii] = cell_arc_[pi];
             else
@@ -830,17 +1002,15 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
         const PinId p = bucket[ii];
         const auto pi = static_cast<std::size_t>(p);
         ++recomputed;
-        const auto& o = olds[ii];
+        const double* o = olds.data() + ii * fwd_words;
         const bool comb_out = role_[pi] == Role::kCombOut;
-        const bool fwd_changed =
-            o[0] != res_.arr_[0][pi] || o[1] != res_.arr_[1][pi] ||
-            o[2] != arr_min_[0][pi] || o[3] != arr_min_[1][pi] ||
-            o[4] != res_.slew_[0][pi] || o[5] != res_.slew_[1][pi];
+        const bool fwd_changed = fwd_changed_at(pi, o);
         if (fwd_changed)
           for (int k = succ_off_[pi]; k < succ_off_[pi + 1]; ++k)
             seed(succ_[static_cast<std::size_t>(k)]);
         const bool arcs_changed =
-            (role_[pi] == Role::kNetSink && o[6] != net_arc_delay_[pi]) ||
+            (role_[pi] == Role::kNetSink &&
+             o[fwd_words - 1] != net_arc_delay_[pi]) ||
             (comb_out && old_rows[ii] != cell_arc_[pi]);
         if (fwd_changed || arcs_changed) {
           bwd_seed(p);
@@ -854,21 +1024,13 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
     for (const PinId p : bucket) {
       const auto pi = static_cast<std::size_t>(p);
       ++recomputed;
-      const double oa0 = res_.arr_[0][pi], oa1 = res_.arr_[1][pi];
-      const double om0 = arr_min_[0][pi], om1 = arr_min_[1][pi];
-      const double os0 = res_.slew_[0][pi], os1 = res_.slew_[1][pi];
-      const double ond = net_arc_delay_[pi];
+      capture_fwd(pi, old_fwd.data());
       const bool comb_out = role_[pi] == Role::kCombOut;
       if (comb_out) old_row = cell_arc_[pi];
 
       compute_forward(p);
 
-      // Successors read arr/arr_min/slew; bitwise compare decides
-      // whether the change propagates.
-      const bool fwd_changed =
-          oa0 != res_.arr_[0][pi] || oa1 != res_.arr_[1][pi] ||
-          om0 != arr_min_[0][pi] || om1 != arr_min_[1][pi] ||
-          os0 != res_.slew_[0][pi] || os1 != res_.slew_[1][pi];
+      const bool fwd_changed = fwd_changed_at(pi, old_fwd.data());
       if (fwd_changed)
         for (int k = succ_off_[pi]; k < succ_off_[pi + 1]; ++k)
           seed(succ_[static_cast<std::size_t>(k)]);
@@ -876,7 +1038,8 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
       // can change even when the forward values do not (a non-winning arc
       // got faster): re-gather the predecessors' required times then.
       const bool arcs_changed =
-          (role_[pi] == Role::kNetSink && ond != net_arc_delay_[pi]) ||
+          (role_[pi] == Role::kNetSink &&
+           old_fwd[fwd_words - 1] != net_arc_delay_[pi]) ||
           (comb_out && old_row != cell_arc_[pi]);
       if (fwd_changed || arcs_changed) {
         bwd_seed(p);
@@ -894,7 +1057,18 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
   }
 
   // ---- backward worklist by descending level -----------------------------
-  std::vector<std::array<double, 2>> old_reqs;
+  std::vector<double> old_reqs;  // flat, 2*K words per slot
+  std::vector<double> old_req2(2 * K);
+  auto capture_req = [&](std::size_t pi, double* dst) {
+    const std::size_t pb = pi * K;
+    std::copy_n(res_.req_[0].data() + pb, K, dst);
+    std::copy_n(res_.req_[1].data() + pb, K, dst + K);
+  };
+  auto req_changed_at = [&](std::size_t pi, const double* o) {
+    const std::size_t pb = pi * K;
+    return !std::equal(o, o + K, res_.req_[0].data() + pb) ||
+           !std::equal(o + K, o + 2 * K, res_.req_[1].data() + pb);
+  };
   for (std::size_t lv = bwl.size(); lv-- > 0;) {
     auto& bucket = bwl[lv];
     if (bucket.empty()) continue;
@@ -903,22 +1077,21 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
     if (par_retime && bn >= kParallelLevelMin) {
       // Same batch shape as the forward pass: parallel recompute with
       // per-slot old-value capture, serial seeding in sorted order.
-      old_reqs.resize(static_cast<std::size_t>(bn));
+      old_reqs.resize(static_cast<std::size_t>(bn) * 2 * K);
       pool_.parallel_for(
           0, bn,
           [&](int i) {
             const auto ii = static_cast<std::size_t>(i);
             const PinId p = bucket[ii];
-            const auto pi = static_cast<std::size_t>(p);
-            old_reqs[ii] = {res_.req_[0][pi], res_.req_[1][pi]};
+            capture_req(static_cast<std::size_t>(p),
+                        old_reqs.data() + ii * 2 * K);
             compute_required(p);
           },
           kParallelGrain);
       for (int i = 0; i < bn; ++i) {
         const auto ii = static_cast<std::size_t>(i);
         const auto pi = static_cast<std::size_t>(bucket[ii]);
-        if (old_reqs[ii][0] != res_.req_[0][pi] ||
-            old_reqs[ii][1] != res_.req_[1][pi])
+        if (req_changed_at(pi, old_reqs.data() + ii * 2 * K))
           for (int k = preds_off_[pi]; k < preds_off_[pi + 1]; ++k)
             bwd_seed(preds_[static_cast<std::size_t>(k)]);
       }
@@ -926,9 +1099,9 @@ const StaResult& StaEngine::retime(const std::vector<CellId>& dirty) {
     }
     for (const PinId p : bucket) {
       const auto pi = static_cast<std::size_t>(p);
-      const double or0 = res_.req_[0][pi], or1 = res_.req_[1][pi];
+      capture_req(pi, old_req2.data());
       compute_required(p);
-      if (or0 != res_.req_[0][pi] || or1 != res_.req_[1][pi])
+      if (req_changed_at(pi, old_req2.data()))
         for (int k = preds_off_[pi]; k < preds_off_[pi + 1]; ++k)
           bwd_seed(preds_[static_cast<std::size_t>(k)]);
     }
@@ -965,7 +1138,9 @@ StaResult run_sta(const Design& d, const route::RoutingEstimate* routes,
 }
 
 double StaResult::pin_slack(PinId p) const {
-  const auto pi = static_cast<std::size_t>(p);
+  // Lane 0: the nominal corner (the only lane of a scalar run).
+  const auto pi =
+      static_cast<std::size_t>(p) * static_cast<std::size_t>(lanes_);
   double worst = kInf;
   for (int t : {0, 1}) {
     if (arr_[t][pi] == kNegInf || req_[t][pi] == kInf) continue;
@@ -975,15 +1150,36 @@ double StaResult::pin_slack(PinId p) const {
 }
 
 double StaResult::pin_arrival(PinId p) const {
-  const auto pi = static_cast<std::size_t>(p);
+  const auto pi =
+      static_cast<std::size_t>(p) * static_cast<std::size_t>(lanes_);
   double worst = kNegInf;
   for (int t : {0, 1}) worst = std::max(worst, arr_[t][pi]);
   return worst;
 }
 
 double StaResult::pin_slew(PinId p) const {
+  // Slews are corner-shared (delay-only derating): plain per-pin index.
   const auto pi = static_cast<std::size_t>(p);
   return std::max(slew_[0][pi], slew_[1][pi]);
+}
+
+double StaResult::guard_wns() const {
+  if (corners_ <= 1 || corner_wns_.empty()) return wns_;
+  return *std::min_element(corner_wns_.begin(), corner_wns_.end());
+}
+
+double StaResult::guard_tns() const {
+  if (corners_ <= 1 || corner_tns_.empty()) return tns_;
+  return *std::min_element(corner_tns_.begin(), corner_tns_.end());
+}
+
+double StaResult::timing_yield(double min_wns_ns) const {
+  if (corner_wns_.empty()) return wns_ >= min_wns_ns ? 1.0 : 0.0;
+  int met = 0;
+  for (const double w : corner_wns_)
+    if (w >= min_wns_ns) ++met;
+  return static_cast<double>(met) /
+         static_cast<double>(corner_wns_.size());
 }
 
 double StaResult::cell_slack(CellId c) const {
@@ -998,13 +1194,15 @@ CriticalPath StaResult::trace_path(PinId endpoint) const {
   path.endpoint = endpoint;
   const auto& nl = design_->nl();
   const auto ei = static_cast<std::size_t>(endpoint);
+  // Lane 0 of the stride-K arrays: paths are traced at the nominal corner.
+  const auto eb = ei * static_cast<std::size_t>(lanes_);
 
   // Worst transition at the endpoint.
   int t = 0;
   double worst = kInf;
   for (int tt : {0, 1}) {
-    if (arr_[tt][ei] == kNegInf || req_[tt][ei] == kInf) continue;
-    const double s = req_[tt][ei] - arr_[tt][ei];
+    if (arr_[tt][eb] == kNegInf || req_[tt][eb] == kInf) continue;
+    const double s = req_[tt][eb] - arr_[tt][eb];
     if (s < worst) {
       worst = s;
       t = tt;
@@ -1048,7 +1246,8 @@ CriticalPath StaResult::trace_path(PinId endpoint) const {
     st.out_pin = launch_pin;
     st.tier = design_->tier(launch_cell);
     st.cell_delay_ns = arr_[hops.front().trans][static_cast<std::size_t>(
-                           launch_pin)] -
+                           launch_pin) *
+                           static_cast<std::size_t>(lanes_)] -
                        path.launch_latency_ns;
     path.stages.push_back(st);
   }
@@ -1085,7 +1284,7 @@ CriticalPath StaResult::trace_path(PinId endpoint) const {
     path.delay_on_tier[tier] += st.cell_delay_ns + st.wire_delay_ns;
   }
   path.path_delay_ns =
-      arr_[t][ei] - path.launch_latency_ns;
+      arr_[t][eb] - path.launch_latency_ns;
   return path;
 }
 
@@ -1121,6 +1320,17 @@ std::uint64_t timing_fingerprint(const StaResult& r) {
   for (const PinId p : r.endpoints_by_slack()) {
     mix(static_cast<std::uint64_t>(p));
     mix(std::bit_cast<std::uint64_t>(r.pin_slack(p)));
+  }
+  // Multi-corner results additionally pin down every lane's aggregate —
+  // guard-banded ECO decisions depend on the non-nominal corners, so two
+  // interchangeable timing views must agree on them too. Single-corner
+  // digests are untouched for checkpoint compatibility.
+  if (r.corner_count() > 1) {
+    mix(static_cast<std::uint64_t>(r.corner_count()));
+    for (int k = 0; k < r.corner_count(); ++k) {
+      mix(std::bit_cast<std::uint64_t>(r.corner_wns(k)));
+      mix(std::bit_cast<std::uint64_t>(r.corner_tns(k)));
+    }
   }
   return h;
 }

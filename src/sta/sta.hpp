@@ -27,6 +27,7 @@
 
 #include "netlist/design.hpp"
 #include "route/route.hpp"
+#include "tech/corners.hpp"
 
 namespace m3d::exec {
 class Pool;
@@ -60,6 +61,16 @@ struct StaOptions {
   /// exec::Pool::global(). Results are byte-identical for any pool size,
   /// so this field is deliberately excluded from flow-cache option hashes.
   exec::Pool* pool = nullptr;
+  /// Process-corner sweep: K = corners.count per-tier delay factors are
+  /// propagated as stride-K SoA lanes in a single level-synchronous pass
+  /// (the graph walk, levelization, Elmore net delays, NLDM lookups and
+  /// slew propagation are shared across corners — factors scale device
+  /// delays only, the `set_timing_derate`-style OCV model). Lane 0 is
+  /// the systematic (nominal) corner; with the default spec it is
+  /// bitwise-identical to the historical scalar engine at any pool size.
+  /// Unlike `pool`, this field IS part of the flow-cache option hashes —
+  /// different corner sets must never share a cached flow.
+  tech::CornerSpec corners;
 };
 
 /// One stage of a reported timing path (a cell traversal plus the wire
@@ -131,6 +142,34 @@ class StaResult {
   /// Worst paths through the top-n worst endpoints (one path each).
   std::vector<CriticalPath> worst_paths(int n) const;
 
+  // ---- multi-corner view (see StaOptions::corners) ------------------------
+  // Every per-pin/endpoint accessor above reads lane 0, the nominal
+  // corner, so single-corner callers are unaffected by a sweep.
+
+  /// Number of corner lanes this result carries (1 = scalar run).
+  int corner_count() const { return corners_; }
+
+  /// WNS / TNS / violation count of corner k.
+  double corner_wns(int k) const {
+    return corner_wns_[static_cast<std::size_t>(k)];
+  }
+  double corner_tns(int k) const {
+    return corner_tns_[static_cast<std::size_t>(k)];
+  }
+  int corner_violated(int k) const {
+    return corner_violated_[static_cast<std::size_t>(k)];
+  }
+
+  /// Guard-banded (worst-over-corners) WNS/TNS: the variation-aware ECO's
+  /// accept metric. Equal to wns()/tns() when corner_count() == 1.
+  double guard_wns() const;
+  double guard_tns() const;
+
+  /// Fraction of corners whose WNS is at or above `min_wns_ns` — the
+  /// timing yield against a slack floor (0 = all paths meet the period
+  /// exactly; the flow reports yield at the paper's −5 %·T budget).
+  double timing_yield(double min_wns_ns = 0.0) const;
+
  private:
   friend class detail::StaEngine;
 
@@ -153,12 +192,21 @@ class StaResult {
   int hold_violations_ = 0;
   std::vector<PinId> endpoints_;           // sorted by slack ascending
   std::vector<double> endpoint_slack_;     // aligned with endpoints_
-  // Per pin × transition state.
+  // Per pin × transition × corner state: arr_/req_ are stride-K SoA with
+  // lane k of pin p at index p*lanes_ + k (lane 0 = nominal corner).
+  // slew_ and pred_ are per-pin only — factors derate delays, not slews,
+  // and path tracing reports the nominal corner's winners.
+  int lanes_ = 1;
   std::vector<double> arr_[2];
   std::vector<double> req_[2];
   std::vector<double> slew_[2];
   std::vector<Pred> pred_[2];
   std::vector<double> setup_at_endpoint_;  // per pin; 0 if not an endpoint
+  // Per-corner aggregates (size corners_; index 0 mirrors wns_/tns_).
+  int corners_ = 1;
+  std::vector<double> corner_wns_;
+  std::vector<double> corner_tns_;
+  std::vector<int> corner_violated_;
 };
 
 /// A persistent timing engine bound to one design. Construction builds the
@@ -211,7 +259,11 @@ StaResult run_sta(const Design& d, const route::RoutingEstimate* routes,
                   const StaOptions& opt = {});
 
 /// 64-bit digest of a timing state: WNS/TNS/WHS plus every endpoint id
-/// and its exact slack bits, in worst-first order. Because run() and
+/// and its exact slack bits, in worst-first order. A multi-corner result
+/// additionally mixes the corner count and every corner's WNS/TNS bits
+/// (guard-banded ECO decisions depend on the non-nominal lanes); a
+/// single-corner result's digest is unchanged from the scalar engine, so
+/// existing checkpoints stay compatible. Because run() and
 /// retime() are bitwise-deterministic, two equal fingerprints mean the
 /// timing views are interchangeable. The flow checkpoint layer stores it
 /// at repartition-ECO iteration boundaries and verifies that the engine

@@ -1,0 +1,103 @@
+#include "util/quantile.hpp"
+
+#include <cmath>
+
+namespace m3d::util {
+
+namespace {
+
+// Phi^-1 at p = i/128 for i = 1..127: the tabulated initial guesses the
+// Newton refinement starts from. Values are correctly-rounded doubles of
+// the exact quantiles; entry 63 (p = 0.5) is exactly 0.
+constexpr int kTableN = 127;
+constexpr double kTable[kTableN] = {
+    -2.41755901623650482e+00, -2.15387469406145549e+00, -1.98742788592989572e+00, -1.86273186742165109e+00,
+    -1.76167041036306626e+00, -1.67593972277344361e+00, -1.60100866488607574e+00, -1.53412054435254586e+00,
+    -1.47346757794710137e+00, -1.41779713799626728e+00, -1.36620381637209842e+00, -1.31801089730353671e+00,
+    -1.27269864119053566e+00, -1.22985875921658905e+00, -1.18916435019933675e+00, -1.15034938037600787e+00,
+    -1.11319427716092845e+00, -1.07751556704028029e+00, -1.04315826331845396e+00, -1.00999016924958207e+00,
+    -9.77897543940541958e-01, -9.46781756301045552e-01, -9.16556667533112490e-01, -8.87146559018875847e-01,
+    -8.58484474141832044e-01, -8.30510878205399150e-01, -8.03172565597917720e-01, -7.76421761147927603e-01,
+    -7.50215375467940371e-01, -7.24514383492365299e-01, -6.99283302383219896e-01, -6.74489750196081705e-01,
+    -6.50104070647995247e-01, -6.26099012346421291e-01, -6.02449453164423665e-01, -5.79132162255555971e-01,
+    -5.56125593618691294e-01, -5.33409706241280479e-01, -5.10965806738247430e-01, -4.88776411114669407e-01,
+    -4.66825122852589591e-01, -4.45096524985516329e-01, -4.23576084201199521e-01, -4.02250065321725248e-01,
+    -3.81105454763556450e-01, -3.60129891789569390e-01, -3.39311606538817312e-01, -3.18639363964375144e-01,
+    -2.98102412930486949e-01, -2.77690439821576762e-01, -2.57393526100938241e-01, -2.37202109328787714e-01,
+    -2.17106947210129686e-01, -1.97099084294312304e-01, -1.77169820991739807e-01, -1.57310684610170670e-01,
+    -1.37513402144335883e-01, -1.17769874579095296e-01, -9.80721524886610518e-02, -7.84124127331121967e-02,
+    -5.87829360689430605e-02, -3.91760855030976393e-02, -1.95842852301269243e-02, +0.00000000000000000e+00,
+    +1.95842852301269243e-02, +3.91760855030976393e-02, +5.87829360689430605e-02, +7.84124127331121967e-02,
+    +9.80721524886610518e-02, +1.17769874579095296e-01, +1.37513402144335883e-01, +1.57310684610170670e-01,
+    +1.77169820991739807e-01, +1.97099084294312304e-01, +2.17106947210129686e-01, +2.37202109328787714e-01,
+    +2.57393526100938241e-01, +2.77690439821576762e-01, +2.98102412930486949e-01, +3.18639363964375144e-01,
+    +3.39311606538817312e-01, +3.60129891789569390e-01, +3.81105454763556450e-01, +4.02250065321725248e-01,
+    +4.23576084201199521e-01, +4.45096524985516329e-01, +4.66825122852589591e-01, +4.88776411114669407e-01,
+    +5.10965806738247430e-01, +5.33409706241280479e-01, +5.56125593618691294e-01, +5.79132162255555971e-01,
+    +6.02449453164423665e-01, +6.26099012346421291e-01, +6.50104070647995247e-01, +6.74489750196081705e-01,
+    +6.99283302383219896e-01, +7.24514383492365299e-01, +7.50215375467940371e-01, +7.76421761147927603e-01,
+    +8.03172565597917720e-01, +8.30510878205399150e-01, +8.58484474141832044e-01, +8.87146559018875847e-01,
+    +9.16556667533112490e-01, +9.46781756301045552e-01, +9.77897543940541958e-01, +1.00999016924958207e+00,
+    +1.04315826331845396e+00, +1.07751556704028029e+00, +1.11319427716092845e+00, +1.15034938037600787e+00,
+    +1.18916435019933675e+00, +1.22985875921658905e+00, +1.27269864119053566e+00, +1.31801089730353671e+00,
+    +1.36620381637209842e+00, +1.41779713799626728e+00, +1.47346757794710137e+00, +1.53412054435254586e+00,
+    +1.60100866488607574e+00, +1.67593972277344361e+00, +1.76167041036306626e+00, +1.86273186742165109e+00,
+    +1.98742788592989572e+00, +2.15387469406145549e+00, +2.41755901623650482e+00,
+};
+
+constexpr double kSqrt1_2 = 0.70710678118654752440;       // 1/sqrt(2)
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;    // 1/sqrt(2*pi)
+constexpr double kLn2Pi = 1.83787706640934548356;         // ln(2*pi)
+constexpr double kPMin = 1e-300;  // clamp bound; z(1e-300) ~ -37, still finite
+
+/// Probit on the lower half, p in (0, 0.5]: tabulated (or tail-asymptotic)
+/// start, then Newton on Phi(z) - p with the exact normal pdf as slope.
+double probit_lower(double p) {
+  double z;
+  const int i = static_cast<int>(p * 128.0);  // table index of floor(p*128)
+  if (i >= 1) {
+    // Linear interpolation between the two bracketing table knots.
+    const double lo = kTable[i - 1];
+    const double hi = i < kTableN ? kTable[i] : 0.0;
+    const double frac = p * 128.0 - i;
+    z = lo + (hi - lo) * frac;
+  } else {
+    // Below the first knot (p < 1/128): two-term tail expansion of the
+    // probit, z ~ -(t - (ln t^2 + ln 2pi) / (2t)) with t = sqrt(-2 ln p).
+    // The one-term asymptote -t alone overshoots the quantile by several
+    // tenths, and Newton started there first leaps across the flat side
+    // of Phi before crawling back — four iterations were not enough at
+    // p = 1e-3. The corrected start is within ~1e-2 everywhere in the
+    // tail, so Newton contracts from the first step.
+    const double t = std::sqrt(-2.0 * std::log(p));
+    z = -(t - (std::log(t * t) + kLn2Pi) / (2.0 * t));
+  }
+  for (int it = 0; it < 6; ++it) {
+    const double err = normal_cdf(z) - p;
+    if (err == 0.0) break;
+    const double pdf = kInvSqrt2Pi * std::exp(-0.5 * z * z);
+    if (pdf <= 0.0) break;  // deep-tail underflow: keep the asymptote
+    double step = err / pdf;
+    // Overshoot guard: a unit step in z is always enough from a start
+    // this good; anything larger means the flat tail fooled the slope.
+    if (step > 1.0) step = 1.0;
+    if (step < -1.0) step = -1.0;
+    z -= step;
+    if (std::abs(step) < 1e-14 * std::abs(z) + 1e-16) break;
+  }
+  return z;
+}
+
+}  // namespace
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z * kSqrt1_2); }
+
+double inv_normal_cdf(double p) {
+  if (!(p > kPMin)) p = kPMin;          // also routes NaN to the lower clamp
+  if (p > 1.0 - 1e-16) p = 1.0 - 1e-16;
+  if (p == 0.5) return 0.0;
+  // Mirror through the median so the result is exactly antisymmetric.
+  return p < 0.5 ? probit_lower(p) : -probit_lower(1.0 - p);
+}
+
+}  // namespace m3d::util

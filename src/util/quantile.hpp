@@ -1,0 +1,29 @@
+#pragma once
+/// \file quantile.hpp
+/// \brief Inverse normal CDF (probit) via a tabulated initial guess plus
+///        Newton refinement — the sampler behind tech::CornerSet.
+///
+/// The corner generator maps uniform draws from deterministic
+/// util::Rng streams through Phi^-1 to get standard-normal process-shift
+/// variates. The implementation follows the SAT-community idiom of a
+/// coarse quantile lookup table (here at 1/128 steps) seeding a few
+/// Newton iterations on Phi(z) - p = 0, with Phi evaluated through
+/// std::erfc. The result is a pure, platform-deterministic function of p:
+/// same bits in, same bits out, every call — which is what keeps corner
+/// sets reproducible across Rng::stream ids and pool sizes.
+
+namespace m3d::util {
+
+/// Standard normal CDF, Phi(z) = 0.5 * erfc(-z / sqrt(2)).
+double normal_cdf(double z);
+
+/// Inverse standard normal CDF (probit function). Accurate to ~1e-12 over
+/// p in [1e-12, 1 - 1e-12] (far tighter than the 1e-4 the corner model
+/// needs); p outside (0, 1) is clamped to that range, so the function is
+/// total. inv_normal_cdf(0.5) == 0, and the upper half mirrors the lower
+/// exactly: for p >= 0.5 the subtraction 1 - p is exact (Sterbenz), so
+/// inv_normal_cdf(p) == -inv_normal_cdf(1 - p) bit for bit there. For
+/// p < 0.5 the same identity holds up to the rounding of 1 - p itself.
+double inv_normal_cdf(double p);
+
+}  // namespace m3d::util

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -245,6 +246,52 @@ TEST_F(ExecFlowCache, HitOnIdenticalKeyMissOnDifferent) {
   cache.get_or_run(tiny("ldpc", 0.04), mc::Config::TwoD12T, opt);
   EXPECT_EQ(cache.stats().misses, 4u);
   EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST_F(ExecFlowCache, CornerSpecsNeverShareAnEntry) {
+  // Regression for the option-hash coverage of FlowOptions::sta_corners:
+  // a multi-corner flow makes different ECO decisions and reports
+  // different signoff metrics, so serving it a single-corner cached flow
+  // (or vice versa) would be silently wrong.
+  const auto base = tiny_opts();
+  auto sweep = base;
+  sweep.sta_corners.count = 16;
+  sweep.sta_corners.sigma[0] = 0.03;
+  sweep.sta_corners.sigma[1] = 0.08;
+  sweep.sta_corners.derate[1] = 1.05;
+  EXPECT_NE(me::FlowCache::options_hash(base),
+            me::FlowCache::options_hash(sweep));
+
+  // Every corner field is load-bearing for the key.
+  for (auto tweak : std::vector<std::function<void(mc::FlowOptions&)>>{
+           [](mc::FlowOptions& o) { o.sta_corners.count = 32; },
+           [](mc::FlowOptions& o) { o.sta_corners.sigma[1] = 0.1; },
+           [](mc::FlowOptions& o) { o.sta_corners.derate[0] = 1.02; },
+           [](mc::FlowOptions& o) { o.sta_corners.seed += 1; }}) {
+    auto varied = sweep;
+    tweak(varied);
+    EXPECT_NE(me::FlowCache::options_hash(sweep),
+              me::FlowCache::options_hash(varied));
+  }
+
+  // And end to end: two different corner sets miss each other.
+  const auto nl = tiny();
+  me::FlowCache cache(8);
+  cache.get_or_run(nl, mc::Config::Hetero3D, base);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.get_or_run(nl, mc::Config::Hetero3D, sweep);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  cache.get_or_run(nl, mc::Config::Hetero3D, sweep);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // The sweep's result actually carries the multi-corner view.
+  const auto res = cache.lookup(nl, mc::Config::Hetero3D, sweep);
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->metrics.sta_corners, 16);
+  EXPECT_LE(res->metrics.wns_worst_corner_ns, res->metrics.wns_ns);
+  const auto res1 = cache.lookup(nl, mc::Config::Hetero3D, base);
+  ASSERT_NE(res1, nullptr);
+  EXPECT_EQ(res1->metrics.sta_corners, 1);
+  EXPECT_EQ(res1->metrics.wns_worst_corner_ns, res1->metrics.wns_ns);
 }
 
 TEST_F(ExecFlowCache, EvictsLeastRecentlyUsed) {

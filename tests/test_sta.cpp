@@ -568,3 +568,186 @@ TEST(Sta, RetimeBigBatchByteIdenticalAcrossPoolSizes) {
   ms::Sta fresh(d, &routes, o4);
   expect_identical(fresh.run(), b.result(), d);
 }
+
+// ---- corner-vectorized sweep ---------------------------------------------
+
+namespace {
+
+/// Bitwise comparison of the per-corner aggregates of two K-lane results.
+void expect_corners_identical(const ms::StaResult& a, const ms::StaResult& b) {
+  ASSERT_EQ(a.corner_count(), b.corner_count());
+  for (int k = 0; k < a.corner_count(); ++k) {
+    ASSERT_EQ(a.corner_wns(k), b.corner_wns(k)) << "corner " << k;
+    ASSERT_EQ(a.corner_tns(k), b.corner_tns(k)) << "corner " << k;
+    ASSERT_EQ(a.corner_violated(k), b.corner_violated(k)) << "corner " << k;
+  }
+  ASSERT_EQ(a.guard_wns(), b.guard_wns());
+  ASSERT_EQ(a.guard_tns(), b.guard_tns());
+  ASSERT_EQ(ms::timing_fingerprint(a), ms::timing_fingerprint(b));
+}
+
+}  // namespace
+
+TEST(Sta, VectorizedK1ByteIdenticalToScalar) {
+  // An explicit count=1 spec must route through exactly the scalar
+  // engine: same bits at every pin, at any pool size. Sigma/seed are
+  // irrelevant at K=1 (lane 0 is the pure derate).
+  mt::CornerSpec one;
+  one.count = 1;
+  one.sigma[0] = 0.03;
+  one.sigma[1] = 0.08;
+  one.seed = 0x1234;
+
+  for (const char* which : {"netcard", "mesh"}) {
+    auto d = which == std::string("mesh")
+                 ? [] {
+                     mn::Design d2(mgen::make_mesh({1.0, 7}),
+                                   mt::make_12track(), mt::make_9track());
+                     d2.set_clock_period_ns(0.8);
+                     mpl::place_design(d2);
+                     return d2;
+                   }()
+                 : routed_hetero("netcard", kWideScale, 0.8);
+    const auto routes = mr::route_design(d);
+
+    ms::StaOptions scalar;  // default: no corners field touched
+    ms::Sta ref(d, &routes, scalar);
+    ref.run();
+
+    for (int workers : {1, 2, 4}) {
+      mex::Pool pool(workers);
+      ms::StaOptions o;
+      o.pool = &pool;
+      o.corners = one;
+      ms::Sta sta(d, &routes, o);
+      sta.run();
+      expect_identical(sta.result(), ref.result(), d);
+      EXPECT_EQ(sta.result().corner_count(), 1);
+      EXPECT_EQ(sta.result().guard_wns(), ref.result().wns());
+      EXPECT_EQ(sta.result().guard_tns(), ref.result().tns());
+      EXPECT_EQ(ms::timing_fingerprint(sta.result()),
+                ms::timing_fingerprint(ref.result()));
+    }
+  }
+}
+
+TEST(Sta, CornerSweepByteIdenticalAcrossPoolSizes) {
+  auto d = routed_hetero("netcard", kWideScale, 0.8);
+  auto routes = mr::route_design(d);
+
+  mt::CornerSpec spec;
+  spec.count = 16;
+  spec.derate[1] = 1.05;
+  spec.sigma[0] = 0.03;
+  spec.sigma[1] = 0.08;
+
+  mex::Pool serial(1), two(2), wide(4);
+  std::vector<ms::Sta> engines;
+  for (mex::Pool* p : {&serial, &two, &wide}) {
+    ms::StaOptions o;
+    o.pool = p;
+    o.corners = spec;
+    engines.emplace_back(d, &routes, o);
+    engines.back().run();
+  }
+  for (std::size_t i = 1; i < engines.size(); ++i) {
+    expect_identical(engines[i].result(), engines[0].result(), d);
+    expect_corners_identical(engines[i].result(), engines[0].result());
+  }
+  const auto& r = engines[0].result();
+  ASSERT_EQ(r.corner_count(), 16);
+  // Lane-0 aggregates mirror the nominal wns/tns bitwise.
+  EXPECT_EQ(r.corner_wns(0), r.wns());
+  EXPECT_EQ(r.corner_tns(0), r.tns());
+  EXPECT_LE(r.guard_wns(), r.wns());
+  EXPECT_LE(r.guard_tns(), r.tns());
+  EXPECT_GE(r.timing_yield(r.guard_wns()), 1.0);  // floor at the worst corner
+  EXPECT_GE(r.timing_yield(0.0), 0.0);
+  EXPECT_LE(r.timing_yield(0.0), 1.0);
+
+  // The incremental path carries the lanes too: a retime after tier moves
+  // must match a fresh K-lane engine bit for bit, at any pool size.
+  const auto cells = movable_std_cells(d);
+  std::vector<mn::CellId> moved;
+  for (std::size_t i = 0; i < cells.size(); i += 5) moved.push_back(cells[i]);
+  for (mn::CellId c : moved) d.set_tier(c, 1 - d.tier(c));
+  mr::update_routes_for_cells(d, moved, &routes);
+  for (auto& e : engines) e.retime(moved);
+  for (std::size_t i = 1; i < engines.size(); ++i) {
+    expect_identical(engines[i].result(), engines[0].result(), d);
+    expect_corners_identical(engines[i].result(), engines[0].result());
+  }
+  ms::StaOptions of;
+  of.pool = &wide;
+  of.corners = spec;
+  ms::Sta fresh(d, &routes, of);
+  fresh.run();
+  expect_identical(fresh.result(), engines[0].result(), d);
+  expect_corners_identical(fresh.result(), engines[0].result());
+}
+
+TEST(Sta, SweepLane0MatchesScalarNominalRun) {
+  // Lane 0 of a K-lane sweep is the nominal corner: bitwise equal to a
+  // scalar run whose derates are corner 0's exact factors. (Non-nominal
+  // lanes are a delay-only guard-band model and make no such promise.)
+  auto d = routed_hetero("aes", 0.05, 0.7);
+  const auto routes = mr::route_design(d);
+
+  mt::CornerSpec spec;
+  spec.count = 16;
+  spec.derate[1] = 1.05;
+  spec.sigma[0] = 0.03;
+  spec.sigma[1] = 0.08;
+  const auto cs = mt::CornerSet::generate(spec);
+
+  ms::StaOptions sweep_o;
+  sweep_o.corners = spec;
+  ms::Sta sweep(d, &routes, sweep_o);
+  const auto& r = sweep.run();
+
+  ms::StaOptions scalar_o;
+  scalar_o.corners = cs.single(0);
+  ms::Sta scalar(d, &routes, scalar_o);
+  const auto& s = scalar.run();
+
+  EXPECT_EQ(r.wns(), s.wns());
+  EXPECT_EQ(r.tns(), s.tns());
+  EXPECT_EQ(r.whs(), s.whs());
+  EXPECT_EQ(r.violated_endpoints(), s.violated_endpoints());
+  EXPECT_EQ(r.corner_wns(0), s.wns());
+  EXPECT_EQ(r.corner_tns(0), s.tns());
+  for (mn::PinId p = 0; p < d.nl().pin_count(); ++p) {
+    ASSERT_EQ(r.pin_arrival(p), s.pin_arrival(p)) << "pin " << p;
+    ASSERT_EQ(r.pin_slew(p), s.pin_slew(p)) << "pin " << p;
+    ASSERT_EQ(r.pin_slack(p), s.pin_slack(p)) << "pin " << p;
+  }
+}
+
+TEST(Sta, GuardBandReflectsSlowTier) {
+  // With the slow tier derated up, the guard-banded WNS of a sweep can
+  // only be at or below the nominal, and the fingerprint must change when
+  // the corner set does (different specs are different timing views).
+  auto d = routed_hetero("aes", 0.05, 0.7);
+  const auto routes = mr::route_design(d);
+
+  mt::CornerSpec spec;
+  spec.count = 8;
+  spec.derate[1] = 1.05;
+  spec.sigma[0] = 0.03;
+  spec.sigma[1] = 0.08;
+  ms::StaOptions o;
+  o.corners = spec;
+  ms::Sta sta(d, &routes, o);
+  const auto& r = sta.run();
+  EXPECT_LE(r.guard_wns(), r.wns());
+
+  mt::CornerSpec other = spec;
+  other.seed += 99;
+  ms::StaOptions o2;
+  o2.corners = other;
+  ms::Sta sta2(d, &routes, o2);
+  const auto& r2 = sta2.run();
+  // Nominal lane agrees (same derates), non-nominal draws differ.
+  EXPECT_EQ(r.wns(), r2.wns());
+  EXPECT_NE(ms::timing_fingerprint(r), ms::timing_fingerprint(r2));
+}

@@ -235,3 +235,147 @@ TEST(WireModel, MivIsCheap) {
   // premise of monolithic gate-level partitioning.
   EXPECT_LT(miv.delay_ns(10.0), w.elmore_ns(5.0, 10.0));
 }
+
+// ---- process corners (corners.hpp) ---------------------------------------
+
+#include <cstdlib>
+
+#include "tech/corners.hpp"
+
+TEST(Corners, NominalLaneIsExactDerate) {
+  mt::CornerSpec spec;
+  spec.count = 8;
+  spec.derate[0] = 1.0;
+  spec.derate[1] = 1.05;
+  spec.sigma[0] = 0.03;
+  spec.sigma[1] = 0.08;
+  const auto cs = mt::CornerSet::generate(spec);
+  ASSERT_EQ(cs.count(), 8);
+  // Corner 0 carries the systematic derate bit for bit — that is what
+  // keeps sweep lane 0 identical to the scalar engine.
+  EXPECT_EQ(cs.factor(0, 0), 1.0);
+  EXPECT_EQ(cs.factor(1, 0), 1.05);
+  for (int k = 1; k < cs.count(); ++k) {
+    EXPECT_GT(cs.factor(0, k), 0.0);
+    EXPECT_GT(cs.factor(1, k), 0.0);
+  }
+}
+
+TEST(Corners, ZeroSigmaCollapsesToDerate) {
+  mt::CornerSpec spec;
+  spec.count = 16;
+  spec.derate[0] = 0.97;
+  spec.derate[1] = 1.12;
+  const auto cs = mt::CornerSet::generate(spec);
+  for (int k = 0; k < cs.count(); ++k) {
+    EXPECT_EQ(cs.factor(0, k), 0.97);
+    EXPECT_EQ(cs.factor(1, k), 1.12);
+  }
+}
+
+TEST(Corners, PrefixStableAcrossK) {
+  mt::CornerSpec a;
+  a.count = 16;
+  a.sigma[0] = 0.03;
+  a.sigma[1] = 0.08;
+  a.derate[1] = 1.05;
+  mt::CornerSpec b = a;
+  b.count = 64;
+  const auto small = mt::CornerSet::generate(a);
+  const auto large = mt::CornerSet::generate(b);
+  // Corner k depends only on (seed, k): the K=16 set is a bitwise prefix
+  // of the K=64 set.
+  for (int t : {0, 1})
+    for (int k = 0; k < small.count(); ++k)
+      EXPECT_EQ(small.factor(t, k), large.factor(t, k))
+          << "tier " << t << " corner " << k;
+}
+
+TEST(Corners, DeterministicAndSeedSensitive) {
+  mt::CornerSpec spec;
+  spec.count = 32;
+  spec.sigma[0] = spec.sigma[1] = 0.1;
+  const auto a = mt::CornerSet::generate(spec);
+  const auto b = mt::CornerSet::generate(spec);
+  for (int k = 0; k < spec.count; ++k)
+    EXPECT_EQ(a.factor(0, k), b.factor(0, k));
+  mt::CornerSpec other = spec;
+  other.seed += 1;
+  const auto c = mt::CornerSet::generate(other);
+  int same = 0;
+  for (int k = 1; k < spec.count; ++k)
+    if (a.factor(0, k) == c.factor(0, k)) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Corners, CountAndFactorClamps) {
+  mt::CornerSpec spec;
+  spec.count = 0;
+  EXPECT_EQ(mt::CornerSet::generate(spec).count(), 1);
+  spec.count = 1 << 20;
+  EXPECT_EQ(mt::CornerSet::generate(spec).count(), 4096);
+  // A wild sigma cannot produce a negative or absurd "delay" factor.
+  mt::CornerSpec wild;
+  wild.count = 64;
+  wild.sigma[0] = wild.sigma[1] = 50.0;
+  const auto cs = mt::CornerSet::generate(wild);
+  for (int t : {0, 1})
+    for (int k = 0; k < cs.count(); ++k) {
+      EXPECT_GE(cs.factor(t, k), 0.05);
+      EXPECT_LE(cs.factor(t, k), 20.0);
+    }
+}
+
+TEST(Corners, SingleCarriesExactFactors) {
+  mt::CornerSpec spec;
+  spec.count = 8;
+  spec.sigma[0] = 0.03;
+  spec.sigma[1] = 0.08;
+  spec.derate[1] = 1.05;
+  const auto cs = mt::CornerSet::generate(spec);
+  for (int k = 0; k < cs.count(); ++k) {
+    const mt::CornerSpec s = cs.single(k);
+    EXPECT_EQ(s.count, 1);
+    EXPECT_EQ(s.sigma[0], 0.0);
+    EXPECT_EQ(s.sigma[1], 0.0);
+    EXPECT_EQ(s.derate[0], cs.factor(0, k));
+    EXPECT_EQ(s.derate[1], cs.factor(1, k));
+    // Round trip: a set generated from single(k) has corner k's factors
+    // as its (only) nominal lane.
+    const auto one = mt::CornerSet::generate(s);
+    EXPECT_EQ(one.count(), 1);
+    EXPECT_EQ(one.factor(0, 0), cs.factor(0, k));
+    EXPECT_EQ(one.factor(1, 0), cs.factor(1, k));
+  }
+}
+
+TEST(Corners, EnvSpecDefaultsAndOverrides) {
+  ::unsetenv("M3D_STA_CORNERS");
+  ::unsetenv("M3D_TIER_SIGMA");
+  ::unsetenv("M3D_TIER_DERATE");
+  EXPECT_EQ(mt::corner_spec_from_env(), mt::CornerSpec{});
+
+  ::setenv("M3D_STA_CORNERS", "16", 1);
+  mt::CornerSpec spec = mt::corner_spec_from_env();
+  EXPECT_EQ(spec.count, 16);
+  EXPECT_EQ(spec.sigma[0], 0.03);
+  EXPECT_EQ(spec.sigma[1], 0.08);
+  EXPECT_EQ(spec.derate[0], 1.0);
+  EXPECT_EQ(spec.derate[1], 1.05);
+
+  ::setenv("M3D_TIER_SIGMA", "0.02,0.05", 1);
+  ::setenv("M3D_TIER_DERATE", "1.1", 1);
+  spec = mt::corner_spec_from_env();
+  EXPECT_EQ(spec.sigma[0], 0.02);
+  EXPECT_EQ(spec.sigma[1], 0.05);
+  EXPECT_EQ(spec.derate[0], 1.1);
+  EXPECT_EQ(spec.derate[1], 1.1);  // single value applies to both tiers
+
+  // K <= 1 disables the sweep regardless of the other knobs.
+  ::setenv("M3D_STA_CORNERS", "1", 1);
+  EXPECT_EQ(mt::corner_spec_from_env(), mt::CornerSpec{});
+
+  ::unsetenv("M3D_STA_CORNERS");
+  ::unsetenv("M3D_TIER_SIGMA");
+  ::unsetenv("M3D_TIER_DERATE");
+}

@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "util/check.hpp"
 #include "util/geom.hpp"
+#include "util/quantile.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -87,6 +89,79 @@ TEST(Rng, ForkIsIndependentStream) {
   mu::Rng a(42);
   mu::Rng child = a.fork();
   EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Rng, StreamRoundTripDeterminism) {
+  // Same (seed, id) pair always replays the same sequence — the property
+  // that makes corner k of a CornerSet a pure function of the spec.
+  mu::Rng a = mu::Rng::stream(0x3dc0, 7);
+  mu::Rng b = mu::Rng::stream(0x3dc0, 7);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Different stream ids and different seeds diverge.
+  mu::Rng c = mu::Rng::stream(0x3dc0, 8);
+  mu::Rng d = mu::Rng::stream(0x3dc1, 7);
+  mu::Rng e = mu::Rng::stream(0x3dc0, 7);
+  int same_id = 0, same_seed = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto ref = e.next_u64();
+    if (c.next_u64() == ref) ++same_id;
+    if (d.next_u64() == ref) ++same_seed;
+  }
+  EXPECT_LT(same_id, 2);
+  EXPECT_LT(same_seed, 2);
+}
+
+TEST(Quantile, GoldenValuesAgainstReference) {
+  // Reference quantiles of the standard normal (scipy.stats.norm.ppf /
+  // statistics.NormalDist().inv_cdf). Spec tolerance for the corner
+  // model is 1e-4; the implementation is far tighter.
+  const struct {
+    double p, z;
+  } golden[] = {
+      {0.001, -3.090232306167813},  {0.010, -2.3263478740408408},
+      {0.025, -1.959963984540054},  {0.050, -1.6448536269514722},
+      {0.100, -1.2815515655446004}, {0.250, -0.6744897501960817},
+      {0.500, 0.0},                 {0.750, 0.6744897501960817},
+      {0.900, 1.2815515655446004},  {0.975, 1.959963984540054},
+      {0.990, 2.3263478740408408},  {0.999, 3.090232306167813},
+  };
+  for (const auto& g : golden)
+    EXPECT_NEAR(mu::inv_normal_cdf(g.p), g.z, 1e-4) << "p = " << g.p;
+}
+
+TEST(Quantile, ExactAntisymmetryAndMidpoint) {
+  EXPECT_EQ(mu::inv_normal_cdf(0.5), 0.0);
+  // Bitwise mirror wherever 1 - p is exactly representable (dyadic p);
+  // 1/256 exercises the tail branch below the first table knot.
+  for (double p : {0.00390625, 0.0625, 0.125, 0.25, 0.375}) {
+    EXPECT_EQ(mu::inv_normal_cdf(1.0 - p), -mu::inv_normal_cdf(p)) << p;
+  }
+  // For general p the identity holds up to the rounding of 1 - p itself.
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.499}) {
+    EXPECT_NEAR(mu::inv_normal_cdf(1.0 - p), -mu::inv_normal_cdf(p), 1e-12)
+        << p;
+  }
+}
+
+TEST(Quantile, MonotoneAndRoundTripsThroughCdf) {
+  double prev = mu::inv_normal_cdf(0.001);
+  for (int i = 2; i <= 998; ++i) {
+    const double p = i / 1000.0;
+    const double z = mu::inv_normal_cdf(p);
+    EXPECT_GT(z, prev);
+    prev = z;
+    EXPECT_NEAR(mu::normal_cdf(z), p, 1e-10) << "p = " << p;
+  }
+}
+
+TEST(Quantile, TotalOutsideOpenUnitInterval) {
+  // p outside (0, 1) clamps instead of returning NaN/inf.
+  EXPECT_TRUE(std::isfinite(mu::inv_normal_cdf(0.0)));
+  EXPECT_TRUE(std::isfinite(mu::inv_normal_cdf(1.0)));
+  EXPECT_TRUE(std::isfinite(mu::inv_normal_cdf(-3.0)));
+  EXPECT_TRUE(std::isfinite(mu::inv_normal_cdf(7.0)));
+  EXPECT_LT(mu::inv_normal_cdf(0.0), -6.0);
+  EXPECT_GT(mu::inv_normal_cdf(1.0), 6.0);
 }
 
 TEST(Geom, ManhattanAndEuclidean) {
