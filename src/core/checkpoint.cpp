@@ -206,6 +206,7 @@ Checkpoint::Checkpoint(std::string dir, const netlist::Netlist& nl,
   if (active()) {
     netlist_fp_ = exec::FlowCache::fingerprint(nl);
     opt_hash_ = exec::FlowCache::options_hash(opt);
+    tiers_ = opt.tiers;
   }
   if (const char* s = std::getenv("M3D_FAULT_AT")) {
     if (*s != '\0') {
@@ -357,7 +358,9 @@ bool Checkpoint::load_file(const Candidate& c, core::FlowResult& res,
     if (exec::FlowCache::fingerprint(nl) != pr.u64()) return false;
     nl.validate();
 
-    res.design = core::design_for_config(nl, cfg_);
+    core::FlowOptions ropt;
+    ropt.tiers = tiers_;
+    res.design = core::design_for_flow(nl, cfg_, ropt);
     io::read_design_state(pr, res.design);
     io::read_flow_stats(pr, res);
     read_clock_report(pr, clock);

@@ -62,6 +62,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/flow.hpp"
 #include "cts/cts.hpp"
@@ -207,6 +208,10 @@ class Checkpoint {
   std::string nl_name_;
   std::uint64_t netlist_fp_ = 0;
   std::uint64_t opt_hash_ = 0;
+  // Explicit tier stack of the run being checkpointed: load_file must
+  // rebuild the Design with the same libraries the flow started from,
+  // not the configuration's default two-library mapping.
+  std::vector<core::TierSpec> tiers_;
 
   // Environment-armed kill point (M3D_FAULT_AT), parsed at construction.
   bool env_fault_armed_ = false;

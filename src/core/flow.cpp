@@ -1,5 +1,6 @@
 #include "core/flow.hpp"
 
+#include <cstdio>
 #include <memory>
 
 #include "core/checkpoint.hpp"
@@ -51,6 +52,29 @@ Design design_for_config(const Netlist& nl, Config cfg) {
   }
   M3D_CHECK(false);
   return Design(nl, tech::make_12track());
+}
+
+Design design_for_flow(const Netlist& nl, Config cfg,
+                       const FlowOptions& opt) {
+  if (opt.tiers.empty()) return design_for_config(nl, cfg);
+  std::vector<std::shared_ptr<const tech::TechLib>> libs;
+  libs.reserve(opt.tiers.size());
+  for (const TierSpec& t : opt.tiers) {
+    M3D_CHECK_MSG(t.tech == "9T" || t.tech == "12T",
+                  "unknown tier tech '" << t.tech << "'");
+    tech::LibSpec spec =
+        t.tech == "9T" ? tech::spec_9track() : tech::spec_12track();
+    if (t.vdd_scale != 1.0) {
+      M3D_CHECK_MSG(t.vdd_scale > 0.0, "vdd_scale must be positive");
+      spec.vdd *= t.vdd_scale;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "_v%.3f", t.vdd_scale);
+      spec.name += buf;
+    }
+    libs.push_back(
+        std::make_shared<const tech::TechLib>(tech::make_library(spec)));
+  }
+  return Design(nl, std::move(libs));
 }
 
 namespace {
@@ -115,6 +139,34 @@ part::FmOptions macro_aware_fm(const Design& d, part::FmOptions fm,
   return fm;
 }
 
+/// FM options for the K-way cost-aware engine: forward µ, the utilization
+/// and the per-tier caps/process shares from the flow-level knobs. On a
+/// two-tier stack the macro-aware target share carries over as a
+/// tier-share pair.
+part::FmOptions kway_fm_options(const Design& d, const FlowOptions& opt) {
+  part::FmOptions fm = opt.fm;
+  fm.cost_weight = opt.part_cost_weight;
+  fm.utilization = opt.utilization;
+  if (!opt.tiers.empty()) {
+    M3D_CHECK(static_cast<int>(opt.tiers.size()) == d.num_tiers());
+    fm.tier_area_cap_um2.clear();
+    fm.tier_process.clear();
+    for (const TierSpec& t : opt.tiers) {
+      fm.tier_area_cap_um2.push_back(t.area_cap_um2);
+      fm.tier_process.push_back(t.process);
+    }
+    bool any_cap = false;
+    for (double c : fm.tier_area_cap_um2) any_cap |= c > 0.0;
+    if (!any_cap) fm.tier_area_cap_um2.clear();
+  }
+  if (d.num_tiers() == 2 && fm.tier_share.empty()) {
+    const double tts =
+        macro_aware_fm(d, opt.fm, opt.utilization).target_top_share;
+    fm.tier_share = {1.0 - tts, tts};
+  }
+  return fm;
+}
+
 }  // namespace
 
 FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
@@ -123,7 +175,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
       "flow", std::string(config_name(cfg)) + " " + nl.name());
   util::log_info("=== flow ", config_name(cfg), " on ", nl.name(), " @ ",
                  1.0 / opt.clock_period_ns, " GHz ===");
-  FlowResult res(design_for_config(nl, cfg));
+  FlowResult res(design_for_flow(nl, cfg, opt));
   res.design.set_clock_period_ns(opt.clock_period_ns);
 
   // Stage-level checkpoint/restart (core/checkpoint.hpp). Inactive without
@@ -171,10 +223,17 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
 
   // ---- tier partitioning (3-D) + legalization ------------------------------
   if (!ckpt.done(flow::Stage::Partition)) {
-    if (config_is_3d(cfg)) {
+    if (d.num_tiers() >= 2) {
       util::TraceSpan span("partition", nl.name());
-      const part::FmOptions fm = macro_aware_fm(d, opt.fm, opt.utilization);
-      if (cfg == Config::Hetero3D) {
+      // Default two-tier stacks keep the historical macro-aware FM path
+      // (byte-identical artifacts); explicit stacks or a cost weight
+      // engage the K-way cost-aware engine via the FmOptions knobs.
+      const bool kway = !opt.tiers.empty() || opt.part_cost_weight > 0.0 ||
+                        d.num_tiers() != 2;
+      const part::FmOptions fm =
+          kway ? kway_fm_options(d, opt)
+               : macro_aware_fm(d, opt.fm, opt.utilization);
+      if (cfg == Config::Hetero3D && d.num_tiers() == 2) {
         // Pseudo-3-D knows only the 12-track bottom technology. Partition
         // with timing awareness (unless ablated), then restore utilization:
         // the 9-track remap shrank the cell area ~12.5 %.
@@ -200,7 +259,7 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
         }
         place::rescale_to_utilization(d, opt.utilization);
       } else {
-        // Homogeneous 3-D: placement-driven bin FM.
+        // Homogeneous 3-D (any stack height): placement-driven bin FM.
         part::bin_fm_partition(d, fm);
       }
     }
@@ -275,8 +334,9 @@ FlowResult run_flow(const Netlist& nl, Config cfg, const FlowOptions& opt_in) {
     ckpt.save(flow::Stage::PostCtsOpt, res, clock);
   }
 
-  // ---- repartitioning ECO (hetero only) -----------------------------------
-  if (cfg == Config::Hetero3D && opt.enable_repartition) {
+  // ---- repartitioning ECO (hetero only; the engine is two-tier) -----------
+  if (cfg == Config::Hetero3D && d.num_tiers() == 2 &&
+      opt.enable_repartition) {
     util::TraceSpan span("repartition_eco", nl.name());
     if (!ckpt.done(flow::Stage::RepartEco)) {
       part::EcoHooks hooks;

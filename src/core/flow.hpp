@@ -21,8 +21,10 @@
 /// reproduce the Pin-3D baseline of Table V and the ablation benches.
 
 #include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
+#include "cost/cost.hpp"
 // NOTE: when adding a field to FlowOptions (or any nested options struct),
 // extend exec::FlowCache::options_hash so cached flows keyed on the old
 // field set cannot be served for the new one.
@@ -49,6 +51,22 @@ const char* config_name(Config c);
 
 /// Is this a two-tier configuration?
 bool config_is_3d(Config c);
+
+/// One tier of an explicit N-tier stack, bottom first. The design-space
+/// explorer and the K-way partitioner use these to override a
+/// configuration's built-in two-library mapping.
+struct TierSpec {
+  /// Library flavor: "12T" (fast/large) or "9T" (slow/small).
+  std::string tech = "12T";
+  /// Supply scale on the flavor's nominal VDD (voltage knob of the
+  /// design-space sweep); 1.0 keeps the stock library.
+  double vdd_scale = 1.0;
+  /// Hard standard-cell area cap for this tier in µm² (0 = uncapped),
+  /// enforced by the K-way partitioner.
+  double area_cap_um2 = 0.0;
+  /// This tier's wafer-cost shares for the cost-aware objective.
+  cost::TierProcess process;
+};
 
 /// Flow knobs. The defaults implement the full heterogeneous methodology.
 struct FlowOptions {
@@ -91,6 +109,20 @@ struct FlowOptions {
   /// `pool`, this field IS hashed into exec::FlowCache::options_hash.
   tech::CornerSpec sta_corners;
 
+  /// Explicit stack overriding the configuration's library mapping: one
+  /// entry per tier, bottom first. Empty keeps the Config-defined stack
+  /// (the entire pre-existing flow surface). With a stack of height ≥ 2
+  /// the partition stage runs the K-way cost-aware engine; the
+  /// heterogeneity-specific stages (timing partition, repartition ECO)
+  /// stay gated to exactly-two-tier designs.
+  std::vector<TierSpec> tiers;
+
+  /// µ: weight of the die-cost term inside the partition objective
+  /// J = cut + µ · die_cost (see part::FmOptions::cost_weight). Zero —
+  /// the default — keeps partitioning pure min-cut and (on two-tier
+  /// stacks) byte-identical to the historical engine.
+  double part_cost_weight = 0.0;
+
   /// Stage-level checkpoint/restart (see core/checkpoint.hpp): when this
   /// names a directory — or, if empty, when M3D_CHECKPOINT_DIR does —
   /// run_flow persists the full flow state after every stage and every
@@ -116,6 +148,12 @@ struct FlowResult {
 /// exactly the mapping run_flow starts from. Exposed so the disk flow
 /// cache can rebuild a Design to deserialize cached state into.
 netlist::Design design_for_config(const netlist::Netlist& nl, Config cfg);
+
+/// Like design_for_config, but honoring FlowOptions::tiers when set: the
+/// stack is built from the tier specs (library flavor + VDD scale per
+/// tier) instead of the configuration's two-library mapping.
+netlist::Design design_for_flow(const netlist::Netlist& nl, Config cfg,
+                                const FlowOptions& opt);
 
 /// Run the complete RTL-to-"GDS" flow for one configuration.
 FlowResult run_flow(const netlist::Netlist& nl, Config cfg,

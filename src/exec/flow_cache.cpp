@@ -84,6 +84,20 @@ void mix_fm(Hasher& h, const part::FmOptions& o) {
   h.mix(o.max_passes);
   h.mix(o.bins);
   h.mix(o.seed);
+  // K-way / cost-aware knobs. cost_model stays unmixed: it is a borrowed
+  // pointer whose assumptions are mirrored in tier_process and the
+  // flow-level TierSpecs, which are mixed.
+  h.mix(o.cost_weight);
+  h.mix(o.utilization);
+  h.mix(static_cast<std::uint64_t>(o.tier_share.size()));
+  for (double s : o.tier_share) h.mix(s);
+  h.mix(static_cast<std::uint64_t>(o.tier_area_cap_um2.size()));
+  for (double c : o.tier_area_cap_um2) h.mix(c);
+  h.mix(static_cast<std::uint64_t>(o.tier_process.size()));
+  for (const cost::TierProcess& p : o.tier_process) {
+    h.mix(p.feol_fraction);
+    h.mix(p.beol_fraction);
+  }
 }
 
 }  // namespace
@@ -184,6 +198,16 @@ std::uint64_t FlowCache::options_hash(const core::FlowOptions& o) {
   // decisions and the signoff metrics, so different specs must not share
   // a cached flow.
   mix_corners(h, o.sta_corners);
+  // explicit tier stack + cost-aware partition weight
+  h.mix(o.part_cost_weight);
+  h.mix(static_cast<std::uint64_t>(o.tiers.size()));
+  for (const core::TierSpec& t : o.tiers) {
+    h.mix(t.tech);
+    h.mix(t.vdd_scale);
+    h.mix(t.area_cap_um2);
+    h.mix(t.process.feol_fraction);
+    h.mix(t.process.beol_fraction);
+  }
   return h.h;
 }
 
@@ -249,7 +273,7 @@ FlowCache::ResultPtr FlowCache::get_or_run(const netlist::Netlist& nl,
   if (existing.valid()) return existing.get();
 
   if (bypass) {
-    ResultPtr result = disk_load(key, cfg, opt.sta_corners);
+    ResultPtr result = disk_load(key, cfg, opt);
     if (result) return result;
     return std::make_shared<core::FlowResult>(core::run_flow(nl, cfg, opt));
   }
@@ -284,7 +308,7 @@ FlowCache::ResultPtr FlowCache::compute_entry(const Key& key,
   // from an earlier process deserializes in a fraction of a flow run.
   try {
     ComputeDepthGuard nested;
-    ResultPtr result = disk_load(key, cfg, opt.sta_corners);
+    ResultPtr result = disk_load(key, cfg, opt);
     const bool from_disk = result != nullptr;
     bool wrote_disk = false;
     if (!result) {

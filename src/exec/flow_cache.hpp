@@ -158,9 +158,11 @@ class FlowCache {
   // Disk tier (flow_cache_disk.cpp). disk_load returns nullptr on any
   // miss/validation failure; disk_store returns whether a file landed.
   // The loader re-runs the signoff analysis on the restored design, so it
-  // needs the flow's corner spec to reproduce the multi-corner metrics.
+  // needs the flow options both for the corner spec (multi-corner metrics)
+  // and for the tier stack (an explicit FlowOptions::tiers rebuilds a
+  // different Design than the config's default mapping).
   ResultPtr disk_load(const Key& key, core::Config cfg,
-                      const tech::CornerSpec& corners) const;
+                      const core::FlowOptions& opt) const;
   bool disk_store(const Key& key, const core::FlowResult& res) const;
 
   /// Counters behind FlowCacheStats, kept as relaxed atomics so

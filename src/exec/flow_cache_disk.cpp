@@ -68,7 +68,7 @@ std::string FlowCache::disk_dir() {
 
 FlowCache::ResultPtr FlowCache::disk_load(
     const Key& key, core::Config cfg,
-    const tech::CornerSpec& corners) const {
+    const core::FlowOptions& opt) const {
   const std::string dir = disk_dir();
   if (dir.empty()) return nullptr;
   std::ifstream is(key_file(dir, key.netlist_fp, key.config, key.opt_hash),
@@ -86,7 +86,7 @@ FlowCache::ResultPtr FlowCache::disk_load(
     nl.validate();
 
     auto res = std::make_shared<core::FlowResult>(
-        core::design_for_config(nl, cfg));
+        core::design_for_flow(nl, cfg, opt));
     netlist::Design& d = res->design;
     io::read_design_state(r, d);
     io::read_flow_stats(r, *res);
@@ -98,7 +98,7 @@ FlowCache::ResultPtr FlowCache::disk_load(
     const auto clock = cts::annotate_clock_latencies(d);
     const auto routes = route::route_design(d);
     sta::StaOptions sopt;
-    sopt.corners = corners;
+    sopt.corners = opt.sta_corners;
     const auto timing = sta::run_sta(d, &routes, sopt);
     const auto pw =
         power::analyze_power(d, &routes, 1.0 / d.clock_period_ns());

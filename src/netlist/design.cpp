@@ -4,24 +4,30 @@ namespace m3d::netlist {
 
 Design::Design(Netlist nl, std::shared_ptr<const tech::TechLib> bottom_lib,
                std::shared_ptr<const tech::TechLib> top_lib)
-    : nl_(std::move(nl)),
-      bottom_lib_(std::move(bottom_lib)),
-      top_lib_(std::move(top_lib)) {
-  M3D_CHECK(bottom_lib_ != nullptr);
+    : nl_(std::move(nl)) {
+  M3D_CHECK(bottom_lib != nullptr);
+  libs_.push_back(std::move(bottom_lib));
+  if (top_lib != nullptr) libs_.push_back(std::move(top_lib));
+  sync();
+}
+
+Design::Design(Netlist nl,
+               std::vector<std::shared_ptr<const tech::TechLib>> tier_libs)
+    : nl_(std::move(nl)), libs_(std::move(tier_libs)) {
+  M3D_CHECK_MSG(!libs_.empty(), "a design needs at least one tier library");
+  for (const auto& l : libs_) M3D_CHECK(l != nullptr);
   sync();
 }
 
 const tech::TechLib& Design::lib(int tier) const {
-  if (tier == kBottomTier) return *bottom_lib_;
-  M3D_CHECK_MSG(top_lib_ != nullptr, "design has no top tier");
-  M3D_CHECK(tier == kTopTier);
-  return *top_lib_;
+  M3D_CHECK_MSG(tier >= 0 && tier < num_tiers(),
+                "design has no tier " << tier);
+  return *libs_[static_cast<std::size_t>(tier)];
 }
 
 std::shared_ptr<const tech::TechLib> Design::lib_ptr(int tier) const {
-  if (tier == kBottomTier) return bottom_lib_;
-  M3D_CHECK(tier == kTopTier && top_lib_ != nullptr);
-  return top_lib_;
+  M3D_CHECK(tier >= 0 && tier < num_tiers());
+  return libs_[static_cast<std::size_t>(tier)];
 }
 
 const tech::LibCell* Design::lib_cell(CellId c) const {
@@ -86,7 +92,7 @@ double Design::pin_cap_ff(PinId p) const {
 }
 
 void Design::set_tier(CellId c, int t) {
-  M3D_CHECK(t == kBottomTier || (t == kTopTier && top_lib_ != nullptr));
+  M3D_CHECK(t >= 0 && t < num_tiers());
   tier_[idx(c)] = t;
 }
 

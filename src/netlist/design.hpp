@@ -19,7 +19,9 @@
 namespace m3d::netlist {
 
 /// Tier indices. In the paper's arrangement the *bottom* die holds the
-/// fast 12-track cells and the *top* die the slow 9-track cells.
+/// fast 12-track cells and the *top* die the slow 9-track cells. Stacks
+/// with more than two tiers number upward from the bottom; kTopTier keeps
+/// naming the first stacked tier, which *is* the top of a 2-tier stack.
 inline constexpr int kBottomTier = 0;
 inline constexpr int kTopTier = 1;
 
@@ -29,12 +31,16 @@ class Design {
   Design(Netlist nl, std::shared_ptr<const tech::TechLib> bottom_lib,
          std::shared_ptr<const tech::TechLib> top_lib = nullptr);
 
+  /// N-tier stack: one library per tier, bottom first. At least one.
+  Design(Netlist nl,
+         std::vector<std::shared_ptr<const tech::TechLib>> tier_libs);
+
   Netlist& nl() { return nl_; }
   const Netlist& nl() const { return nl_; }
 
-  /// 1 for 2-D designs, 2 for 3-D designs.
-  int num_tiers() const { return top_lib_ ? 2 : 1; }
-  bool is_3d() const { return num_tiers() == 2; }
+  /// 1 for 2-D designs, 2+ for stacked designs.
+  int num_tiers() const { return static_cast<int>(libs_.size()); }
+  bool is_3d() const { return num_tiers() >= 2; }
 
   const tech::TechLib& lib(int tier) const;
   std::shared_ptr<const tech::TechLib> lib_ptr(int tier) const;
@@ -108,8 +114,7 @@ class Design {
   }
 
   Netlist nl_;
-  std::shared_ptr<const tech::TechLib> bottom_lib_;
-  std::shared_ptr<const tech::TechLib> top_lib_;
+  std::vector<std::shared_ptr<const tech::TechLib>> libs_;  // bottom first
   std::vector<int> tier_;
   std::vector<util::Point> pos_;
   util::Rect floorplan_;

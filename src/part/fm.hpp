@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "cost/cost.hpp"
 #include "netlist/design.hpp"
 
 namespace m3d::exec {
@@ -65,15 +66,42 @@ struct FmOptions {
   int speculate = -1;
   /// When non-null, per-run counters are accumulated here.
   FmStats* stats = nullptr;
+
+  // ---- N-tier / cost-aware knobs ---------------------------------------
+  // Any of these engages the K-way engine; leaving them all at their
+  // defaults on a 2-tier design keeps the historical 2-tier engine (and
+  // its byte-identical move sequences).
+
+  /// Per-tier target area shares, bottom first (normalized internally).
+  /// Empty means uniform 1/num_tiers — which on two tiers matches
+  /// target_top_share = 0.5.
+  std::vector<double> tier_share;
+  /// Optional hard per-tier standard-cell area caps in µm² (0 = uncapped).
+  /// Enforced on the whole-design tier totals, on top of the per-region
+  /// share balance.
+  std::vector<double> tier_area_cap_um2;
+  /// µ: weight of the die-cost term in the move objective
+  /// J = cut + µ · die_cost(footprint, tiers). Zero keeps pure min-cut.
+  /// Die cost is in C′ (~1e-5 for mm²-scale dies), so meaningful weights
+  /// are large (1e4–1e6 trades one net of cut against ~0.1–10 µC′).
+  double cost_weight = 0.0;
+  /// Table-IV assumptions for the cost term; nullptr = paper defaults.
+  const cost::CostModel* cost_model = nullptr;
+  /// Per-tier process cost shares for the cost term, bottom first.
+  /// Empty = uniform Table-IV shares on every tier.
+  std::vector<cost::TierProcess> tier_process;
+  /// Placement utilization used to turn the largest tier's standard-cell
+  /// area into a die footprint for the cost term.
+  double utilization = 0.65;
 };
 
 /// Area of a standard cell if it sat on tier `t` (heterogeneity-aware).
 double cell_area_on(const Design& d, CellId c, int t);
 
-/// Number of signal nets spanning both tiers (the cut).
+/// Number of signal nets spanning two or more tiers (the cut).
 int cut_size(const Design& d);
 
-/// Fraction of signal nets spanning both tiers (paper: ~15 % for the CPU).
+/// Fraction of signal nets spanning tiers (paper: ~15 % for the CPU).
 double cut_fraction(const Design& d);
 
 /// Whole-design FM min-cut. Cells in `locked` (by id) keep their current

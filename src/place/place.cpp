@@ -756,20 +756,22 @@ void rescale_to_utilization(Design& d, double utilization) {
   const Rect old_fp = d.floorplan();
   const double macro_area = d.total_macro_area();
   double core;
-  if (d.num_tiers() == 2) {
+  if (d.num_tiers() >= 2) {
     // The footprint must host whichever tier needs more plan-view room —
-    // the partition is rarely a perfect 50/50 once macros and pinned
-    // critical cells skew the split.
-    const double bottom_req =
-        d.tier_std_cell_area(netlist::kBottomTier) / utilization +
-        tier_macro_area(d, netlist::kBottomTier) * 1.05;
-    const double top_req =
-        d.tier_std_cell_area(netlist::kTopTier) / utilization +
-        tier_macro_area(d, netlist::kTopTier) * 1.05;
-    core = std::max(bottom_req, top_req);
-    core = std::max(core,
-                    std::max(tier_macro_area(d, netlist::kBottomTier),
-                             tier_macro_area(d, netlist::kTopTier)) * 1.15);
+    // the partition is rarely a perfect even split once macros and pinned
+    // critical cells skew it. For two tiers this reduces to the historical
+    // max(bottom_req, top_req); taller stacks fold the same per-tier
+    // requirement over every tier instead of budgeting the total cell
+    // area into one footprint.
+    core = 0.0;
+    double macro_max = 0.0;
+    for (int t = 0; t < d.num_tiers(); ++t) {
+      const double tier_req = d.tier_std_cell_area(t) / utilization +
+                              tier_macro_area(d, t) * 1.05;
+      core = std::max(core, tier_req);
+      macro_max = std::max(macro_max, tier_macro_area(d, t));
+    }
+    core = std::max(core, macro_max * 1.15);
   } else {
     core = d.total_std_cell_area() / utilization + macro_area * 1.05;
     core = std::max(core, macro_area * 1.15);

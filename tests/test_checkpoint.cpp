@@ -190,6 +190,33 @@ TEST_F(CheckpointTest, ResumeMidEcoIterationIsByteIdentical) {
   }
 }
 
+TEST_F(CheckpointTest, ResumeRebuildsExplicitTierStack) {
+  // An explicit FlowOptions::tiers stack must survive the resume: the
+  // loader rebuilds the Design via design_for_flow, not the config's
+  // default two-library mapping — with the wrong stack the restored
+  // per-cell tiers would be out of range or mis-libbed.
+  const auto nl = tiny();
+  auto opt = tiny_opts();
+  opt.tiers.resize(3);
+  opt.tiers[0].tech = "12T";
+  opt.tiers[1].tech = "9T";
+  opt.tiers[2].tech = "9T";
+  const auto ref = mc::run_flow(nl, mc::Config::ThreeD12T, opt);
+  EXPECT_EQ(ref.design.num_tiers(), 3);
+
+  opt.checkpoint_dir = dir_;
+  for (const auto stage : {mf::Stage::Partition, mf::Stage::Cts}) {
+    SCOPED_TRACE(mf::stage_name(stage));
+    fs::remove_all(dir_);
+    mf::fault_arm(stage);
+    EXPECT_THROW(mc::run_flow(nl, mc::Config::ThreeD12T, opt),
+                 mf::FaultInjected);
+    const auto resumed = mc::run_flow(nl, mc::Config::ThreeD12T, opt);
+    EXPECT_EQ(resumed.design.num_tiers(), 3);
+    expect_flow_equal(ref, resumed);
+  }
+}
+
 TEST_F(CheckpointTest, FaultFiresWithoutCheckpointDirectory) {
   // Kill points are independent of checkpointing: "the flow dies here"
   // must be testable on its own.

@@ -106,3 +106,91 @@ TEST(Cost, GuardsInvalidInputs) {
   EXPECT_THROW(mc::ppc(1.0, 0.0, 1.0), m3d::util::Error);
   EXPECT_THROW(mc::cost_per_cm2(1.0, 0.0), m3d::util::Error);
 }
+
+// ---- N-tier stacks -------------------------------------------------------
+
+TEST(Cost, NTierWaferCostReproducesPublished) {
+  mc::CostModel m;
+  EXPECT_NEAR(m.wafer_cost(1), m.wafer_cost_2d(), 1e-12);
+  EXPECT_NEAR(m.wafer_cost(2), m.wafer_cost_3d(), 1e-12);
+  // Each extra tier adds one FEOL + BEOL pass and one bond premium.
+  EXPECT_NEAR(m.wafer_cost(3), 3 * 0.96 + 2 * 0.05, 1e-12);
+  // A uniform per-tier stack must price identically to the int form.
+  const std::vector<mc::TierProcess> stack(4);
+  EXPECT_NEAR(m.wafer_cost(stack), m.wafer_cost(4), 1e-12);
+}
+
+TEST(Cost, NTierDieCostMatchesBoolForm) {
+  mc::CostModel m;
+  for (double a : {0.5, 5.0, 50.0}) {
+    EXPECT_DOUBLE_EQ(m.die_cost(a, 1), m.die_cost(a, false)) << a;
+    EXPECT_DOUBLE_EQ(m.die_cost(a, 2), m.die_cost(a, true)) << a;
+  }
+}
+
+TEST(Cost, NTierDieCostMonotoneInTierCount) {
+  // Same footprint, taller stack: every tier adds wafer processing and
+  // every bond degrades yield, so cost per good die strictly rises.
+  mc::CostModel m;
+  for (double a : {1.0, 20.0}) {
+    double prev = 0.0;
+    for (int tiers = 1; tiers <= 5; ++tiers) {
+      const double c = m.die_cost(a, tiers);
+      EXPECT_GT(c, prev) << "area " << a << " tiers " << tiers;
+      prev = c;
+    }
+  }
+}
+
+TEST(Cost, HugeDieCostsInfinity) {
+  // A die larger than the usable wafer yields no good dies: the model
+  // reports +inf instead of a negative or divide-by-zero cost.
+  mc::CostModel m;
+  const double huge = m.wafer_area_mm2() * 2.0;
+  EXPECT_EQ(m.good_dies(huge, 2), 0.0);
+  EXPECT_TRUE(std::isinf(m.die_cost(huge, 2)));
+  EXPECT_GT(m.die_cost(huge, 2), 0.0);
+}
+
+TEST(Cost, ZeroAreaStillGuardedInNTierForm) {
+  mc::CostModel m;
+  EXPECT_THROW(m.die_cost(0.0, 3), m3d::util::Error);
+  EXPECT_THROW(m.die_cost(-1.0, 3), m3d::util::Error);
+  EXPECT_THROW(m.die_cost(1.0, 0), m3d::util::Error);
+}
+
+TEST(Cost, PublishedFormulaDivergesFromStandardAtLowYield) {
+  // The literal equation (5) divides by yield twice; at big-die (low
+  // yield) sizes the published form overstates cost by exactly 1/yield.
+  mc::CostModel m;
+  const double a = 100.0;
+  const double y = m.die_yield_3d(a);
+  ASSERT_LT(y, 0.5);
+  EXPECT_NEAR(m.die_cost_as_published(a, true) / m.die_cost(a, true),
+              1.0 / y, 1e-9);
+}
+
+TEST(Cost, FoldCrossoverBracketsTheSignChange) {
+  // The bisected break-even must actually separate "2-D cheaper" from
+  // "fold cheaper" to within the tolerance — the old 1.05x geometric
+  // scan overshot by up to 5 % of the die size.
+  mc::CostModel m;
+  const double tol = 0.01;
+  const double x = mc::fold_crossover_area_mm2(m, 2, 0.05, 120.0, tol);
+  ASSERT_GT(x, 0.0);
+  EXPECT_GT(m.die_cost((x - 0.1) / 2.0, 2), m.die_cost(x - 0.1, 1));
+  EXPECT_LE(m.die_cost((x + 0.1) / 2.0, 2), m.die_cost(x + 0.1, 1));
+  // Resolution: the sign change sits inside [x - tol, x + tol], far
+  // tighter than the 0.1 mm² the ISSUE asks for.
+  EXPECT_GT(m.die_cost((x - tol * 2) / 2.0, 2), m.die_cost(x - tol * 2, 1));
+}
+
+TEST(Cost, FoldCrossoverNeverReachedReturnsMinusOne) {
+  // With no integration premium and no yield degradation the fold is
+  // cheaper at every size — the scan reports that as -1 ("no crossover
+  // in range" / already cheaper at the left edge).
+  mc::CostModel m;
+  m.integration_3d = 0.0;
+  m.yield_degradation_3d = 1.0;
+  EXPECT_EQ(mc::fold_crossover_area_mm2(m), -1.0);
+}
